@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks for the simulation substrate:
+//! per-interaction throughput of every backend, Fenwick vs linear
+//! sampling, and the geometric no-op accelerator (E14 / design-ablation
+//! benches from DESIGN.md §6).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_engine::accel::AcceleratedPopulation;
+use pp_engine::counts::CountPopulation;
+use pp_engine::fenwick::Fenwick;
+use pp_engine::population::Population;
+use pp_engine::protocol::TableProtocol;
+use pp_engine::rng::SimRng;
+use pp_engine::sim::Simulator;
+
+fn epidemic() -> TableProtocol {
+    TableProtocol::new(2, "epidemic")
+        .rule(1, 0, 1, 1)
+        .rule(0, 1, 1, 1)
+}
+
+fn cycle3() -> TableProtocol {
+    TableProtocol::new(3, "cycle")
+        .rule(0, 1, 1, 1)
+        .rule(1, 2, 2, 2)
+        .rule(2, 0, 0, 0)
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_step");
+    for n in [1_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::new("agent_array", n), &n, |b, &n| {
+            let p = cycle3();
+            let mut pop = Population::from_counts(p, &[n / 3, n / 3, n - 2 * (n / 3)]);
+            let mut rng = SimRng::seed_from(1);
+            b.iter(|| black_box(pop.step(&mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("count_fenwick", n), &n, |b, &n| {
+            let p = cycle3();
+            let mut pop = CountPopulation::from_counts(p, &[n / 3, n / 3, n - 2 * (n / 3)]);
+            let mut rng = SimRng::seed_from(1);
+            b.iter(|| black_box(pop.step(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_accelerator(c: &mut Criterion) {
+    // E14: sparse dynamics — 2 leaders among n agents. The accelerated
+    // backend jumps the dead time; the naive one slogs through it.
+    let mut group = c.benchmark_group("accel_sparse_fratricide");
+    group.sample_size(20);
+    for n in [1_000u64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("accelerated", n), &n, |b, &n| {
+            let p = TableProtocol::new(2, "frat").rule(1, 1, 1, 0);
+            b.iter(|| {
+                let mut pop = AcceleratedPopulation::from_counts(&p, &[n - 4, 4]);
+                let mut rng = SimRng::seed_from(7);
+                while pop.count(1) > 1 {
+                    pop.step(&mut rng);
+                }
+                black_box(pop.steps())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+            let p = TableProtocol::new(2, "frat").rule(1, 1, 1, 0);
+            b.iter(|| {
+                let mut pop = CountPopulation::from_counts(&p, &[n - 4, 4]);
+                let mut rng = SimRng::seed_from(7);
+                while pop.count(1) > 1 {
+                    pop.step(&mut rng);
+                }
+                black_box(pop.steps())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fenwick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fenwick_sampling");
+    for k in [16usize, 256, 4096] {
+        group.bench_with_input(BenchmarkId::new("fenwick_find", k), &k, |b, &k| {
+            let weights: Vec<u64> = (0..k as u64).map(|i| i % 17 + 1).collect();
+            let f = Fenwick::from_weights(&weights);
+            let mut rng = SimRng::seed_from(3);
+            b.iter(|| black_box(f.find(rng.below(f.total()))));
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", k), &k, |b, &k| {
+            let weights: Vec<u64> = (0..k as u64).map(|i| i % 17 + 1).collect();
+            let total: u64 = weights.iter().sum();
+            let mut rng = SimRng::seed_from(3);
+            b.iter(|| {
+                let mut r = rng.below(total);
+                let mut idx = 0;
+                for (i, &w) in weights.iter().enumerate() {
+                    if r < w {
+                        idx = i;
+                        break;
+                    }
+                    r -= w;
+                }
+                black_box(idx)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_epidemic_completion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epidemic_completion");
+    group.sample_size(10);
+    for n in [10_000u64, 1_000_000] {
+        group.bench_with_input(BenchmarkId::new("count_backend", n), &n, |b, &n| {
+            b.iter(|| {
+                let p = epidemic();
+                let mut pop = CountPopulation::from_counts(p, &[n - 1, 1]);
+                let mut rng = SimRng::seed_from(5);
+                while pop.count(0) > 0 {
+                    pop.step(&mut rng);
+                }
+                black_box(pop.time())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_backends,
+    bench_accelerator,
+    bench_fenwick,
+    bench_epidemic_completion
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Scratch probe: hierarchy rate separation.
+use pp_clocks::hierarchy::ClockHierarchy;
+use pp_clocks::junta::PairwiseElimination;
+use pp_clocks::oscillator::Dk18Oscillator;
+use pp_engine::obj::ObjPopulation;
+use pp_engine::rng::SimRng;
+
+fn main() {
+    let n = 3000usize;
+    let h = ClockHierarchy::new(Dk18Oscillator::new(), PairwiseElimination::new(), 2, 6, 12);
+    let mut pop = ObjPopulation::from_fn(&h, n, |_| h.initial_agent());
+    let mut rng = SimRng::seed_from(5);
+    let mut last = [None::<u8>; 2];
+    let mut ticks = [Vec::new(), Vec::new()];
+    while pop.time() < 40000.0 {
+        for _ in 0..n { pop.step(&mut rng); }
+        if pop.time() < 150.0 { continue; }
+        // majority phase per level
+        for lvl in 0..2 {
+            let mut hist = [0u64; 12];
+            for a in pop.iter() { hist[a.cur[lvl].phase as usize] += 1; }
+            let maj = (0..12).max_by_key(|&p| hist[p]).unwrap() as u8;
+            if last[lvl] != Some(maj) {
+                ticks[lvl].push((pop.time(), maj));
+                last[lvl] = Some(maj);
+            }
+        }
+    }
+    for lvl in 0..2 {
+        let g: Vec<f64> = ticks[lvl].windows(2).map(|w| w[1].0 - w[0].0).collect();
+        let mean = g.iter().sum::<f64>() / g.len().max(1) as f64;
+        let bad = ticks[lvl].windows(2).filter(|w| (w[1].1 + 12 - w[0].1) % 12 != 1).count();
+        println!("level {lvl}: ticks={} mean_gap={mean:.1} bad_seq={bad}", ticks[lvl].len());
+    }
+    // also report X count
+    let x = pop.count_where(|a| h.is_x(a));
+    println!("final #X = {x}");
+}

@@ -1,0 +1,536 @@
+//! The modulo-`m` phase clock built on an oscillator (Section 5.2).
+//!
+//! Each agent composes three components:
+//!
+//! * an **oscillator** state (species + source, from [`crate::oscillator`]),
+//! * a **detector** position `s ∈ {0, …, 3k−1}` arranged in three blocks of
+//!   `k`: in block `i`, the agent waits to meet agents of species
+//!   `(i+1) mod 3` in `k` consecutive clock-thread interactions. A meeting
+//!   with a different species resets progress to the block start; completing
+//!   the block confirms that species `(i+1)` has taken over and moves the
+//!   agent to block `i+1` — a **tick**;
+//! * a **phase counter** `c ∈ {0, …, m−1}` incremented on every tick,
+//!   plus a **doubt counter** implementing fluke-robust consensus
+//!   ([`doubt_consensus`]) that heals phase clusters left over from the
+//!   chaotic startup; afterwards, ticks are synchronized by the globally
+//!   visible species takeovers, keeping all agents within ±1 phase, w.h.p.
+//!
+//! Since the oscillator rotates species with period `Θ(log n)`, ticks are
+//! `Θ(log n)` rounds apart, and a full phase cycle takes `Θ(m log n)`
+//! rounds. Experiment E6 measures phase agreement and tick spacing.
+
+use crate::oscillator::{Oscillator, NUM_SPECIES};
+use pp_engine::protocol::Protocol;
+use pp_engine::rng::SimRng;
+
+/// Default doubt-gated consensus depth (empirically tuned: deep enough to
+/// suppress fluke cascades, shallow enough to absorb tick waves quickly).
+pub const DEFAULT_CONSENSUS_DEPTH: u8 = 3;
+
+/// Outcome of a detector observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorStep {
+    /// New detector position.
+    pub position: u8,
+    /// Whether the observation completed a block (a clock tick).
+    pub ticked: bool,
+}
+
+/// Pure detector transition: from position `s` (with confirmation depth
+/// `k`), observing a partner of `species` (`None` = source agent, which is
+/// ignored).
+///
+/// # Panics
+///
+/// Panics if `s ≥ 3k`.
+#[must_use]
+pub fn detector_observe(s: u8, k: u8, species: Option<usize>) -> DetectorStep {
+    let s_us = s as usize;
+    let k_us = k as usize;
+    assert!(s_us < 3 * k_us, "detector position out of range");
+    let block = s_us / k_us;
+    let Some(sp) = species else {
+        // Source agents carry no species information.
+        return DetectorStep {
+            position: s,
+            ticked: false,
+        };
+    };
+    let awaited = (block + 1) % NUM_SPECIES;
+    if sp == awaited {
+        let next = s_us + 1;
+        if next.is_multiple_of(k_us) {
+            // Completed the block: enter the next block (tick).
+            DetectorStep {
+                position: ((next / k_us) % NUM_SPECIES * k_us) as u8,
+                ticked: true,
+            }
+        } else {
+            DetectorStep {
+                position: next as u8,
+                ticked: false,
+            }
+        }
+    } else {
+        // Reset within-block progress.
+        DetectorStep {
+            position: (block * k_us) as u8,
+            ticked: false,
+        }
+    }
+}
+
+/// Phase-consensus resolution: given own phase `a` and partner phase `b`
+/// modulo `m`, returns the phase to adopt — the partner's if it is *ahead*
+/// by at most half the cycle, otherwise keep one's own.
+///
+/// **Caution:** applying this rule unconditionally lets a single agent's
+/// false tick cascade through the whole population (it is an epidemic OR).
+/// Use [`doubt_consensus`] for the fluke-robust variant.
+#[must_use]
+pub fn phase_consensus(a: u8, b: u8, m: u8) -> u8 {
+    let ahead = (b as i32 - a as i32).rem_euclid(m as i32);
+    if ahead >= 1 && ahead <= (m / 2) as i32 {
+        b
+    } else {
+        a
+    }
+}
+
+/// Fluke-robust ("doubt-gated") phase consensus.
+///
+/// Phase disagreement has two benign shapes that must *not* trigger
+/// adoption — agreement (`diff = 0`) and a partner lagging the current tick
+/// wave by one (`diff = −1`) — and two shapes that must converge:
+///
+/// * a partner *ahead by one* (`diff = +1`): the ongoing tick wave; the
+///   laggard should catch up;
+/// * a partner *far away* (`|diff| ≥ 2` circularly): a stale cluster left
+///   over from the chaotic startup (typically offset by a multiple of 3,
+///   one whole oscillator rotation per offset unit). A pairwise rule cannot
+///   tell which side is "correct", so adoption is majority-biased: the
+///   minority cluster meets the majority far more often than vice versa.
+///
+/// Both converging shapes are gated by a shared doubt counter: the agent
+/// adopts the partner's phase only after `depth` *consecutive* meetings in
+/// a converging shape, and any agreeing or lagging meeting resets the
+/// counter. This mirrors the paper's `k`-consecutive-meeting confirmation
+/// idiom: isolated false ticks (a fraction `ε` of the population) propagate
+/// with probability `O(ε^depth)`, while genuine tick waves and stale
+/// clusters are absorbed within `O(depth)` meetings. Returns the new
+/// `(phase, doubt)` pair.
+#[must_use]
+pub fn doubt_consensus(phase: u8, doubt: u8, partner_phase: u8, depth: u8, m: u8) -> (u8, u8) {
+    let diff = (partner_phase as i32 - phase as i32).rem_euclid(m as i32);
+    if diff == 0 || diff == m as i32 - 1 {
+        // Agreement, or a partner lagging the tick wave by one: benign.
+        (phase, 0)
+    } else {
+        let doubt = doubt + 1;
+        if doubt >= depth {
+            (partner_phase, 0)
+        } else {
+            (phase, doubt)
+        }
+    }
+}
+
+/// The modulo-`m` phase clock protocol `C_o`, a dense composition of an
+/// oscillator with the detector and phase counter.
+///
+/// State packing: `osc + osc_states · (detector + 3k · (phase + m · doubt))`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_clocks::oscillator::Dk18Oscillator;
+/// use pp_clocks::phase_clock::PhaseClock;
+/// use pp_engine::Protocol;
+///
+/// let clock = PhaseClock::new(Dk18Oscillator::new(), 4, 12);
+/// // osc(7) × detector(3·4) × phase(12) × doubt(3)
+/// assert_eq!(clock.num_states(), 7 * 12 * 12 * 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseClock<O> {
+    oscillator: O,
+    /// Confirmation depth: consecutive meetings required per block.
+    k: u8,
+    /// Phase modulus.
+    m: u8,
+    /// Depth of the doubt-gated phase consensus ([`doubt_consensus`]);
+    /// 0 disables consensus entirely.
+    ///
+    /// Plain adopt-ahead consensus (depth 1) turns a *single* agent's false
+    /// tick into a global phase cascade, while no consensus at all (depth
+    /// 0) lets phase clusters formed during the chaotic startup persist
+    /// forever. The doubt gate requires `depth` consecutive ahead-meetings
+    /// before adopting, which suppresses fluke cascades yet still lets
+    /// genuine tick waves and large stale clusters converge. Experiment E6
+    /// ablates this parameter.
+    consensus_depth: u8,
+    osc_states: usize,
+}
+
+impl<O: Oscillator> PhaseClock<O> {
+    /// Creates a phase clock with confirmation depth `k` and modulus `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `m == 0`, or `3k ≥ 256`.
+    #[must_use]
+    pub fn new(oscillator: O, k: u8, m: u8) -> Self {
+        assert!(k > 0, "confirmation depth must be positive");
+        assert!(m > 0, "modulus must be positive");
+        assert!(3 * (k as usize) < 256, "detector space must fit in u8");
+        let osc_states = oscillator.num_states();
+        Self {
+            oscillator,
+            k,
+            m,
+            consensus_depth: DEFAULT_CONSENSUS_DEPTH,
+            osc_states,
+        }
+    }
+
+    /// Sets the doubt-gated consensus depth (0 disables consensus;
+    /// default [`DEFAULT_CONSENSUS_DEPTH`]).
+    #[must_use]
+    pub fn with_consensus_depth(mut self, depth: u8) -> Self {
+        self.consensus_depth = depth;
+        self
+    }
+
+    /// The doubt dimension size (at least 1 even when consensus is off).
+    fn doubt_states(&self) -> usize {
+        (self.consensus_depth as usize).max(1)
+    }
+
+    /// The underlying oscillator.
+    #[must_use]
+    pub fn oscillator(&self) -> &O {
+        &self.oscillator
+    }
+
+    /// Confirmation depth `k`.
+    #[must_use]
+    pub fn confirmation_depth(&self) -> u8 {
+        self.k
+    }
+
+    /// Phase modulus `m`.
+    #[must_use]
+    pub fn modulus(&self) -> u8 {
+        self.m
+    }
+
+    /// Packs components into a dense state index.
+    #[must_use]
+    pub fn pack(&self, osc: usize, detector: u8, phase: u8, doubt: u8) -> usize {
+        debug_assert!(osc < self.osc_states);
+        debug_assert!((detector as usize) < 3 * self.k as usize);
+        debug_assert!(phase < self.m);
+        debug_assert!((doubt as usize) < self.doubt_states());
+        osc + self.osc_states
+            * (detector as usize
+                + 3 * self.k as usize
+                    * (phase as usize + self.m as usize * doubt as usize))
+    }
+
+    /// Unpacks a dense state index into `(osc, detector, phase, doubt)`.
+    #[must_use]
+    pub fn unpack(&self, state: usize) -> (usize, u8, u8, u8) {
+        let osc = state % self.osc_states;
+        let rest = state / self.osc_states;
+        let det = (rest % (3 * self.k as usize)) as u8;
+        let rest = rest / (3 * self.k as usize);
+        let phase = (rest % self.m as usize) as u8;
+        let doubt = (rest / self.m as usize) as u8;
+        (osc, det, phase, doubt)
+    }
+
+    /// The phase of a packed state.
+    #[must_use]
+    pub fn phase_of(&self, state: usize) -> u8 {
+        self.unpack(state).2
+    }
+
+    /// Initial state: oscillator state `osc`, detector at block 0 start,
+    /// phase 0, no doubt.
+    #[must_use]
+    pub fn initial(&self, osc: usize) -> usize {
+        self.pack(osc, 0, 0, 0)
+    }
+
+    /// Histogram of phases given full state counts.
+    #[must_use]
+    pub fn phase_histogram(&self, counts: &[u64]) -> Vec<u64> {
+        let mut hist = vec![0u64; self.m as usize];
+        for (state, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                hist[self.phase_of(state) as usize] += c;
+            }
+        }
+        hist
+    }
+
+    /// The majority phase and its share of the population, from counts.
+    #[must_use]
+    pub fn majority_phase(&self, counts: &[u64]) -> (u8, f64) {
+        let hist = self.phase_histogram(counts);
+        let total: u64 = hist.iter().sum();
+        let (phase, &max) = hist
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .expect("non-empty histogram");
+        (phase as u8, max as f64 / total.max(1) as f64)
+    }
+
+    /// Maximum circular phase distance between any two occupied phases —
+    /// the paper's agreement measure ("up to a difference of at most 1").
+    #[must_use]
+    pub fn phase_spread(&self, counts: &[u64]) -> u8 {
+        let hist = self.phase_histogram(counts);
+        let occupied: Vec<usize> = hist
+            .iter()
+            .enumerate()
+            .filter(|&(_, c)| *c > 0)
+            .map(|(p, _)| p)
+            .collect();
+        if occupied.len() <= 1 {
+            return 0;
+        }
+        let m = self.m as usize;
+        // The spread is m minus the largest gap between consecutive
+        // occupied phases on the circle.
+        let mut max_gap = 0;
+        for (i, &p) in occupied.iter().enumerate() {
+            let next = occupied[(i + 1) % occupied.len()];
+            let gap = (next + m - p) % m;
+            max_gap = max_gap.max(gap);
+        }
+        (m - max_gap) as u8
+    }
+}
+
+impl<O: Oscillator> Protocol for PhaseClock<O> {
+    fn num_states(&self) -> usize {
+        self.osc_states * 3 * self.k as usize * self.m as usize * self.doubt_states()
+    }
+
+    fn interact(&self, a: usize, b: usize, rng: &mut SimRng) -> (usize, usize) {
+        let (osc_a, det_a, ph_a, db_a) = self.unpack(a);
+        let (osc_b, det_b, ph_b, db_b) = self.unpack(b);
+        if rng.chance(0.5) {
+            // Oscillator thread.
+            let (osc_a2, osc_b2) = self.oscillator.interact(osc_a, osc_b, rng);
+            (
+                self.pack(osc_a2, det_a, ph_a, db_a),
+                self.pack(osc_b2, det_b, ph_b, db_b),
+            )
+        } else {
+            // Clock thread: both agents observe the partner's species, then
+            // run doubt-gated phase consensus.
+            let sp_a = self.oscillator.species_of(osc_a);
+            let sp_b = self.oscillator.species_of(osc_b);
+            let step_a = detector_observe(det_a, self.k, sp_b);
+            let step_b = detector_observe(det_b, self.k, sp_a);
+            let mut ph_a2 = if step_a.ticked {
+                (ph_a + 1) % self.m
+            } else {
+                ph_a
+            };
+            let mut ph_b2 = if step_b.ticked {
+                (ph_b + 1) % self.m
+            } else {
+                ph_b
+            };
+            let mut db_a2 = db_a;
+            let mut db_b2 = db_b;
+            if self.consensus_depth > 0 {
+                let (pa, pb) = (ph_a2, ph_b2);
+                let (na, da) = doubt_consensus(pa, db_a, pb, self.consensus_depth, self.m);
+                let (nb, db) = doubt_consensus(pb, db_b, pa, self.consensus_depth, self.m);
+                ph_a2 = na;
+                db_a2 = da;
+                ph_b2 = nb;
+                db_b2 = db;
+            }
+            (
+                self.pack(osc_a, step_a.position, ph_a2, db_a2),
+                self.pack(osc_b, step_b.position, ph_b2, db_b2),
+            )
+        }
+    }
+
+    fn state_label(&self, state: usize) -> String {
+        let (osc, det, ph, _) = self.unpack(state);
+        format!(
+            "({},d{},p{})",
+            self.oscillator.state_label(osc),
+            det,
+            ph
+        )
+    }
+
+    fn name(&self) -> &str {
+        "phase-clock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oscillator::Dk18Oscillator;
+
+    #[test]
+    fn detector_advances_on_awaited_species() {
+        // Block 0 awaits species 1.
+        let step = detector_observe(0, 4, Some(1));
+        assert_eq!(step.position, 1);
+        assert!(!step.ticked);
+    }
+
+    #[test]
+    fn detector_resets_on_wrong_species() {
+        let step = detector_observe(2, 4, Some(0));
+        assert_eq!(step.position, 0);
+        assert!(!step.ticked);
+        // In block 1 (positions 4..8), awaiting species 2; seeing 1 resets to 4.
+        let step = detector_observe(6, 4, Some(1));
+        assert_eq!(step.position, 4);
+    }
+
+    #[test]
+    fn detector_ignores_source_agents() {
+        let step = detector_observe(3, 4, None);
+        assert_eq!(step.position, 3);
+        assert!(!step.ticked);
+    }
+
+    #[test]
+    fn detector_ticks_on_block_completion() {
+        // Position 3 with k=4 in block 0: one more species-1 meeting ticks.
+        let step = detector_observe(3, 4, Some(1));
+        assert!(step.ticked);
+        assert_eq!(step.position, 4, "enters block 1");
+        // Completing block 2 wraps to block 0.
+        let step = detector_observe(11, 4, Some(0));
+        assert!(step.ticked);
+        assert_eq!(step.position, 0);
+    }
+
+    #[test]
+    fn full_detector_cycle_produces_three_ticks() {
+        let k = 3u8;
+        let mut pos = 0u8;
+        let mut ticks = 0;
+        // Feed the detector the rotating dominant species long enough.
+        for species in [1usize, 2, 0] {
+            for _ in 0..k {
+                let step = detector_observe(pos, k, Some(species));
+                pos = step.position;
+                if step.ticked {
+                    ticks += 1;
+                }
+            }
+        }
+        assert_eq!(ticks, 3);
+        assert_eq!(pos, 0, "back to block 0");
+    }
+
+    #[test]
+    fn phase_consensus_adopts_ahead_partner() {
+        assert_eq!(phase_consensus(3, 4, 12), 4);
+        assert_eq!(phase_consensus(3, 9, 12), 9);
+        // Partner behind: keep own.
+        assert_eq!(phase_consensus(4, 3, 12), 4);
+        // Wrap-around: 11 sees 1 as ahead by 2.
+        assert_eq!(phase_consensus(11, 1, 12), 1);
+        // Same phase: keep.
+        assert_eq!(phase_consensus(5, 5, 12), 5);
+    }
+
+    #[test]
+    fn doubt_consensus_requires_consecutive_evidence() {
+        let m = 12;
+        let depth = 3;
+        // Ahead-by-1 partners accumulate doubt, then adopt.
+        let (p1, d1) = doubt_consensus(5, 0, 6, depth, m);
+        assert_eq!((p1, d1), (5, 1));
+        let (p2, d2) = doubt_consensus(p1, d1, 6, depth, m);
+        assert_eq!((p2, d2), (5, 2));
+        let (p3, d3) = doubt_consensus(p2, d2, 6, depth, m);
+        assert_eq!((p3, d3), (6, 0), "adopts at depth");
+    }
+
+    #[test]
+    fn doubt_consensus_resets_on_agreement_or_lag() {
+        let m = 12;
+        // Agreement resets.
+        assert_eq!(doubt_consensus(5, 2, 5, 3, m), (5, 0));
+        // Partner lagging by one (tick wave) resets, no adoption.
+        assert_eq!(doubt_consensus(5, 2, 4, 3, m), (5, 0));
+    }
+
+    #[test]
+    fn doubt_consensus_heals_far_clusters_in_both_directions() {
+        let m = 12;
+        // A stale agent 3 ahead of the majority (majority is "behind" it
+        // circularly by 3, i.e. diff = 9): still converges to the majority.
+        let (p, d) = doubt_consensus(5, 2, 2, 3, m);
+        assert_eq!((p, d), (2, 0));
+        // And an agent behind a far cluster adopts forward too.
+        let (p, d) = doubt_consensus(2, 2, 5, 3, m);
+        assert_eq!((p, d), (5, 0));
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let clock = PhaseClock::new(Dk18Oscillator::new(), 4, 12);
+        for state in 0..clock.num_states() {
+            let (o, d, p, q) = clock.unpack(state);
+            assert_eq!(clock.pack(o, d, p, q), state);
+        }
+    }
+
+    #[test]
+    fn phase_histogram_and_majority() {
+        let clock = PhaseClock::new(Dk18Oscillator::new(), 2, 4);
+        let mut counts = vec![0u64; clock.num_states()];
+        counts[clock.pack(1, 0, 2, 0)] = 70;
+        counts[clock.pack(3, 4, 3, 1)] = 30;
+        let hist = clock.phase_histogram(&counts);
+        assert_eq!(hist, vec![0, 0, 70, 30]);
+        let (phase, share) = clock.majority_phase(&counts);
+        assert_eq!(phase, 2);
+        assert!((share - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_spread_measures_circular_distance() {
+        let clock = PhaseClock::new(Dk18Oscillator::new(), 2, 12);
+        let mut counts = vec![0u64; clock.num_states()];
+        counts[clock.pack(1, 0, 11, 0)] = 5;
+        counts[clock.pack(1, 0, 0, 0)] = 5;
+        assert_eq!(clock.phase_spread(&counts), 1, "11 and 0 are adjacent");
+        counts[clock.pack(1, 0, 6, 1)] = 1;
+        assert!(clock.phase_spread(&counts) > 1);
+    }
+
+    #[test]
+    fn interact_preserves_component_structure() {
+        let clock = PhaseClock::new(Dk18Oscillator::new(), 4, 12);
+        let mut rng = SimRng::seed_from(1);
+        let a = clock.pack(1, 3, 7, 0);
+        let b = clock.pack(4, 9, 7, 2);
+        for _ in 0..200 {
+            let (a2, b2) = clock.interact(a, b, &mut rng);
+            let (_, _, pa, _) = clock.unpack(a2);
+            let (_, _, pb, _) = clock.unpack(b2);
+            assert!(pa < 12 && pb < 12);
+            assert!(a2 < clock.num_states() && b2 < clock.num_states());
+        }
+    }
+}

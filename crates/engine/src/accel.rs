@@ -1,0 +1,326 @@
+//! Exact no-op leaping: fast-forward through interaction stretches that
+//! provably cannot change any state.
+//!
+//! Many population protocols spend most of their wall-clock interactions on
+//! pairs with identity transitions (e.g. two followers meeting after a leader
+//! has been elected). Let `R` be the number of ordered pairs of distinct
+//! agents whose state pair is *reactive* (per [`Protocol::is_reactive`]).
+//! Each scheduler activation hits a reactive pair with probability
+//! `p = R / (n(n−1))` independently, so the number of consecutive non-reactive
+//! activations is geometric. The accelerated backend samples that geometric
+//! skip in `O(1)` and then samples one interaction *conditioned on the pair
+//! being reactive* — the resulting process is equal in distribution to the
+//! naive one, step for step, provided `is_reactive` is sound.
+//!
+//! Note the conditioned interaction may still be an *effective* no-op (a
+//! probabilistic rule may resolve to identity); only pairs that can never
+//! react are skipped, which is what keeps the acceleration exact.
+
+use crate::protocol::Protocol;
+use crate::rng::SimRng;
+use crate::sim::{Simulator, StepOutcome};
+
+/// Count-based backend with exact geometric leaping over non-reactive pairs.
+///
+/// Per-step cost is `O(k)` in the number of states `k` (to maintain reactive
+/// pair counts), so this backend pays off when the protocol is sparse in
+/// reactive pairs and `k` is modest — precisely the regime of converged or
+/// slow-moving finite-state protocols.
+///
+/// # Examples
+///
+/// ```
+/// use pp_engine::accel::AcceleratedPopulation;
+/// use pp_engine::protocol::TableProtocol;
+/// use pp_engine::rng::SimRng;
+/// use pp_engine::sim::{Simulator, StepOutcome};
+///
+/// // Leader fratricide: two leaders meet, one survives.
+/// let p = TableProtocol::new(2, "fratricide").rule(1, 1, 1, 0);
+/// let mut pop = AcceleratedPopulation::from_counts(&p, &[0, 1000]);
+/// let mut rng = SimRng::seed_from(0);
+/// loop {
+///     if pop.step(&mut rng) == StepOutcome::Silent { break; }
+/// }
+/// assert_eq!(pop.count(1), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcceleratedPopulation<P> {
+    protocol: P,
+    counts: Vec<u64>,
+    /// `reactive[a * k + b]`: interaction (a, b) can change states.
+    reactive: Vec<bool>,
+    /// `row[a]` = Σ_b reactive(a,b) · c'_b where c' excludes one agent of
+    /// state a (ordered-pair convention); recomputed lazily per step.
+    n: u64,
+    steps: u64,
+    /// Number of reactive ordered pairs of distinct agents.
+    reactive_pairs: u64,
+}
+
+impl<P: Protocol> AcceleratedPopulation<P> {
+    /// Creates a population with `counts[s]` agents in state `s`.
+    ///
+    /// Precomputes the `k × k` reactivity table, so construction is `O(k²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is longer than the state space or the population
+    /// has fewer than 2 agents.
+    #[must_use]
+    pub fn from_counts(protocol: P, counts: &[u64]) -> Self {
+        let k = protocol.num_states();
+        assert!(counts.len() <= k, "more initial counts than states");
+        let n: u64 = counts.iter().sum();
+        assert!(n >= 2, "population must have at least 2 agents");
+        let mut full = vec![0u64; k];
+        full[..counts.len()].copy_from_slice(counts);
+        let mut reactive = vec![false; k * k];
+        for a in 0..k {
+            for b in 0..k {
+                reactive[a * k + b] = protocol.is_reactive(a, b);
+            }
+        }
+        let mut this = Self {
+            protocol,
+            counts: full,
+            reactive,
+            n,
+            steps: 0,
+            reactive_pairs: 0,
+        };
+        this.reactive_pairs = this.recount_reactive_pairs();
+        this
+    }
+
+    /// Full `O(k²)` recount of reactive ordered pairs (used at construction
+    /// and in debug assertions).
+    fn recount_reactive_pairs(&self) -> u64 {
+        let k = self.counts.len();
+        let mut total = 0u64;
+        for a in 0..k {
+            let ca = self.counts[a];
+            if ca == 0 {
+                continue;
+            }
+            for b in 0..k {
+                if self.reactive[a * k + b] {
+                    let cb = if a == b { ca - 1 } else { self.counts[b] };
+                    total += ca * cb;
+                }
+            }
+        }
+        total
+    }
+
+    /// Adjusts `reactive_pairs` for a count change `c_u += delta`, given the
+    /// *current* counts already reflect the change. `O(k)`.
+    fn adjust_reactive_pairs(&mut self, u: usize, delta: i64) {
+        let k = self.counts.len();
+        let cu = self.counts[u] as i64;
+        let old_cu = cu - delta;
+        let mut d = 0i64;
+        for v in 0..k {
+            let cv = self.counts[v] as i64;
+            if v == u {
+                // Ordered pairs within state u: c(c-1).
+                if self.reactive[u * k + u] {
+                    d += cu * (cu - 1) - old_cu * (old_cu - 1);
+                }
+                continue;
+            }
+            if self.reactive[u * k + v] {
+                d += delta * cv;
+            }
+            if self.reactive[v * k + u] {
+                d += cv * delta;
+            }
+        }
+        self.reactive_pairs = (self.reactive_pairs as i64 + d) as u64;
+    }
+
+    fn apply_count_change(&mut self, state: usize, delta: i64) {
+        self.counts[state] = (self.counts[state] as i64 + delta) as u64;
+        self.adjust_reactive_pairs(state, delta);
+    }
+
+    /// Samples an ordered reactive pair `(a, b)` of states, proportional to
+    /// the number of agent pairs realizing it. `O(k²)` worst case but the
+    /// row scan short-circuits on empty states.
+    fn sample_reactive_pair(&mut self, rng: &mut SimRng) -> (usize, usize) {
+        debug_assert!(self.reactive_pairs > 0);
+        let mut r = rng.below(self.reactive_pairs);
+        let k = self.counts.len();
+        for a in 0..k {
+            let ca = self.counts[a];
+            if ca == 0 {
+                continue;
+            }
+            for b in 0..k {
+                if !self.reactive[a * k + b] {
+                    continue;
+                }
+                let cb = if a == b { ca - 1 } else { self.counts[b] };
+                let w = ca * cb;
+                if r < w {
+                    return (a, b);
+                }
+                r -= w;
+            }
+        }
+        unreachable!("rank exhausted the reactive pair mass");
+    }
+}
+
+impl<P: Protocol> Simulator for AcceleratedPopulation<P> {
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn num_states(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn count(&self, state: usize) -> u64 {
+        self.counts[state]
+    }
+
+    fn counts(&self) -> Vec<u64> {
+        self.counts.clone()
+    }
+
+    /// One *logical* activation: leaps over the geometric number of
+    /// non-reactive activations (adding them to `steps`), then performs one
+    /// reactive interaction. Returns [`StepOutcome::Silent`] if no reactive
+    /// pair exists.
+    fn step(&mut self, rng: &mut SimRng) -> StepOutcome {
+        if self.reactive_pairs == 0 {
+            return StepOutcome::Silent;
+        }
+        let total_pairs = self.n * (self.n - 1);
+        let p = self.reactive_pairs as f64 / total_pairs as f64;
+        if p < 1.0 {
+            self.steps += rng.geometric(p);
+        }
+        self.steps += 1;
+        let (a, b) = self.sample_reactive_pair(rng);
+        let (a2, b2) = self.protocol.interact(a, b, rng);
+        if (a2, b2) == (a, b) {
+            return StepOutcome::Unchanged;
+        }
+        self.apply_count_change(a, -1);
+        self.apply_count_change(b, -1);
+        self.apply_count_change(a2, 1);
+        self.apply_count_change(b2, 1);
+        debug_assert_eq!(self.reactive_pairs, self.recount_reactive_pairs());
+        StepOutcome::Changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::CountPopulation;
+    use crate::protocol::TableProtocol;
+    use crate::sim::run_until;
+
+    fn fratricide() -> TableProtocol {
+        TableProtocol::new(2, "fratricide").rule(1, 1, 1, 0)
+    }
+
+    #[test]
+    fn detects_silence() {
+        let mut pop = AcceleratedPopulation::from_counts(fratricide(), &[9, 1]);
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(pop.step(&mut rng), StepOutcome::Silent);
+        assert_eq!(pop.steps(), 0);
+    }
+
+    #[test]
+    fn reduces_to_single_leader() {
+        let mut pop = AcceleratedPopulation::from_counts(fratricide(), &[0, 100]);
+        let mut rng = SimRng::seed_from(2);
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 10_000);
+            if pop.step(&mut rng) == StepOutcome::Silent {
+                break;
+            }
+        }
+        assert_eq!(pop.count(1), 1);
+        assert_eq!(pop.count(0), 99);
+    }
+
+    #[test]
+    fn skipped_steps_are_counted() {
+        // With 2 leaders among 1000 agents, reactive probability is tiny;
+        // the accelerated backend must attribute the skipped activations.
+        let mut pop = AcceleratedPopulation::from_counts(fratricide(), &[998, 2]);
+        let mut rng = SimRng::seed_from(3);
+        assert_eq!(pop.step(&mut rng), StepOutcome::Changed);
+        // Expected skip ≈ total_pairs / reactive_pairs = (1000·999)/2 ≈ 5·10⁵.
+        assert!(pop.steps() > 1_000, "steps {} too small", pop.steps());
+    }
+
+    #[test]
+    fn hitting_time_matches_unaccelerated_mean() {
+        // Fratricide from 10 leaders among 100 agents: compare mean
+        // completion time against the exact count backend.
+        let runs = 40;
+        let mut t_fast = 0.0;
+        let mut t_exact = 0.0;
+        for seed in 0..runs {
+            let mut a = AcceleratedPopulation::from_counts(fratricide(), &[90, 10]);
+            let mut rng = SimRng::seed_from(500 + seed);
+            t_fast += run_until(&mut a, &mut rng, 1e6, 1, |s| s.count(1) == 1).unwrap();
+
+            let mut b = CountPopulation::from_counts(fratricide(), &[90, 10]);
+            let mut rng = SimRng::seed_from(9000 + seed);
+            t_exact += run_until(&mut b, &mut rng, 1e6, 1, |s| s.count(1) == 1).unwrap();
+        }
+        let mf = t_fast / runs as f64;
+        let me = t_exact / runs as f64;
+        let rel = (mf - me).abs() / me;
+        assert!(rel < 0.2, "accelerated mean {mf} vs exact mean {me}");
+    }
+
+    #[test]
+    fn probabilistic_noop_rules_are_not_skipped() {
+        // Rule fires with probability 0.5; the pair is still reactive, so
+        // the accelerated backend must sample it and may see identity.
+        let p = TableProtocol::new(2, "half").rule_p(1, 0, 0, 0, 0.5);
+        let mut pop = AcceleratedPopulation::from_counts(p, &[5, 5]);
+        let mut rng = SimRng::seed_from(4);
+        let mut unchanged = 0;
+        let mut changed = 0;
+        for _ in 0..500 {
+            match pop.step(&mut rng) {
+                StepOutcome::Unchanged => unchanged += 1,
+                StepOutcome::Changed => changed += 1,
+                StepOutcome::Silent => break,
+            }
+        }
+        assert!(changed > 0 && unchanged > 0, "both outcomes should occur");
+    }
+
+    #[test]
+    fn conservation_holds() {
+        let p = TableProtocol::new(3, "cycle")
+            .rule(0, 1, 1, 1)
+            .rule(1, 2, 2, 2)
+            .rule(2, 0, 0, 0);
+        let mut pop = AcceleratedPopulation::from_counts(p, &[30, 30, 40]);
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..3_000 {
+            if pop.step(&mut rng) == StepOutcome::Silent {
+                break;
+            }
+            assert_eq!(pop.counts().iter().sum::<u64>(), 100);
+        }
+    }
+}

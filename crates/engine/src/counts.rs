@@ -1,0 +1,523 @@
+//! Count-based simulation backend: agents are indistinguishable, so the
+//! configuration is fully described by the vector of per-state counts.
+//!
+//! Sampling an ordered pair of distinct agents uniformly at random is
+//! equivalent to sampling the initiator's state with probability `c_a / n`
+//! and then the responder's state with probability `c'_b / (n − 1)`, where
+//! `c'` is the count vector with one agent of the initiator's state removed.
+//! Both draws are `O(log k)` with a Fenwick tree over the counts, so memory
+//! and cache traffic are independent of `n` — this backend simulates
+//! populations of 10⁸ agents as cheaply as 10³.
+//!
+//! The per-step distribution is *identical* to the agent-array backend
+//! ([`crate::population::Population`]); a property test asserts the
+//! statistical equivalence.
+
+use crate::fenwick::Fenwick;
+use crate::protocol::Protocol;
+use crate::rng::SimRng;
+use crate::sim::{Simulator, StepOutcome};
+
+/// A population represented by per-state agent counts.
+///
+/// # Examples
+///
+/// ```
+/// use pp_engine::counts::CountPopulation;
+/// use pp_engine::protocol::TableProtocol;
+/// use pp_engine::rng::SimRng;
+/// use pp_engine::sim::{run_until, Simulator};
+///
+/// let p = TableProtocol::new(2, "epidemic").rule(1, 0, 1, 1).rule(0, 1, 1, 1);
+/// let mut pop = CountPopulation::from_counts(&p, &[999_999, 1]);
+/// let mut rng = SimRng::seed_from(0);
+/// let t = run_until(&mut pop, &mut rng, 100.0, 1024, |s| s.count(0) == 0);
+/// assert!(t.is_some(), "epidemic completes in O(log n) rounds");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountPopulation<P> {
+    protocol: P,
+    counts: Fenwick,
+    n: u64,
+    steps: u64,
+}
+
+impl<P: Protocol> CountPopulation<P> {
+    /// Creates a population with `counts[s]` agents in state `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is longer than the state space or the population
+    /// has fewer than 2 agents.
+    #[must_use]
+    pub fn from_counts(protocol: P, counts: &[u64]) -> Self {
+        let k = protocol.num_states();
+        assert!(counts.len() <= k, "more initial counts than states");
+        let n: u64 = counts.iter().sum();
+        assert!(n >= 2, "population must have at least 2 agents");
+        let mut full = vec![0u64; k];
+        full[..counts.len()].copy_from_slice(counts);
+        Self {
+            protocol,
+            counts: Fenwick::from_weights(&full),
+            n,
+            steps: 0,
+        }
+    }
+
+    /// Creates a population of `n` agents all in state `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` is out of range or `n < 2`.
+    #[must_use]
+    pub fn uniform(protocol: P, n: u64, init: usize) -> Self {
+        let k = protocol.num_states();
+        assert!(init < k, "initial state out of range");
+        let mut counts = vec![0u64; k];
+        counts[init] = n;
+        Self::from_counts(protocol, &counts)
+    }
+
+    /// The protocol being simulated.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Moves `how_many` agents from state `from` to state `to` without
+    /// consuming scheduler steps (test setups, external perturbations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `how_many` agents are in `from` or states are
+    /// out of range.
+    pub fn reassign(&mut self, from: usize, to: usize, how_many: u64) {
+        assert!(self.counts.get(from) >= how_many, "not enough agents in source state");
+        assert!(to < self.protocol.num_states());
+        self.counts.add(from, -(how_many as i64));
+        self.counts.add(to, how_many as i64);
+    }
+
+    /// Samples the states of a uniformly random ordered pair of distinct
+    /// agents without consuming a step.
+    fn sample_pair(&mut self, rng: &mut SimRng) -> (usize, usize) {
+        let a = self.counts.find(rng.below(self.n));
+        // Remove one agent of state `a`, sample the responder, restore.
+        self.counts.add(a, -1);
+        let b = self.counts.find(rng.below(self.n - 1));
+        self.counts.add(a, 1);
+        (a, b)
+    }
+}
+
+impl<P: Protocol> Simulator for CountPopulation<P> {
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn num_states(&self) -> usize {
+        self.protocol.num_states()
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn count(&self, state: usize) -> u64 {
+        self.counts.get(state)
+    }
+
+    fn counts(&self) -> Vec<u64> {
+        self.counts.to_weights()
+    }
+
+    fn step(&mut self, rng: &mut SimRng) -> StepOutcome {
+        let (a, b) = self.sample_pair(rng);
+        self.steps += 1;
+        let (a2, b2) = self.protocol.interact(a, b, rng);
+        if (a2, b2) == (a, b) {
+            return StepOutcome::Unchanged;
+        }
+        self.counts.add(a, -1);
+        self.counts.add(b, -1);
+        self.counts.add(a2, 1);
+        self.counts.add(b2, 1);
+        StepOutcome::Changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::Population;
+    use crate::sim::run_until;
+
+    fn epidemic() -> TableProtocol {
+        TableProtocol::new(2, "epidemic")
+            .rule(1, 0, 1, 1)
+            .rule(0, 1, 1, 1)
+    }
+
+    use crate::protocol::TableProtocol;
+
+    #[test]
+    fn conservation_of_population() {
+        let mut pop = CountPopulation::from_counts(epidemic(), &[500, 500]);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..5_000 {
+            pop.step(&mut rng);
+            assert_eq!(pop.counts().iter().sum::<u64>(), 1000);
+        }
+    }
+
+    #[test]
+    fn epidemic_completes() {
+        let mut pop = CountPopulation::from_counts(epidemic(), &[9_999, 1]);
+        let mut rng = SimRng::seed_from(2);
+        let t = run_until(&mut pop, &mut rng, 200.0, 64, |s| s.count(0) == 0)
+            .expect("epidemic completes");
+        assert!(t < 60.0, "epidemic took {t} rounds");
+    }
+
+    #[test]
+    fn pair_sampling_excludes_self_pair() {
+        // With exactly one agent in state 1, the ordered pair (1, 1) is
+        // impossible. Use a rule that only fires on (1, 1) and check it
+        // never fires.
+        let p = TableProtocol::new(2, "selfpair").rule(1, 1, 0, 0);
+        let mut pop = CountPopulation::from_counts(p, &[99, 1]);
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..20_000 {
+            pop.step(&mut rng);
+            assert_eq!(pop.count(1), 1);
+        }
+    }
+
+    #[test]
+    fn pair_sampling_allows_same_state_distinct_agents() {
+        let p = TableProtocol::new(2, "annihilate").rule(1, 1, 0, 0);
+        let mut pop = CountPopulation::from_counts(p, &[0, 11]);
+        let mut rng = SimRng::seed_from(4);
+        let t = run_until(&mut pop, &mut rng, 1000.0, 8, |s| s.count(1) <= 1);
+        assert!(t.is_some(), "pairwise annihilation should reduce to one");
+        assert_eq!(pop.count(1), 1, "odd survivor remains");
+    }
+
+    #[test]
+    fn matches_agent_array_statistics() {
+        // Two-way epidemic completion time distribution should agree between
+        // backends: compare means over repeated runs.
+        let runs = 30;
+        let mut t_counts = 0.0;
+        let mut t_agents = 0.0;
+        for seed in 0..runs {
+            let p = epidemic();
+            let mut a = CountPopulation::from_counts(&p, &[499, 1]);
+            let mut rng = SimRng::seed_from(1000 + seed);
+            t_counts += run_until(&mut a, &mut rng, 500.0, 1, |s| s.count(0) == 0).unwrap();
+
+            let p = epidemic();
+            let mut b = Population::from_counts(&p, &[499, 1]);
+            let mut rng = SimRng::seed_from(2000 + seed);
+            t_agents += run_until(&mut b, &mut rng, 500.0, 1, |s| s.count(0) == 0).unwrap();
+        }
+        let mean_c = t_counts / runs as f64;
+        let mean_a = t_agents / runs as f64;
+        let rel = (mean_c - mean_a).abs() / mean_a;
+        assert!(rel < 0.15, "backend means diverge: {mean_c} vs {mean_a}");
+    }
+
+    #[test]
+    fn reassign_moves_agents() {
+        let mut pop = CountPopulation::from_counts(epidemic(), &[10, 0]);
+        pop.reassign(0, 1, 4);
+        assert_eq!(pop.count(0), 6);
+        assert_eq!(pop.count(1), 4);
+        assert_eq!(pop.steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough agents")]
+    fn reassign_checks_source() {
+        let mut pop = CountPopulation::from_counts(epidemic(), &[2, 0]);
+        pop.reassign(0, 1, 3);
+    }
+}
+
+/// A population represented by a *sparse* map of per-state agent counts.
+///
+/// Protocol compositions over boolean flag spaces can have huge nominal
+/// state spaces (`2^18` and beyond) of which any reachable configuration
+/// occupies only a handful of states. The dense [`CountPopulation`] pays
+/// `O(k)` to build and `O(log k)` per step regardless; this backend stores
+/// only the occupied states, so construction is `O(occupied)` and each step
+/// is `O(occupied)` — orders of magnitude faster when `occupied ≪ k`.
+///
+/// The sampled process is identical in distribution to the dense backends.
+///
+/// # Examples
+///
+/// ```
+/// use pp_engine::counts::SparseCountPopulation;
+/// use pp_engine::protocol::TableProtocol;
+/// use pp_engine::rng::SimRng;
+/// use pp_engine::sim::{run_until, Simulator};
+///
+/// let p = TableProtocol::new(2, "epidemic").rule(1, 0, 1, 1).rule(0, 1, 1, 1);
+/// let mut pop = SparseCountPopulation::from_pairs(&p, &[(0, 999), (1, 1)]);
+/// let mut rng = SimRng::seed_from(0);
+/// let t = run_until(&mut pop, &mut rng, 200.0, 64, |s| s.count(0) == 0);
+/// assert!(t.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseCountPopulation<P> {
+    protocol: P,
+    /// Occupied states and their counts, in insertion order.
+    occupied: Vec<(usize, u64)>,
+    /// State → index into `occupied`.
+    index: std::collections::HashMap<usize, usize>,
+    n: u64,
+    steps: u64,
+}
+
+impl<P: Protocol> SparseCountPopulation<P> {
+    /// Creates a population from `(state, count)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state is out of range, a state repeats, or the total
+    /// population is smaller than 2.
+    #[must_use]
+    pub fn from_pairs(protocol: P, pairs: &[(usize, u64)]) -> Self {
+        let k = protocol.num_states();
+        let mut occupied = Vec::new();
+        let mut index = std::collections::HashMap::new();
+        let mut n = 0u64;
+        for &(state, count) in pairs {
+            assert!(state < k, "state {state} out of range");
+            if count == 0 {
+                continue;
+            }
+            assert!(
+                !index.contains_key(&state),
+                "state {state} listed twice"
+            );
+            index.insert(state, occupied.len());
+            occupied.push((state, count));
+            n += count;
+        }
+        assert!(n >= 2, "population must have at least 2 agents");
+        Self {
+            protocol,
+            occupied,
+            index,
+            n,
+            steps: 0,
+        }
+    }
+
+    /// Creates a population from a dense count vector (skipping zeros).
+    ///
+    /// # Panics
+    ///
+    /// As [`SparseCountPopulation::from_pairs`].
+    #[must_use]
+    pub fn from_dense(protocol: P, counts: &[u64]) -> Self {
+        let pairs: Vec<(usize, u64)> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(s, &c)| (s, c))
+            .collect();
+        Self::from_pairs(protocol, &pairs)
+    }
+
+    /// Number of distinct occupied states.
+    #[must_use]
+    pub fn occupied_states(&self) -> usize {
+        self.occupied.len()
+    }
+
+    /// Iterates over `(state, count)` pairs of occupied states.
+    pub fn iter_counts(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.occupied.iter().copied()
+    }
+
+    /// The dense count vector (mostly zeros; allocates `num_states`).
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.protocol.num_states()];
+        for &(s, c) in &self.occupied {
+            out[s] = c;
+        }
+        out
+    }
+
+    fn add(&mut self, state: usize, delta: i64) {
+        match self.index.get(&state) {
+            Some(&i) => {
+                let entry = &mut self.occupied[i];
+                entry.1 = (entry.1 as i64 + delta) as u64;
+                if entry.1 == 0 {
+                    // Swap-remove, fixing the moved entry's index.
+                    let last = self.occupied.len() - 1;
+                    self.occupied.swap(i, last);
+                    self.occupied.pop();
+                    self.index.remove(&state);
+                    if i < self.occupied.len() {
+                        let moved_state = self.occupied[i].0;
+                        self.index.insert(moved_state, i);
+                    }
+                }
+            }
+            None => {
+                assert!(delta > 0, "removing from empty state {state}");
+                self.index.insert(state, self.occupied.len());
+                self.occupied.push((state, delta as u64));
+            }
+        }
+    }
+
+    /// Samples a state by rank among `total` agents, excluding one agent of
+    /// `exclude` (pass `usize::MAX` to exclude nothing).
+    fn sample(&self, mut rank: u64, exclude: usize) -> usize {
+        for &(state, count) in &self.occupied {
+            let c = if state == exclude { count - 1 } else { count };
+            if rank < c {
+                return state;
+            }
+            rank -= c;
+        }
+        unreachable!("rank exceeded population");
+    }
+}
+
+impl<P: Protocol> Simulator for SparseCountPopulation<P> {
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn num_states(&self) -> usize {
+        self.protocol.num_states()
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn count(&self, state: usize) -> u64 {
+        self.index.get(&state).map_or(0, |&i| self.occupied[i].1)
+    }
+
+    fn counts(&self) -> Vec<u64> {
+        self.to_dense()
+    }
+
+    fn step(&mut self, rng: &mut SimRng) -> StepOutcome {
+        let a = self.sample(rng.below(self.n), usize::MAX);
+        let b = self.sample(rng.below(self.n - 1), a);
+        self.steps += 1;
+        let (a2, b2) = self.protocol.interact(a, b, rng);
+        if (a2, b2) == (a, b) {
+            return StepOutcome::Unchanged;
+        }
+        self.add(a, -1);
+        self.add(b, -1);
+        self.add(a2, 1);
+        self.add(b2, 1);
+        StepOutcome::Changed
+    }
+}
+
+#[cfg(test)]
+mod sparse_tests {
+    use super::*;
+    use crate::protocol::TableProtocol;
+    use crate::sim::run_until;
+
+    fn epidemic() -> TableProtocol {
+        TableProtocol::new(2, "epidemic")
+            .rule(1, 0, 1, 1)
+            .rule(0, 1, 1, 1)
+    }
+
+    #[test]
+    fn conservation_and_occupancy() {
+        let p = TableProtocol::new(3, "cycle")
+            .rule(0, 1, 1, 1)
+            .rule(1, 2, 2, 2)
+            .rule(2, 0, 0, 0);
+        let mut pop = SparseCountPopulation::from_pairs(&p, &[(0, 40), (1, 30), (2, 30)]);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..5_000 {
+            pop.step(&mut rng);
+            assert_eq!(pop.counts().iter().sum::<u64>(), 100);
+            assert!(pop.occupied_states() <= 3);
+        }
+    }
+
+    #[test]
+    fn matches_dense_backend_statistics() {
+        let runs = 25;
+        let mut t_sparse = 0.0;
+        let mut t_dense = 0.0;
+        for seed in 0..runs {
+            let p = epidemic();
+            let mut a = SparseCountPopulation::from_pairs(&p, &[(0, 499), (1, 1)]);
+            let mut rng = SimRng::seed_from(4_000 + seed);
+            t_sparse += run_until(&mut a, &mut rng, 500.0, 1, |s| s.count(0) == 0).unwrap();
+
+            let p = epidemic();
+            let mut b = CountPopulation::from_counts(&p, &[499, 1]);
+            let mut rng = SimRng::seed_from(8_000 + seed);
+            t_dense += run_until(&mut b, &mut rng, 500.0, 1, |s| s.count(0) == 0).unwrap();
+        }
+        let ms = t_sparse / runs as f64;
+        let md = t_dense / runs as f64;
+        assert!(
+            (ms - md).abs() / md < 0.15,
+            "sparse {ms} vs dense {md} completion times"
+        );
+    }
+
+    #[test]
+    fn empty_states_are_dropped_and_revived() {
+        let p = TableProtocol::new(3, "move")
+            .rule(0, 0, 1, 1)
+            .rule(1, 1, 2, 2)
+            .rule(2, 2, 0, 0);
+        let mut pop = SparseCountPopulation::from_pairs(&p, &[(0, 4)]);
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..200 {
+            pop.step(&mut rng);
+        }
+        assert_eq!(pop.counts().iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn from_dense_skips_zeros() {
+        let p = epidemic();
+        let pop = SparseCountPopulation::from_dense(&p, &[0, 5]);
+        assert_eq!(pop.occupied_states(), 1);
+        assert_eq!(pop.count(1), 5);
+        assert_eq!(pop.count(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_states_rejected() {
+        let p = epidemic();
+        let _ = SparseCountPopulation::from_pairs(&p, &[(1, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn pair_sampling_excludes_self() {
+        let p = TableProtocol::new(2, "selfpair").rule(1, 1, 0, 0);
+        let mut pop = SparseCountPopulation::from_pairs(&p, &[(0, 50), (1, 1)]);
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..5_000 {
+            pop.step(&mut rng);
+            assert_eq!(pop.count(1), 1);
+        }
+    }
+}

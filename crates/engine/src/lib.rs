@@ -1,0 +1,63 @@
+//! # pp-engine — simulation substrate for population protocols
+//!
+//! This crate provides everything needed to *run* population protocols, the
+//! model of Angluin et al. in which `n` indistinguishable finite-state agents
+//! interact in randomly scheduled pairs. It is the foundation of the
+//! reproduction of *Population Protocols Are Fast* (Kosowski & Uznański,
+//! PODC 2018): the protocol crates define transition functions, and this
+//! crate supplies exact schedulers, fast simulation backends, the mean-field
+//! (continuous-limit) integrator, measurement observers, statistics, and a
+//! parallel sweep harness.
+//!
+//! ## Backends
+//!
+//! | Backend | Representation | Per-step cost | Use case |
+//! |---|---|---|---|
+//! | [`population::Population`] | explicit agent array | `O(1)` | per-agent inspection, matching scheduler |
+//! | [`counts::CountPopulation`] | state-count vector + Fenwick | `O(log k)` | very large `n` |
+//! | [`accel::AcceleratedPopulation`] | count vector + reactivity | `O(k)` per *reactive* step | sparse dynamics, silence detection |
+//! | [`matching::MatchingPopulation`] | agent array | `O(n)` per round | random-matching scheduler (§5.3) |
+//! | [`meanfield`] | fraction vector | `O(k²)` per ODE step | `n → ∞` limit |
+//!
+//! All stochastic backends implement the same distribution over runs; the
+//! accelerated backend is exact because it only skips interactions that
+//! provably cannot change state.
+//!
+//! ## Example
+//!
+//! ```
+//! use pp_engine::counts::CountPopulation;
+//! use pp_engine::protocol::TableProtocol;
+//! use pp_engine::rng::SimRng;
+//! use pp_engine::sim::{run_until, Simulator};
+//!
+//! // Two-way epidemic: one informed agent informs everyone in O(log n) rounds.
+//! let p = TableProtocol::new(2, "epidemic").rule(1, 0, 1, 1).rule(0, 1, 1, 1);
+//! let mut pop = CountPopulation::from_counts(&p, &[99_999, 1]);
+//! let mut rng = SimRng::seed_from(7);
+//! let t = run_until(&mut pop, &mut rng, 100.0, 256, |s| s.count(0) == 0)
+//!     .expect("epidemic completes");
+//! assert!(t < 60.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod accel;
+pub mod counts;
+pub mod fenwick;
+pub mod matching;
+pub mod meanfield;
+pub mod obj;
+pub mod observe;
+pub mod population;
+pub mod protocol;
+pub mod report;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod sweep;
+
+pub use protocol::{Protocol, ProtocolSpec};
+pub use rng::SimRng;
+pub use sim::{run_rounds, run_until, Simulator, StepOutcome};

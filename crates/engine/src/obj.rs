@@ -1,0 +1,270 @@
+//! Agent-array simulation over arbitrary structured states.
+//!
+//! The dense-index [`crate::protocol::Protocol`] interface is ideal for
+//! small state spaces, but compositions such as the paper's clock hierarchy
+//! (oscillator × detector × counter × current/new copies × triggers, per
+//! level) have product state spaces far too large to enumerate, while any
+//! *reachable* configuration only ever touches a tiny fraction. This backend
+//! stores each agent's state as a plain Rust value and never enumerates the
+//! space.
+
+use crate::rng::SimRng;
+
+/// A population protocol over structured states.
+///
+/// Like [`crate::protocol::Protocol`], an implementation must be a
+/// deterministic function of the input pair and the RNG stream.
+pub trait ObjProtocol {
+    /// Per-agent state.
+    type State: Clone + PartialEq + std::fmt::Debug;
+
+    /// Applies one interaction to the ordered pair, returning successors.
+    fn interact(
+        &self,
+        a: &Self::State,
+        b: &Self::State,
+        rng: &mut SimRng,
+    ) -> (Self::State, Self::State);
+}
+
+impl<P: ObjProtocol + ?Sized> ObjProtocol for &P {
+    type State = P::State;
+
+    fn interact(
+        &self,
+        a: &Self::State,
+        b: &Self::State,
+        rng: &mut SimRng,
+    ) -> (Self::State, Self::State) {
+        (**self).interact(a, b, rng)
+    }
+}
+
+/// An agent-array population over structured states.
+///
+/// # Examples
+///
+/// ```
+/// use pp_engine::obj::{ObjPopulation, ObjProtocol};
+/// use pp_engine::rng::SimRng;
+///
+/// struct MaxProto;
+/// impl ObjProtocol for MaxProto {
+///     type State = u64;
+///     fn interact(&self, a: &u64, b: &u64, _rng: &mut SimRng) -> (u64, u64) {
+///         let m = (*a).max(*b);
+///         (m, m)
+///     }
+/// }
+///
+/// let mut pop = ObjPopulation::new(MaxProto, (0..16u64).collect());
+/// let mut rng = SimRng::seed_from(0);
+/// pop.run_rounds(50.0, &mut rng);
+/// assert!(pop.iter().all(|s| *s == 15), "max spreads to everyone");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ObjPopulation<P: ObjProtocol> {
+    protocol: P,
+    agents: Vec<P::State>,
+    steps: u64,
+}
+
+impl<P: ObjProtocol> ObjPopulation<P> {
+    /// Creates a population from explicit initial agent states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 agents are given.
+    #[must_use]
+    pub fn new(protocol: P, agents: Vec<P::State>) -> Self {
+        assert!(agents.len() >= 2, "population must have at least 2 agents");
+        Self {
+            protocol,
+            agents,
+            steps: 0,
+        }
+    }
+
+    /// Creates a population of `n` agents, each initialized by `init(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn from_fn(protocol: P, n: usize, init: impl FnMut(usize) -> P::State) -> Self {
+        Self::new(protocol, (0..n).map(init).collect())
+    }
+
+    /// Population size.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Interactions executed so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Parallel time elapsed (`steps / n`).
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        self.steps as f64 / self.agents.len() as f64
+    }
+
+    /// The protocol.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// State of agent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn agent(&self, i: usize) -> &P::State {
+        &self.agents[i]
+    }
+
+    /// Iterates over agent states.
+    pub fn iter(&self) -> impl Iterator<Item = &P::State> + '_ {
+        self.agents.iter()
+    }
+
+    /// Counts agents satisfying a predicate.
+    pub fn count_where(&self, mut pred: impl FnMut(&P::State) -> bool) -> u64 {
+        self.agents.iter().filter(|s| pred(s)).count() as u64
+    }
+
+    /// Performs one asynchronous-scheduler interaction.
+    pub fn step(&mut self, rng: &mut SimRng) {
+        let n = self.agents.len();
+        let i = rng.index(n);
+        let mut j = rng.index(n - 1);
+        if j >= i {
+            j += 1;
+        }
+        self.steps += 1;
+        let (a2, b2) = self.protocol.interact(&self.agents[i], &self.agents[j], rng);
+        self.agents[i] = a2;
+        self.agents[j] = b2;
+    }
+
+    /// Runs for `rounds` parallel rounds.
+    pub fn run_rounds(&mut self, rounds: f64, rng: &mut SimRng) {
+        let target = self.steps + (rounds * self.agents.len() as f64).ceil() as u64;
+        while self.steps < target {
+            self.step(rng);
+        }
+    }
+
+    /// Runs until `stop` holds (checked every `check_every` steps) or
+    /// `max_rounds` elapse; returns the time `stop` first held.
+    pub fn run_until(
+        &mut self,
+        rng: &mut SimRng,
+        max_rounds: f64,
+        check_every: u64,
+        mut stop: impl FnMut(&Self) -> bool,
+    ) -> Option<f64> {
+        let check_every = check_every.max(1);
+        if stop(self) {
+            return Some(self.time());
+        }
+        let limit = self.steps + (max_rounds * self.agents.len() as f64).ceil() as u64;
+        let mut next = self.steps + check_every;
+        while self.steps < limit {
+            self.step(rng);
+            if self.steps >= next {
+                if stop(self) {
+                    return Some(self.time());
+                }
+                next = self.steps + check_every;
+            }
+        }
+        None
+    }
+
+    /// One synchronous random-matching round: a fresh uniform matching, one
+    /// interaction per pair with random orientation (⌊n/2⌋ interactions).
+    pub fn matching_round(&mut self, rng: &mut SimRng) {
+        let n = self.agents.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.index(i + 1);
+            order.swap(i, j);
+        }
+        for pair in order.chunks_exact(2) {
+            let (mut i, mut j) = (pair[0] as usize, pair[1] as usize);
+            if rng.chance(0.5) {
+                std::mem::swap(&mut i, &mut j);
+            }
+            self.steps += 1;
+            let (a2, b2) = self.protocol.interact(&self.agents[i], &self.agents[j], rng);
+            self.agents[i] = a2;
+            self.agents[j] = b2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Annihilate;
+    impl ObjProtocol for Annihilate {
+        type State = bool;
+        fn interact(&self, a: &bool, b: &bool, _rng: &mut SimRng) -> (bool, bool) {
+            if *a && *b {
+                (true, false)
+            } else {
+                (*a, *b)
+            }
+        }
+    }
+
+    #[test]
+    fn fratricide_over_structs() {
+        let mut pop = ObjPopulation::from_fn(Annihilate, 64, |_| true);
+        let mut rng = SimRng::seed_from(1);
+        let t = pop.run_until(&mut rng, 1e5, 4, |p| p.count_where(|&s| s) == 1);
+        assert!(t.is_some());
+        assert_eq!(pop.count_where(|&s| s), 1);
+    }
+
+    #[test]
+    fn steps_and_time_track() {
+        let mut pop = ObjPopulation::from_fn(Annihilate, 10, |_| false);
+        let mut rng = SimRng::seed_from(2);
+        pop.run_rounds(3.0, &mut rng);
+        assert_eq!(pop.steps(), 30);
+        assert!((pop.time() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matching_round_touches_half_pairs() {
+        let mut pop = ObjPopulation::from_fn(Annihilate, 9, |_| true);
+        let mut rng = SimRng::seed_from(3);
+        pop.matching_round(&mut rng);
+        assert_eq!(pop.steps(), 4, "⌊9/2⌋ interactions");
+        // Each matched pair annihilates one: exactly 4 lost.
+        assert_eq!(pop.count_where(|&s| s), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 agents")]
+    fn rejects_tiny_population() {
+        let _ = ObjPopulation::new(Annihilate, vec![true]);
+    }
+
+    #[test]
+    fn from_fn_passes_index() {
+        let pop = ObjPopulation::from_fn(Annihilate, 4, |i| i % 2 == 0);
+        assert_eq!(pop.count_where(|&s| s), 2);
+        assert!(*pop.agent(0));
+        assert!(!*pop.agent(1));
+    }
+}

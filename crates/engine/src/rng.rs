@@ -1,0 +1,455 @@
+//! Deterministic, fast random number generation for simulations.
+//!
+//! Simulation results must be reproducible across runs and platforms, and the
+//! inner interaction loop samples the generator several times per event. We
+//! therefore ship a small, well-known generator — xoshiro256\*\* seeded via
+//! SplitMix64 — rather than depending on the platform entropy source. The
+//! generator implements [`rand::RngCore`], so the whole `rand` combinator
+//! ecosystem works on top of it.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_engine::rng::SimRng;
+//! use rand::Rng;
+//!
+//! let mut rng = SimRng::seed_from(42);
+//! let x: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! ```
+
+use rand::{Error, RngCore, SeedableRng};
+
+/// SplitMix64 stepper, used to expand a 64-bit seed into xoshiro state.
+///
+/// This is the seeding procedure recommended by the xoshiro authors: it
+/// guarantees that even adjacent integer seeds produce well-separated,
+/// non-degenerate initial states.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The simulation RNG: xoshiro256\*\* (Blackman & Vigna).
+///
+/// Passes BigCrush, has a 2²⁵⁶−1 period, and needs only four 64-bit words of
+/// state, so cloning one per sweep worker is free. Not cryptographically
+/// secure — fine for Monte-Carlo simulation, wrong for secrets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    ///
+    /// Two different seeds yield statistically independent streams for
+    /// simulation purposes.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // All-zero state is the one forbidden fixed point; SplitMix64 cannot
+        // produce four consecutive zeros, but guard anyway.
+        debug_assert!(s.iter().any(|&w| w != 0));
+        Self { s }
+    }
+
+    /// Derives an independent child generator, e.g. one per sweep task.
+    ///
+    /// The child is seeded from fresh output of `self`, so distinct calls
+    /// yield distinct streams while keeping the parent deterministic.
+    #[must_use]
+    pub fn fork(&mut self) -> Self {
+        Self::seed_from(self.next_u64())
+    }
+
+    /// Returns a uniformly random value in `0..bound`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is branch-light
+    /// and unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a positive bound");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            // Rejection zone for exact uniformity.
+            let t = bound.wrapping_neg() % bound;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniformly random `usize` in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// `p` outside `[0, 1]` is clamped.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples a binomial random variable `Binomial(count, p)`.
+    ///
+    /// Exact for `p = 1/2` up to `count ≤ 4096` (bit-counting) and for any
+    /// `p` up to `count ≤ 1024` (Bernoulli counting); larger counts use the
+    /// normal approximation with continuity correction, whose error is
+    /// negligible at the population sizes simulated here (the approximation
+    /// is only taken when `count·p·(1−p) > 250`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn binomial(&mut self, count: u64, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "binomial p out of [0, 1]");
+        if count == 0 || p == 0.0 {
+            return 0;
+        }
+        if p == 1.0 {
+            return count;
+        }
+        #[allow(clippy::float_cmp)]
+        if p == 0.5 && count <= 4096 {
+            let mut total = 0u64;
+            let mut remaining = count;
+            while remaining >= 64 {
+                total += u64::from(self.next_u64().count_ones());
+                remaining -= 64;
+            }
+            if remaining > 0 {
+                let mask = (1u64 << remaining) - 1;
+                total += u64::from((self.next_u64() & mask).count_ones());
+            }
+            return total;
+        }
+        if count <= 1024 {
+            return (0..count).filter(|_| self.chance(p)).count() as u64;
+        }
+        // Normal approximation.
+        let mean = count as f64 * p;
+        let sd = (count as f64 * p * (1.0 - p)).sqrt();
+        let z = self.normal();
+        let sample = (mean + sd * z).round();
+        sample.clamp(0.0, count as f64) as u64
+    }
+
+    /// Samples a standard normal via the Box–Muller transform.
+    #[inline]
+    pub fn normal(&mut self) -> f64 {
+        let u1 = loop {
+            let u = self.f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Samples a geometric random variable: the number of independent
+    /// Bernoulli(`p`) failures before the first success (support `0, 1, …`).
+    ///
+    /// Used by the no-op leaping accelerator to jump over silent interaction
+    /// stretches in one step. For very small `p` this uses the inversion
+    /// formula `⌊ln U / ln(1−p)⌋`, which is exact in distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p <= 0` or `p > 1`.
+    #[inline]
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "geometric() requires p in (0, 1]");
+        if p >= 1.0 {
+            return 0;
+        }
+        // Inversion: P(X >= k) = (1-p)^k.
+        let u = loop {
+            let u = self.f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let k = (u.ln() / (1.0 - p).ln()).floor();
+        if k >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            k as u64
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256** scrambler.
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for SimRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        if s.iter().all(|&w| w == 0) {
+            return Self::seed_from(0);
+        }
+        Self { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        Self::seed_from(state)
+    }
+}
+
+impl Default for SimRng {
+    fn default() -> Self {
+        Self::seed_from(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut rng = SimRng::seed_from(99);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            let v = rng.below(10);
+            assert!(v < 10);
+            buckets[v as usize] += 1;
+        }
+        for &b in &buckets {
+            // Expected 1000 per bucket; 5 sigma ≈ 150.
+            assert!((850..1150).contains(&b), "bucket count {b} out of range");
+        }
+    }
+
+    #[test]
+    fn below_handles_bound_one() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..100 {
+            assert_eq!(rng.below(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn below_zero_panics() {
+        SimRng::seed_from(0).below(0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut rng = SimRng::seed_from(11);
+        let hits = (0..100_000).filter(|_| rng.chance(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        let mut rng = SimRng::seed_from(13);
+        let p = 0.01;
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| rng.geometric(p)).sum();
+        let mean = total as f64 / n as f64;
+        let expected = (1.0 - p) / p; // 99
+        assert!(
+            (mean - expected).abs() < expected * 0.1,
+            "mean {mean}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn geometric_with_p_one_is_zero() {
+        let mut rng = SimRng::seed_from(17);
+        assert_eq!(rng.geometric(1.0), 0);
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = SimRng::seed_from(19);
+        assert_eq!(rng.binomial(0, 0.5), 0);
+        assert_eq!(rng.binomial(100, 0.0), 0);
+        assert_eq!(rng.binomial(100, 1.0), 100);
+        for _ in 0..100 {
+            assert!(rng.binomial(10, 0.5) <= 10);
+        }
+    }
+
+    #[test]
+    fn binomial_mean_and_variance_small() {
+        let mut rng = SimRng::seed_from(21);
+        let trials = 20_000;
+        let total: u64 = (0..trials).map(|_| rng.binomial(100, 0.5)).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 50.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_mean_large_normal_regime() {
+        let mut rng = SimRng::seed_from(23);
+        let trials = 2_000;
+        let total: u64 = (0..trials).map(|_| rng.binomial(1_000_000, 0.3)).sum();
+        let mean = total as f64 / trials as f64;
+        let expect = 300_000.0;
+        assert!(
+            (mean - expect).abs() < expect * 0.001,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn normal_has_zero_mean_unit_variance() {
+        let mut rng = SimRng::seed_from(27);
+        let samples: Vec<f64> = (0..50_000).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut parent = SimRng::seed_from(23);
+        let mut child = parent.fork();
+        let a: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rand_trait_integration() {
+        let mut rng = SimRng::seed_from(31);
+        let x: f64 = rng.gen_range(0.0..10.0);
+        assert!((0.0..10.0).contains(&x));
+        let y: u32 = rng.gen_range(0..7);
+        assert!(y < 7);
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = SimRng::seed_from(41);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn seedable_from_seed_roundtrip() {
+        let seed = [7u8; 32];
+        let mut a = SimRng::from_seed(seed);
+        let mut b = SimRng::from_seed(seed);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn all_zero_seed_is_recovered() {
+        let mut rng = SimRng::from_seed([0u8; 32]);
+        // Must not get stuck at zero.
+        assert_ne!(rng.next_u64() | rng.next_u64(), 0);
+    }
+}

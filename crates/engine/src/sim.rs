@@ -1,0 +1,178 @@
+//! Common simulator interface shared by the agent-array and count-based
+//! backends, plus generic run loops.
+//!
+//! A *step* is one interaction of an ordered agent pair under the standard
+//! asynchronous scheduler (uniform over the `n(n−1)` ordered pairs). The
+//! standard *parallel time* measure is `steps / n`, reported by
+//! [`Simulator::time`]; one unit is called a *round*.
+
+use crate::observe::Observer;
+use crate::rng::SimRng;
+
+/// Result of advancing a simulator by one scheduler activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The interaction changed at least one agent's state.
+    Changed,
+    /// The interaction was a no-op (identity transition).
+    Unchanged,
+    /// The configuration is *silent*: no reachable interaction can change any
+    /// state, so the simulation is finished. Only backends that track
+    /// reactivity (the accelerated one) report this.
+    Silent,
+}
+
+/// Common interface over population-protocol simulation backends.
+///
+/// Implementations: [`crate::population::Population`] (explicit agent
+/// array), [`crate::counts::CountPopulation`] (state-count vector with
+/// Fenwick sampling), [`crate::accel::AcceleratedPopulation`] (count vector
+/// with exact no-op leaping).
+pub trait Simulator {
+    /// Population size `n`.
+    fn n(&self) -> u64;
+
+    /// Number of protocol states.
+    fn num_states(&self) -> usize;
+
+    /// Interactions executed so far. Backends that leap over provably
+    /// silent interactions still count them here.
+    fn steps(&self) -> u64;
+
+    /// Parallel time elapsed: `steps / n` rounds.
+    fn time(&self) -> f64 {
+        self.steps() as f64 / self.n() as f64
+    }
+
+    /// Number of agents currently in `state`.
+    fn count(&self, state: usize) -> u64;
+
+    /// Snapshot of all state counts.
+    fn counts(&self) -> Vec<u64> {
+        (0..self.num_states()).map(|s| self.count(s)).collect()
+    }
+
+    /// Executes one scheduler activation.
+    fn step(&mut self, rng: &mut SimRng) -> StepOutcome;
+
+    /// Sum of counts over a set of states (a "boolean formula" count).
+    fn count_any(&self, states: &[usize]) -> u64 {
+        states.iter().map(|&s| self.count(s)).sum()
+    }
+}
+
+/// Runs `sim` for a given number of parallel rounds (i.e. `rounds * n`
+/// interactions), notifying `observers` after every step.
+///
+/// Returns early if the simulation becomes silent, returning the number of
+/// rounds actually simulated.
+pub fn run_rounds<S: Simulator>(
+    sim: &mut S,
+    rounds: f64,
+    rng: &mut SimRng,
+    observers: &mut [&mut dyn Observer],
+) -> f64 {
+    let start = sim.steps();
+    let target = start + (rounds * sim.n() as f64).ceil() as u64;
+    while sim.steps() < target {
+        let outcome = sim.step(rng);
+        for obs in observers.iter_mut() {
+            obs.observe(sim.steps(), sim);
+        }
+        if outcome == StepOutcome::Silent {
+            break;
+        }
+    }
+    (sim.steps() - start) as f64 / sim.n() as f64
+}
+
+/// Runs `sim` until `stop` returns true (checked every `check_every` steps)
+/// or `max_rounds` elapse. Returns the parallel time at which `stop` first
+/// held, or `None` on timeout.
+///
+/// The predicate is evaluated on the simulator state, so it can inspect any
+/// counts. `check_every = 0` is treated as 1.
+pub fn run_until<S, F>(
+    sim: &mut S,
+    rng: &mut SimRng,
+    max_rounds: f64,
+    check_every: u64,
+    mut stop: F,
+) -> Option<f64>
+where
+    S: Simulator + ?Sized,
+    F: FnMut(&S) -> bool,
+{
+    let check_every = check_every.max(1);
+    let limit = sim.steps() + (max_rounds * sim.n() as f64).ceil() as u64;
+    if stop(sim) {
+        return Some(sim.time());
+    }
+    let mut next_check = sim.steps() + check_every;
+    while sim.steps() < limit {
+        let outcome = sim.step(rng);
+        if sim.steps() >= next_check || outcome == StepOutcome::Silent {
+            if stop(sim) {
+                return Some(sim.time());
+            }
+            next_check = sim.steps() + check_every;
+            if outcome == StepOutcome::Silent {
+                return None;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::Population;
+    use crate::protocol::TableProtocol;
+
+    fn epidemic() -> TableProtocol {
+        TableProtocol::new(2, "epidemic")
+            .rule(1, 0, 1, 1)
+            .rule(0, 1, 1, 1)
+    }
+
+    #[test]
+    fn run_rounds_advances_time() {
+        let p = epidemic();
+        let mut pop = Population::from_counts(&p, &[99, 1]);
+        let mut rng = SimRng::seed_from(1);
+        let ran = run_rounds(&mut pop, 3.0, &mut rng, &mut []);
+        assert!((ran - 3.0).abs() < 0.02);
+        assert_eq!(pop.steps(), 300);
+    }
+
+    #[test]
+    fn run_until_detects_epidemic_completion() {
+        let p = epidemic();
+        let mut pop = Population::from_counts(&p, &[999, 1]);
+        let mut rng = SimRng::seed_from(2);
+        let t = run_until(&mut pop, &mut rng, 200.0, 16, |s| s.count(0) == 0)
+            .expect("epidemic should finish");
+        // One-way epidemic completes in Θ(log n) rounds; generous envelope.
+        assert!(t > 1.0 && t < 100.0, "completion time {t}");
+    }
+
+    #[test]
+    fn run_until_times_out() {
+        let p = TableProtocol::new(2, "noop");
+        let mut pop = Population::from_counts(&p, &[5, 5]);
+        let mut rng = SimRng::seed_from(3);
+        let t = run_until(&mut pop, &mut rng, 1.0, 1, |s| s.count(0) == 0);
+        assert_eq!(t, None);
+    }
+
+    #[test]
+    fn run_until_immediate_hit_costs_no_steps() {
+        let p = epidemic();
+        let mut pop = Population::from_counts(&p, &[0, 10]);
+        let mut rng = SimRng::seed_from(4);
+        let t = run_until(&mut pop, &mut rng, 10.0, 1, |s| s.count(0) == 0);
+        assert_eq!(t, Some(0.0));
+        assert_eq!(pop.steps(), 0);
+    }
+}

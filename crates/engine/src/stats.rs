@@ -1,0 +1,256 @@
+//! Summary statistics and regression fits for experiment harnesses.
+//!
+//! The reproduction verifies *scaling claims* ("convergence in `O(log² n)`
+//! rounds"), so the primary tools are quantile summaries over repeated runs
+//! and least-squares fits of measured times against powers of `log n` (or
+//! `n^ε`) on transformed axes.
+
+/// Summary of a sample: mean, standard deviation, and quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains NaN.
+    #[must_use]
+    pub fn of(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "cannot summarize an empty sample");
+        assert!(data.iter().all(|x| !x.is_nan()), "sample contains NaN");
+        let count = data.len();
+        let mean = data.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Self {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            median: quantile_sorted(&sorted, 0.5),
+            p90: quantile_sorted(&sorted, 0.9),
+            max: sorted[count - 1],
+        }
+    }
+}
+
+/// Returns the `q`-quantile of pre-sorted data by linear interpolation.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `q` outside `[0, 1]`.
+#[must_use]
+pub fn quantile_sorted(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty());
+    assert!((0.0..=1.0).contains(&q));
+    if data.len() == 1 {
+        return data[0];
+    }
+    let pos = q * (data.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    data[lo] * (1.0 - frac) + data[hi] * frac
+}
+
+/// Result of an ordinary least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+/// Fits a least-squares line through `(x, y)` pairs.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 points are given or all `x` are identical.
+#[must_use]
+pub fn fit_line(points: &[(f64, f64)]) -> LineFit {
+    assert!(points.len() >= 2, "line fit needs at least 2 points");
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    assert!(sxx > 0.0, "all x values identical");
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - my).powi(2)).sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Estimates the exponent `β` in `y ≈ C·(log₂ x)^β` by fitting a line on
+/// `(ln ln x, ln y)`.
+///
+/// This is the workhorse for verifying polylogarithmic-time claims:
+/// `O(log² n)` convergence should produce `β ≈ 2` over a wide range of `n`.
+///
+/// # Panics
+///
+/// Panics if any `x ≤ 2` or `y ≤ 0`, or fewer than 2 points.
+#[must_use]
+pub fn fit_polylog_exponent(points: &[(f64, f64)]) -> LineFit {
+    let transformed: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 2.0, "polylog fit requires x > 2");
+            assert!(y > 0.0, "polylog fit requires y > 0");
+            (x.log2().ln(), y.ln())
+        })
+        .collect();
+    fit_line(&transformed)
+}
+
+/// Estimates the exponent `β` in `y ≈ C·x^β` by fitting a line on
+/// `(ln x, ln y)` — for polynomial-time claims such as `T = O(n^ε)`.
+///
+/// # Panics
+///
+/// Panics if any coordinate is non-positive, or fewer than 2 points.
+#[must_use]
+pub fn fit_power_exponent(points: &[(f64, f64)]) -> LineFit {
+    let transformed: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "power fit requires positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    fit_line(&transformed)
+}
+
+/// Two-sided binomial confidence check: is observing `successes` out of
+/// `trials` consistent with success probability at least `p_min`?
+///
+/// Uses the normal approximation with continuity correction at the given
+/// number of standard deviations `z` (e.g. 3.0 ≈ 99.7%). Used to verify
+/// "w.h.p. correct" claims with bounded sample sizes.
+#[must_use]
+pub fn consistent_with_rate(successes: u64, trials: u64, p_min: f64, z: f64) -> bool {
+    if trials == 0 {
+        return true;
+    }
+    let n = trials as f64;
+    let expect = p_min * n;
+    let sd = (n * p_min * (1.0 - p_min)).sqrt();
+    successes as f64 + 0.5 >= expect - z * sd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [0.0, 10.0];
+        assert!((quantile_sorted(&data, 0.25) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&data, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&data, 1.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn line_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 1.0)).collect();
+        let fit = fit_line(&pts);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polylog_fit_recovers_exponent() {
+        // y = 5 (log2 x)^2.
+        let pts: Vec<(f64, f64)> = (4..14)
+            .map(|e| {
+                let x = (1u64 << e) as f64;
+                (x, 5.0 * x.log2().powi(2))
+            })
+            .collect();
+        let fit = fit_polylog_exponent(&pts);
+        assert!((fit.slope - 2.0).abs() < 1e-9, "slope {}", fit.slope);
+    }
+
+    #[test]
+    fn power_fit_recovers_exponent() {
+        // y = 2 x^0.5.
+        let pts: Vec<(f64, f64)> = (1..20)
+            .map(|i| {
+                let x = 100.0 * i as f64;
+                (x, 2.0 * x.sqrt())
+            })
+            .collect();
+        let fit = fit_power_exponent(&pts);
+        assert!((fit.slope - 0.5).abs() < 1e-9, "slope {}", fit.slope);
+    }
+
+    #[test]
+    fn rate_consistency_accepts_good_rates() {
+        assert!(consistent_with_rate(97, 100, 0.95, 3.0));
+        assert!(consistent_with_rate(100, 100, 0.99, 3.0));
+    }
+
+    #[test]
+    fn rate_consistency_rejects_bad_rates() {
+        assert!(!consistent_with_rate(50, 100, 0.95, 3.0));
+        assert!(!consistent_with_rate(0, 100, 0.5, 3.0));
+    }
+
+    #[test]
+    fn rate_consistency_trivial_cases() {
+        assert!(consistent_with_rate(0, 0, 0.99, 3.0));
+        // Tiny samples are almost always consistent.
+        assert!(consistent_with_rate(1, 1, 0.9, 3.0));
+    }
+}

@@ -1,0 +1,472 @@
+//! Abstract syntax of the paper's sequential programming language
+//! (Section 2.1).
+//!
+//! A program is a collection of *threads* over a shared pool of boolean
+//! state variables. Each structured thread is an implicit outermost
+//! `repeat:` loop around a body built from:
+//!
+//! * `if exists (Σ): […] else: […]` — branching on whether any agent in the
+//!   population satisfies `Σ`;
+//! * `repeat ≥ c ln n times: […]` — nested bounded loops;
+//! * `X := Σ` — population-wide assignment (each agent sets `X` to the
+//!   value of `Σ` on its own variables); the paper also uses the randomized
+//!   form `X := {on, off} chosen uniformly at random`;
+//! * `execute for ≥ c ln n rounds ruleset: […]` — run a plain ruleset
+//!   under a fair scheduler for a logarithmic number of rounds.
+//!
+//! *Raw threads* (`execute ruleset:` forever) run a fixed ruleset
+//! continuously in composition with everything else — the paper uses these
+//! for `FilteredCoin`, `ReduceSets`, and the slow blackboxes of the exact
+//! protocols.
+
+use pp_rules::{Guard, Ruleset, Var, VarSet};
+use std::fmt::Write as _;
+
+/// Right-hand side of an assignment instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssignValue {
+    /// `X := Σ` for a boolean formula `Σ` on local variables.
+    Formula(Guard),
+    /// `X := {on, off} chosen uniformly at random` (a fresh coin per
+    /// agent).
+    RandomBit,
+}
+
+/// One instruction of a structured thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `if exists (cond): then_branch else: else_branch`.
+    IfExists {
+        /// The existential condition on local state variables.
+        cond: Guard,
+        /// Instructions executed when some agent satisfies `cond`.
+        then_branch: Vec<Instr>,
+        /// Instructions executed otherwise (may be empty).
+        else_branch: Vec<Instr>,
+    },
+    /// `repeat ≥ c ln n times: body`.
+    RepeatLog {
+        /// The constant `c` in the iteration count `c ln n`.
+        c: u32,
+        /// Loop body.
+        body: Vec<Instr>,
+    },
+    /// `execute for ≥ c ln n rounds ruleset: rules`.
+    Execute {
+        /// The constant `c` in the duration `c ln n` rounds.
+        c: u32,
+        /// The rules to run under a fair scheduler.
+        ruleset: Ruleset,
+    },
+    /// `var := value` applied to every agent.
+    Assign {
+        /// The variable being assigned.
+        var: Var,
+        /// The assigned value.
+        value: AssignValue,
+    },
+}
+
+/// A thread: either structured code (wrapped in an implicit outer
+/// `repeat:`) or a raw forever-ruleset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Thread {
+    /// A structured thread with a name and a body.
+    Structured {
+        /// Thread name (for display).
+        name: String,
+        /// The body of the implicit outermost `repeat:` loop.
+        body: Vec<Instr>,
+    },
+    /// A raw thread executing a fixed ruleset forever.
+    Raw {
+        /// Thread name (for display).
+        name: String,
+        /// The continuously running ruleset.
+        ruleset: Ruleset,
+    },
+}
+
+impl Thread {
+    /// The thread's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Thread::Structured { name, .. } | Thread::Raw { name, .. } => name,
+        }
+    }
+}
+
+/// A complete protocol formulation in the framework.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Protocol name.
+    pub name: String,
+    /// The shared variable pool.
+    pub vars: VarSet,
+    /// Variables whose initial values encode the input (never modified by
+    /// well-formed programs).
+    pub inputs: Vec<Var>,
+    /// Variables carrying the protocol's output.
+    pub outputs: Vec<Var>,
+    /// Initial values (`var ← on/off`) for non-input variables; variables
+    /// not listed default to `off`.
+    pub init: Vec<(Var, bool)>,
+    /// Input-dependent initial values, applied after `init` and the input
+    /// flags, in order: each variable is set to the value of its guard
+    /// evaluated on the state built so far. Used to seed per-agent protocol
+    /// state that depends on input membership (e.g. the slow blackbox's
+    /// initial token values).
+    pub derived_init: Vec<(Var, Guard)>,
+    /// The threads.
+    pub threads: Vec<Thread>,
+}
+
+impl Program {
+    /// The structured threads, in declaration order.
+    pub fn structured_threads(&self) -> impl Iterator<Item = (&str, &[Instr])> + '_ {
+        self.threads.iter().filter_map(|t| match t {
+            Thread::Structured { name, body } => Some((name.as_str(), body.as_slice())),
+            Thread::Raw { .. } => None,
+        })
+    }
+
+    /// The raw threads' rulesets, in declaration order.
+    pub fn raw_threads(&self) -> impl Iterator<Item = (&str, &Ruleset)> + '_ {
+        self.threads.iter().filter_map(|t| match t {
+            Thread::Raw { name, ruleset } => Some((name.as_str(), ruleset)),
+            Thread::Structured { .. } => None,
+        })
+    }
+
+    /// The initial packed state of an agent, given which input variables it
+    /// holds.
+    #[must_use]
+    pub fn initial_state(&self, inputs_on: &[Var]) -> u32 {
+        let mut state = 0u32;
+        for &(v, on) in &self.init {
+            state = v.assign(state, on);
+        }
+        for &v in inputs_on {
+            assert!(
+                self.inputs.contains(&v),
+                "{} is not an input variable",
+                self.vars.name(v)
+            );
+            state = v.assign(state, true);
+        }
+        for (v, guard) in &self.derived_init {
+            state = v.assign(state, guard.eval(state));
+        }
+        state
+    }
+
+    /// Maximum nesting depth of `RepeatLog` loops across structured threads
+    /// (the paper's `l_max` minus the implicit outer repeat).
+    #[must_use]
+    pub fn loop_depth(&self) -> usize {
+        fn depth(instrs: &[Instr]) -> usize {
+            instrs
+                .iter()
+                .map(|i| match i {
+                    Instr::RepeatLog { body, .. } => 1 + depth(body),
+                    Instr::IfExists {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => depth(then_branch).max(depth(else_branch)),
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        self.structured_threads()
+            .map(|(_, body)| depth(body))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Pretty-prints the program in the paper's pseudocode style.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "def protocol {}", self.name);
+        let decls: Vec<String> = self
+            .vars
+            .iter()
+            .map(|(v, name)| {
+                let mut tags = Vec::new();
+                if self.inputs.contains(&v) {
+                    tags.push("input");
+                }
+                if self.outputs.contains(&v) {
+                    tags.push("output");
+                }
+                let init = self
+                    .init
+                    .iter()
+                    .find(|&&(iv, _)| iv == v)
+                    .map(|&(_, on)| if on { " <- on" } else { " <- off" })
+                    .unwrap_or("");
+                if tags.is_empty() {
+                    format!("{name}{init}")
+                } else {
+                    format!("{name}{init} as {}", tags.join(" "))
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "  var {}:", decls.join(", "));
+        for thread in &self.threads {
+            match thread {
+                Thread::Structured { name, body } => {
+                    let _ = writeln!(out, "  thread {name}:");
+                    let _ = writeln!(out, "    repeat:");
+                    self.render_instrs(&mut out, body, 6);
+                }
+                Thread::Raw { name, ruleset } => {
+                    let _ = writeln!(out, "  thread {name}:");
+                    let _ = writeln!(out, "    execute ruleset:");
+                    for rule in ruleset.rules() {
+                        let _ = writeln!(out, "      > {}", rule.render(&self.vars));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn render_instrs(&self, out: &mut String, instrs: &[Instr], indent: usize) {
+        let pad = " ".repeat(indent);
+        for instr in instrs {
+            match instr {
+                Instr::IfExists {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    let _ = writeln!(out, "{pad}if exists ({}):", cond.render(&self.vars));
+                    self.render_instrs(out, then_branch, indent + 2);
+                    if !else_branch.is_empty() {
+                        let _ = writeln!(out, "{pad}else:");
+                        self.render_instrs(out, else_branch, indent + 2);
+                    }
+                }
+                Instr::RepeatLog { c, body } => {
+                    let _ = writeln!(out, "{pad}repeat >= {c} ln n times:");
+                    self.render_instrs(out, body, indent + 2);
+                }
+                Instr::Execute { c, ruleset } => {
+                    let _ = writeln!(out, "{pad}execute for >= {c} ln n rounds ruleset:");
+                    for rule in ruleset.rules() {
+                        let _ = writeln!(out, "{pad}  > {}", rule.render(&self.vars));
+                    }
+                }
+                Instr::Assign { var, value } => match value {
+                    AssignValue::Formula(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{pad}{} := {}",
+                            self.vars.name(*var),
+                            g.render(&self.vars)
+                        );
+                    }
+                    AssignValue::RandomBit => {
+                        let _ = writeln!(
+                            out,
+                            "{pad}{} := {{on, off}} chosen uniformly at random",
+                            self.vars.name(*var)
+                        );
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// Convenience constructors for instructions.
+pub mod build {
+    use super::*;
+
+    /// `if exists (cond): then_branch` (no else branch).
+    #[must_use]
+    pub fn if_exists(cond: Guard, then_branch: Vec<Instr>) -> Instr {
+        Instr::IfExists {
+            cond,
+            then_branch,
+            else_branch: Vec::new(),
+        }
+    }
+
+    /// `if exists (cond): then_branch else: else_branch`.
+    #[must_use]
+    pub fn if_else(cond: Guard, then_branch: Vec<Instr>, else_branch: Vec<Instr>) -> Instr {
+        Instr::IfExists {
+            cond,
+            then_branch,
+            else_branch,
+        }
+    }
+
+    /// `repeat ≥ c ln n times: body`.
+    #[must_use]
+    pub fn repeat_log(c: u32, body: Vec<Instr>) -> Instr {
+        Instr::RepeatLog { c, body }
+    }
+
+    /// `execute for ≥ c ln n rounds ruleset: ruleset`.
+    #[must_use]
+    pub fn execute(c: u32, ruleset: Ruleset) -> Instr {
+        Instr::Execute { c, ruleset }
+    }
+
+    /// `var := formula`.
+    #[must_use]
+    pub fn assign(var: Var, formula: Guard) -> Instr {
+        Instr::Assign {
+            var,
+            value: AssignValue::Formula(formula),
+        }
+    }
+
+    /// `var := {on, off} chosen uniformly at random`.
+    #[must_use]
+    pub fn assign_coin(var: Var) -> Instr {
+        Instr::Assign {
+            var,
+            value: AssignValue::RandomBit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+    use pp_rules::parse::parse_ruleset;
+
+    fn toy_program() -> Program {
+        let mut vars = VarSet::new();
+        let l = vars.add("L");
+        let d = vars.add("D");
+        let f = vars.add("F");
+        let body = vec![
+            if_exists(
+                Guard::var(l),
+                vec![assign_coin(f), assign(d, Guard::var(l).and(Guard::var(f)))],
+            ),
+            if_else(
+                Guard::var(d),
+                vec![assign(l, Guard::var(d))],
+                vec![assign(l, Guard::any())],
+            ),
+        ];
+        Program {
+            name: "LeaderElection".into(),
+            vars,
+            inputs: vec![],
+            outputs: vec![l],
+            init: vec![(l, true)],
+            derived_init: vec![],
+            threads: vec![Thread::Structured {
+                name: "Main".into(),
+                body,
+            }],
+        }
+    }
+
+    #[test]
+    fn initial_state_applies_init_and_inputs() {
+        let mut vars = VarSet::new();
+        let a = vars.add("A");
+        let y = vars.add("Y");
+        let p = Program {
+            name: "t".into(),
+            vars,
+            inputs: vec![a],
+            outputs: vec![y],
+            init: vec![(y, true)],
+            derived_init: vec![],
+            threads: vec![],
+        };
+        assert_eq!(p.initial_state(&[]), y.mask());
+        assert_eq!(p.initial_state(&[a]), a.mask() | y.mask());
+    }
+
+    #[test]
+    #[should_panic(expected = "not an input variable")]
+    fn initial_state_validates_inputs() {
+        let mut vars = VarSet::new();
+        let a = vars.add("A");
+        let p = Program {
+            name: "t".into(),
+            vars,
+            inputs: vec![],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![],
+        };
+        let _ = p.initial_state(&[a]);
+    }
+
+    #[test]
+    fn loop_depth_counts_nested_repeats() {
+        let mut vars = VarSet::new();
+        let a = vars.add("A");
+        let inner = repeat_log(2, vec![assign(a, Guard::any())]);
+        let outer = repeat_log(3, vec![inner]);
+        let p = Program {
+            name: "t".into(),
+            vars,
+            inputs: vec![],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![Thread::Structured {
+                name: "Main".into(),
+                body: vec![outer],
+            }],
+        };
+        assert_eq!(p.loop_depth(), 2);
+        assert_eq!(toy_program().loop_depth(), 0);
+    }
+
+    #[test]
+    fn render_produces_paper_style_pseudocode() {
+        let p = toy_program();
+        let text = p.render();
+        assert!(text.contains("def protocol LeaderElection"));
+        assert!(text.contains("thread Main:"));
+        assert!(text.contains("if exists (L):"));
+        assert!(text.contains("F := {on, off} chosen uniformly at random"));
+        assert!(text.contains("else:"));
+        assert!(text.contains("L <- on as output"));
+    }
+
+    #[test]
+    fn raw_threads_are_separated() {
+        let mut vars = VarSet::new();
+        let rs = parse_ruleset("(R) + (R) -> (R) + (!R)", &mut vars).unwrap();
+        let p = Program {
+            name: "t".into(),
+            vars,
+            inputs: vec![],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![Thread::Raw {
+                name: "ReduceSets".into(),
+                ruleset: rs,
+            }],
+        };
+        assert_eq!(p.raw_threads().count(), 1);
+        assert_eq!(p.structured_threads().count(), 0);
+        assert!(p.render().contains("execute ruleset:"));
+    }
+
+    #[test]
+    fn thread_name_accessor() {
+        let p = toy_program();
+        assert_eq!(p.threads[0].name(), "Main");
+    }
+}

@@ -1,0 +1,572 @@
+//! The good-iteration executor: runs framework programs under the
+//! synchronization semantics that Theorem 2.4 guarantees (Definitions
+//! 2.2–2.3), with idealized clocks.
+//!
+//! The paper separates two concerns: (a) the protocol-level analysis of
+//! programs *assuming* good iterations (Sections 3 and 6), and (b) the
+//! clock hierarchy that realizes good iterations w.h.p. (Section 5). This
+//! executor implements exactly the good-iteration semantics, so protocol
+//! behavior (Theorems 3.1, 3.2, 6.1–6.4) can be measured in isolation from
+//! clock dynamics:
+//!
+//! * `execute for ≥ c ln n rounds` runs the ruleset — composed with all raw
+//!   threads — under the exact fair scheduler for `c ln n` rounds;
+//! * assignments and `if exists` evaluations reach their expected outcome
+//!   (with an optional failure-injection knob for ablations) and are
+//!   charged the parallel time their compiled form costs (two `c ln n`
+//!   loops each, per Section 4), during which raw threads keep running;
+//! * `repeat ≥ c ln n times` performs exactly `⌈c ln n⌉` passes.
+//!
+//! Time accounting therefore reproduces the paper's round counts:
+//! `O((log n)^{c+1})` rounds per iteration for loop depth `c`.
+
+use crate::ast::{AssignValue, Instr, Program, Thread};
+use pp_engine::counts::{CountPopulation, SparseCountPopulation};
+use pp_engine::rng::SimRng;
+use pp_engine::sim::{run_rounds, Simulator};
+use pp_rules::{FlagProtocol, Guard, Ruleset, Var};
+
+/// Above this many nominal states the executor's scheduler runs switch to
+/// the sparse count backend (reachable configurations occupy only a
+/// handful of states, so dense Fenwick construction dominates otherwise).
+const SPARSE_THRESHOLD: usize = 4096;
+
+/// Tuning and fault-injection options for the executor.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Probability that an `if exists` evaluation returns the wrong branch
+    /// (ablation knob; 0 = exact, the good-iteration default).
+    pub exists_failure: f64,
+    /// Probability that an assignment skips a given agent (ablation knob;
+    /// 0 = exact).
+    pub assign_failure: f64,
+    /// The `c` used to charge time for the lowered form of assignments and
+    /// condition evaluations (each costs `2 · c ln n` rounds in Section 4's
+    /// compilation).
+    pub overhead_c: u32,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            exists_failure: 0.0,
+            assign_failure: 0.0,
+            overhead_c: 1,
+        }
+    }
+}
+
+/// Executes a [`Program`] over a population of `n` agents under
+/// good-iteration semantics.
+///
+/// # Examples
+///
+/// ```
+/// use pp_lang::ast::{build, Program, Thread};
+/// use pp_lang::interp::Executor;
+/// use pp_rules::{Guard, VarSet};
+///
+/// // A one-instruction program: everyone sets Y := on.
+/// let mut vars = VarSet::new();
+/// let y = vars.add("Y");
+/// let program = Program {
+///     name: "set-y".into(),
+///     vars,
+///     inputs: vec![],
+///     outputs: vec![y],
+///     init: vec![],
+///     derived_init: vec![],
+///     threads: vec![Thread::Structured {
+///         name: "Main".into(),
+///         body: vec![build::assign(y, Guard::any())],
+///     }],
+/// };
+/// let mut exec = Executor::new(&program, &[(vec![], 100)], 42);
+/// exec.run_iteration();
+/// assert_eq!(exec.count_where(&Guard::var(y)), 100);
+/// ```
+pub struct Executor<'p> {
+    program: &'p Program,
+    n: u64,
+    counts: Vec<u64>,
+    rng: SimRng,
+    rounds: f64,
+    iterations: u64,
+    raw: Option<Ruleset>,
+    opts: ExecOptions,
+    ln_n: f64,
+}
+
+impl<'p> Executor<'p> {
+    /// Creates an executor. `groups` lists `(input variables on, agent
+    /// count)` pairs describing the initial population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total population is smaller than 2 or an input group
+    /// names a non-input variable.
+    #[must_use]
+    pub fn new(program: &'p Program, groups: &[(Vec<Var>, u64)], seed: u64) -> Self {
+        Self::with_options(program, groups, seed, ExecOptions::default())
+    }
+
+    /// Creates an executor with explicit options.
+    ///
+    /// # Panics
+    ///
+    /// As [`Executor::new`].
+    #[must_use]
+    pub fn with_options(
+        program: &'p Program,
+        groups: &[(Vec<Var>, u64)],
+        seed: u64,
+        opts: ExecOptions,
+    ) -> Self {
+        let mut counts = vec![0u64; program.vars.num_states()];
+        let mut n = 0u64;
+        for (vars_on, count) in groups {
+            counts[program.initial_state(vars_on) as usize] += count;
+            n += count;
+        }
+        assert!(n >= 2, "population must have at least 2 agents");
+        let raws: Vec<Ruleset> = program.raw_threads().map(|(_, rs)| rs.clone()).collect();
+        let raw = if raws.is_empty() {
+            None
+        } else {
+            Some(Ruleset::compose(&raws))
+        };
+        Self {
+            program,
+            n,
+            counts,
+            rng: SimRng::seed_from(seed),
+            rounds: 0.0,
+            iterations: 0,
+            raw,
+            opts,
+            ln_n: (n as f64).ln(),
+        }
+    }
+
+    /// Population size.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Replaces the executor options (e.g. to stop fault injection after a
+    /// warm-up phase).
+    pub fn set_options(&mut self, opts: ExecOptions) {
+        self.opts = opts;
+    }
+
+    /// Parallel time consumed so far, in rounds.
+    #[must_use]
+    pub fn rounds(&self) -> f64 {
+        self.rounds
+    }
+
+    /// Completed iterations of the outermost `repeat:` loops.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// State counts, indexed by packed variable mask.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of agents satisfying a guard.
+    #[must_use]
+    pub fn count_where(&self, guard: &Guard) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(s, &c)| c > 0 && guard.eval(s as u32))
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Runs one good iteration: a full pass of every structured thread's
+    /// body (threads executed in declaration order), with raw threads
+    /// running throughout.
+    pub fn run_iteration(&mut self) {
+        let bodies: Vec<Vec<Instr>> = self
+            .program
+            .threads
+            .iter()
+            .filter_map(|t| match t {
+                Thread::Structured { body, .. } => Some(body.clone()),
+                Thread::Raw { .. } => None,
+            })
+            .collect();
+        for body in &bodies {
+            self.exec_block(body);
+        }
+        self.iterations += 1;
+    }
+
+    /// Runs good iterations until `stop` returns true, up to
+    /// `max_iterations`. Returns the number of iterations executed when
+    /// `stop` first held, or `None` on timeout.
+    pub fn run_until(
+        &mut self,
+        max_iterations: u64,
+        mut stop: impl FnMut(&Self) -> bool,
+    ) -> Option<u64> {
+        if stop(self) {
+            return Some(self.iterations);
+        }
+        for _ in 0..max_iterations {
+            self.run_iteration();
+            if stop(self) {
+                return Some(self.iterations);
+            }
+        }
+        None
+    }
+
+    fn exec_block(&mut self, instrs: &[Instr]) {
+        for instr in instrs {
+            self.exec_instr(instr);
+        }
+    }
+
+    fn exec_instr(&mut self, instr: &Instr) {
+        match instr {
+            Instr::Assign { var, value } => {
+                self.exec_assign(*var, value);
+                self.charge_overhead(2);
+            }
+            Instr::IfExists {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let mut exists = self.count_where(cond) > 0;
+                if self.opts.exists_failure > 0.0 && self.rng.chance(self.opts.exists_failure) {
+                    exists = !exists;
+                }
+                self.charge_overhead(2);
+                if exists {
+                    self.exec_block(then_branch);
+                } else {
+                    self.exec_block(else_branch);
+                }
+            }
+            Instr::RepeatLog { c, body } => {
+                let times = (*c as f64 * self.ln_n).ceil().max(1.0) as u64;
+                for _ in 0..times {
+                    self.exec_block(body);
+                }
+            }
+            Instr::Execute { c, ruleset } => {
+                let duration = *c as f64 * self.ln_n;
+                self.run_scheduler(Some(ruleset), duration);
+            }
+        }
+    }
+
+    /// Applies an assignment to every agent (modulo injected failures).
+    fn exec_assign(&mut self, var: Var, value: &AssignValue) {
+        let k = self.counts.len();
+        let mut next = vec![0u64; k];
+        for s in 0..k {
+            let c = self.counts[s];
+            if c == 0 {
+                continue;
+            }
+            let (applied, skipped) = if self.opts.assign_failure > 0.0 {
+                let skipped = self.rng.binomial(c, self.opts.assign_failure);
+                (c - skipped, skipped)
+            } else {
+                (c, 0)
+            };
+            next[s] += skipped;
+            match value {
+                AssignValue::Formula(g) => {
+                    let target = var.assign(s as u32, g.eval(s as u32)) as usize;
+                    next[target] += applied;
+                }
+                AssignValue::RandomBit => {
+                    let ones = self.rng.binomial(applied, 0.5);
+                    next[var.assign(s as u32, true) as usize] += ones;
+                    next[var.assign(s as u32, false) as usize] += applied - ones;
+                }
+            }
+        }
+        self.counts = next;
+    }
+
+    /// Charges `loops · overhead_c · ln n` rounds of parallel time, during
+    /// which raw threads continue to run.
+    fn charge_overhead(&mut self, loops: u32) {
+        let duration = (loops * self.opts.overhead_c) as f64 * self.ln_n;
+        self.run_scheduler(None, duration);
+    }
+
+    /// Runs `ruleset` (if any) composed with the raw threads under the fair
+    /// scheduler for `duration` rounds.
+    fn run_scheduler(&mut self, ruleset: Option<&Ruleset>, duration: f64) {
+        self.rounds += duration;
+        let combined = match (ruleset, &self.raw) {
+            (Some(rs), Some(raw)) => Ruleset::compose(&[rs.clone(), raw.clone()]),
+            (Some(rs), None) => rs.clone(),
+            (None, Some(raw)) => raw.clone(),
+            (None, None) => return,
+        };
+        if combined.is_empty() {
+            return;
+        }
+        let protocol = FlagProtocol::new(self.program.vars.clone(), combined, "exec");
+        if self.counts.len() > SPARSE_THRESHOLD {
+            let mut pop = SparseCountPopulation::from_dense(&protocol, &self.counts);
+            run_rounds(&mut pop, duration, &mut self.rng, &mut []);
+            self.counts = pop.counts();
+        } else {
+            let mut pop = CountPopulation::from_counts(&protocol, &self.counts);
+            run_rounds(&mut pop, duration, &mut self.rng, &mut []);
+            self.counts = pop.counts();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+    use pp_rules::parse::parse_ruleset;
+    use pp_rules::VarSet;
+
+    fn program_with(vars: VarSet, threads: Vec<Thread>) -> Program {
+        Program {
+            name: "test".into(),
+            vars,
+            inputs: vec![],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads,
+        }
+    }
+
+    #[test]
+    fn assign_formula_updates_all_agents() {
+        let mut vars = VarSet::new();
+        let a = vars.add("A");
+        let b = vars.add("B");
+        let p = Program {
+            name: "t".into(),
+            inputs: vec![a],
+            outputs: vec![b],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![Thread::Structured {
+                name: "Main".into(),
+                body: vec![assign(b, Guard::var(a))],
+            }],
+            vars: p_vars(&vars),
+        };
+        let mut exec = Executor::new(&p, &[(vec![a], 30), (vec![], 70)], 1);
+        exec.run_iteration();
+        assert_eq!(exec.count_where(&Guard::var(b)), 30);
+        assert_eq!(exec.count_where(&Guard::var(a)), 30, "input untouched");
+    }
+
+    fn p_vars(v: &VarSet) -> VarSet {
+        v.clone()
+    }
+
+    #[test]
+    fn assign_coin_splits_population() {
+        let mut vars = VarSet::new();
+        let f = vars.add("F");
+        let p = program_with(
+            vars,
+            vec![Thread::Structured {
+                name: "Main".into(),
+                body: vec![assign_coin(f)],
+            }],
+        );
+        let mut exec = Executor::new(&p, &[(vec![], 10_000)], 2);
+        exec.run_iteration();
+        let ones = exec.count_where(&Guard::var(f));
+        assert!((4_500..5_500).contains(&ones), "coin split {ones}");
+    }
+
+    #[test]
+    fn if_exists_branches_correctly() {
+        let mut vars = VarSet::new();
+        let a = vars.add("A");
+        let y = vars.add("Y");
+        let z = vars.add("Z");
+        let body = vec![if_else(
+            Guard::var(a),
+            vec![assign(y, Guard::any())],
+            vec![assign(z, Guard::any())],
+        )];
+        let p = Program {
+            name: "t".into(),
+            inputs: vec![a],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![Thread::Structured {
+                name: "Main".into(),
+                body,
+            }],
+            vars,
+        };
+        // One agent with A: then-branch.
+        let mut exec = Executor::new(&p, &[(vec![a], 1), (vec![], 99)], 3);
+        exec.run_iteration();
+        assert_eq!(exec.count_where(&Guard::var(y)), 100);
+        assert_eq!(exec.count_where(&Guard::var(z)), 0);
+        // No agent with A: else-branch.
+        let mut exec = Executor::new(&p, &[(vec![], 100)], 4);
+        exec.run_iteration();
+        assert_eq!(exec.count_where(&Guard::var(y)), 0);
+        assert_eq!(exec.count_where(&Guard::var(z)), 100);
+    }
+
+    #[test]
+    fn execute_runs_ruleset_for_logarithmic_rounds() {
+        let mut vars = VarSet::new();
+        let rs = parse_ruleset("(I) + (!I) -> (I) + (I)", &mut vars).unwrap();
+        let i = vars.get("I").unwrap();
+        let p = Program {
+            name: "t".into(),
+            inputs: vec![i],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![Thread::Structured {
+                name: "Main".into(),
+                body: vec![execute(8, rs)],
+            }],
+            vars,
+        };
+        let mut exec = Executor::new(&p, &[(vec![i], 1), (vec![], 999)], 5);
+        exec.run_iteration();
+        // 8 ln 1000 ≈ 55 rounds: the one-way epidemic completes w.h.p.
+        assert_eq!(exec.count_where(&Guard::var(i)), 1000);
+        assert!(exec.rounds() > 50.0);
+    }
+
+    #[test]
+    fn repeat_log_multiplies_executions() {
+        let mut vars = VarSet::new();
+        let a = vars.add("A");
+        // Body charges overhead each pass; count passes via rounds.
+        let p = program_with(
+            vars,
+            vec![Thread::Structured {
+                name: "Main".into(),
+                body: vec![repeat_log(2, vec![assign(a, Guard::any())])],
+            }],
+        );
+        let mut exec = Executor::new(&p, &[(vec![], 100)], 6);
+        exec.run_iteration();
+        let ln_n = 100f64.ln();
+        let expected_passes = (2.0 * ln_n).ceil();
+        // Each assign charges 2 · ln n rounds.
+        let expected_rounds = expected_passes * 2.0 * ln_n;
+        assert!(
+            (exec.rounds() - expected_rounds).abs() < 1e-6,
+            "rounds {} vs {expected_rounds}",
+            exec.rounds()
+        );
+    }
+
+    #[test]
+    fn raw_threads_run_during_overhead() {
+        let mut vars = VarSet::new();
+        let rs = parse_ruleset("(R) + (R) -> (R) + (!R)", &mut vars).unwrap();
+        let r = vars.get("R").unwrap();
+        let a = vars.add("A");
+        let p = Program {
+            name: "t".into(),
+            inputs: vec![r],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![
+                Thread::Structured {
+                    name: "Main".into(),
+                    // Pure overhead, no explicit execute.
+                    body: vec![assign(a, Guard::any()), assign(a, Guard::any())],
+                },
+                Thread::Raw {
+                    name: "ReduceSets".into(),
+                    ruleset: rs,
+                },
+            ],
+            vars,
+        };
+        let mut exec = Executor::new(&p, &[(vec![r], 200)], 7);
+        for _ in 0..30 {
+            exec.run_iteration();
+        }
+        let remaining = exec.count_where(&Guard::var(r));
+        assert!(remaining < 200, "raw thread reduced R: {remaining}");
+        assert!(remaining >= 1, "raw fratricide keeps one R");
+    }
+
+    #[test]
+    fn exists_failure_injection_flips_branches() {
+        let mut vars = VarSet::new();
+        let y = vars.add("Y");
+        let body = vec![if_else(
+            // Condition is never true (no agent has Y initially and no one
+            // sets it in the then-branch).
+            Guard::var(y),
+            vec![],
+            vec![assign(y, Guard::any())],
+        )];
+        let p = program_with(
+            vars,
+            vec![Thread::Structured {
+                name: "Main".into(),
+                body,
+            }],
+        );
+        let opts = ExecOptions {
+            exists_failure: 1.0,
+            ..ExecOptions::default()
+        };
+        let mut exec = Executor::with_options(&p, &[(vec![], 50)], 8, opts);
+        exec.run_iteration();
+        // With guaranteed misdetection the then-branch ran: Y stays off.
+        assert_eq!(exec.count_where(&Guard::var(y)), 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_predicate() {
+        let mut vars = VarSet::new();
+        let rs = parse_ruleset("(L) + (L) -> (L) + (!L)", &mut vars).unwrap();
+        let l = vars.get("L").unwrap();
+        let p = Program {
+            name: "t".into(),
+            inputs: vec![l],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![
+                Thread::Structured {
+                    name: "Main".into(),
+                    body: vec![execute(2, Ruleset::new())],
+                },
+                Thread::Raw {
+                    name: "Fratricide".into(),
+                    ruleset: rs,
+                },
+            ],
+            vars,
+        };
+        let mut exec = Executor::new(&p, &[(vec![l], 64)], 9);
+        let it = exec.run_until(500, |e| e.count_where(&Guard::var(l)) == 1);
+        assert!(it.is_some(), "fratricide converges");
+    }
+}

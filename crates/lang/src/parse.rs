@@ -1,0 +1,513 @@
+//! Parser for the paper-style protocol pseudocode.
+//!
+//! Accepts the same syntax [`crate::ast::Program::render`] produces — and
+//! the paper's listings, modulo ASCII operators — so protocols can live in
+//! plain-text files:
+//!
+//! ```text
+//! def protocol LeaderElection
+//!   var L <- on as output, D, F:
+//!   thread Main:
+//!     repeat:
+//!       if exists (L):
+//!         F := {on, off} chosen uniformly at random
+//!         D := L & F
+//!       if exists (D):
+//!         L := D
+//!       else:
+//!         if exists (L):
+//!         else:
+//!           L := on
+//! ```
+//!
+//! Structure is indentation-based (spaces only). A thread whose body is a
+//! single `execute ruleset:` is a raw thread; otherwise the body must be a
+//! single `repeat:` loop (the implicit outermost repeat). Supported
+//! instructions: assignment (`X := Σ` and the coin form), `if exists (Σ):`
+//! with optional `else:`, `repeat >= c ln n times:`, and
+//! `execute for >= c ln n rounds ruleset:` followed by `> rule` lines.
+//! Guards use the rule DSL of [`pp_rules::parse`]; `on`/`off` are accepted
+//! as the constant formulas.
+
+use crate::ast::{build, AssignValue, Instr, Program, Thread};
+use pp_rules::parse::{parse_rule, ParseRuleError};
+use pp_rules::{Guard, Ruleset, VarSet};
+use std::fmt;
+
+/// A program parse error with a source line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseProgramError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseProgramError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseProgramError {
+    ParseProgramError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn from_rule_err(line: usize, e: ParseRuleError) -> ParseProgramError {
+    err(line, e.message)
+}
+
+/// One significant source line: indentation depth + content.
+struct Line {
+    number: usize,
+    indent: usize,
+    text: String,
+}
+
+fn lex_lines(source: &str) -> Result<Vec<Line>, ParseProgramError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let without_comment = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        if without_comment.trim().is_empty() {
+            continue;
+        }
+        if without_comment.contains('\t') {
+            return Err(err(number, "tabs are not allowed; indent with spaces"));
+        }
+        let indent = without_comment.len() - without_comment.trim_start().len();
+        out.push(Line {
+            number,
+            indent,
+            text: without_comment.trim().to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Parses a guard, accepting `on`/`off` for the constants.
+fn parse_guard(text: &str, vars: &mut VarSet, line: usize) -> Result<Guard, ParseProgramError> {
+    match text.trim() {
+        "on" => return Ok(Guard::any()),
+        "off" => return Ok(Guard::any().not()),
+        _ => {}
+    }
+    // Reuse the rule parser by wrapping the formula as a guard position.
+    let rule_text = format!("({text}) + (.) -> (.) + (.)");
+    let rule = parse_rule(&rule_text, vars).map_err(|e| from_rule_err(line, e))?;
+    Ok(rule.guard_a)
+}
+
+struct ProgramParser<'a> {
+    lines: &'a [Line],
+    pos: usize,
+    vars: VarSet,
+}
+
+impl<'a> ProgramParser<'a> {
+    fn peek(&self) -> Option<&'a Line> {
+        self.lines.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a Line> {
+        let line = self.lines.get(self.pos);
+        if line.is_some() {
+            self.pos += 1;
+        }
+        line
+    }
+
+    /// Parses instructions at exactly `indent`, stopping at a dedent.
+    fn parse_block(&mut self, indent: usize) -> Result<Vec<Instr>, ParseProgramError> {
+        let mut out = Vec::new();
+        while let Some(line) = self.peek() {
+            if line.indent < indent {
+                break;
+            }
+            if line.indent > indent {
+                return Err(err(line.number, "unexpected extra indentation"));
+            }
+            out.push(self.parse_instr(indent)?);
+        }
+        Ok(out)
+    }
+
+    fn parse_instr(&mut self, indent: usize) -> Result<Instr, ParseProgramError> {
+        let line = self.next().expect("peeked");
+        let number = line.number;
+        let text = line.text.as_str();
+
+        if let Some(rest) = text.strip_prefix("if exists (") {
+            let cond_text = rest
+                .strip_suffix("):")
+                .ok_or_else(|| err(number, "expected `if exists (...):`"))?;
+            let cond = parse_guard(cond_text, &mut self.vars, number)?;
+            let then_branch = self.parse_block(indent + 2)?;
+            let mut else_branch = Vec::new();
+            if let Some(next) = self.peek() {
+                if next.indent == indent && next.text == "else:" {
+                    self.next();
+                    else_branch = self.parse_block(indent + 2)?;
+                }
+            }
+            return Ok(build::if_else(cond, then_branch, else_branch));
+        }
+
+        if text == "else:" {
+            return Err(err(number, "`else:` without a matching `if exists`"));
+        }
+
+        if let Some(rest) = text.strip_prefix("repeat >= ") {
+            let rest = rest
+                .strip_suffix(" ln n times:")
+                .ok_or_else(|| err(number, "expected `repeat >= c ln n times:`"))?;
+            let c: u32 = rest
+                .trim()
+                .parse()
+                .map_err(|_| err(number, format!("bad loop constant {rest:?}")))?;
+            let body = self.parse_block(indent + 2)?;
+            return Ok(build::repeat_log(c, body));
+        }
+
+        if let Some(rest) = text.strip_prefix("execute for >= ") {
+            let rest = rest
+                .strip_suffix(" ln n rounds ruleset:")
+                .ok_or_else(|| err(number, "expected `execute for >= c ln n rounds ruleset:`"))?;
+            let c: u32 = rest
+                .trim()
+                .parse()
+                .map_err(|_| err(number, format!("bad duration constant {rest:?}")))?;
+            let ruleset = self.parse_ruleset(indent + 2)?;
+            return Ok(build::execute(c, ruleset));
+        }
+
+        if let Some((lhs, rhs)) = text.split_once(":=") {
+            let name = lhs.trim();
+            if name.is_empty() || !name.chars().next().is_some_and(char::is_alphabetic) {
+                return Err(err(number, format!("bad assignment target {name:?}")));
+            }
+            let var = match self.vars.get(name) {
+                Some(v) => v,
+                None => self.vars.add(name),
+            };
+            let rhs = rhs.trim();
+            if rhs.starts_with("{on, off}") || rhs.starts_with("{on,off}") {
+                return Ok(Instr::Assign {
+                    var,
+                    value: AssignValue::RandomBit,
+                });
+            }
+            let formula = parse_guard(rhs, &mut self.vars, number)?;
+            return Ok(build::assign(var, formula));
+        }
+
+        Err(err(number, format!("unrecognized instruction {text:?}")))
+    }
+
+    /// Parses `> rule` lines at exactly `indent`.
+    fn parse_ruleset(&mut self, indent: usize) -> Result<Ruleset, ParseProgramError> {
+        let mut ruleset = Ruleset::new();
+        while let Some(line) = self.peek() {
+            if line.indent != indent || !line.text.starts_with('>') {
+                break;
+            }
+            let line = self.next().expect("peeked");
+            let rule = parse_rule(&line.text, &mut self.vars)
+                .map_err(|e| from_rule_err(line.number, e))?;
+            ruleset.push(rule);
+        }
+        Ok(ruleset)
+    }
+}
+
+/// Parses a complete protocol definition.
+///
+/// # Errors
+///
+/// Returns a [`ParseProgramError`] naming the offending source line.
+pub fn parse_program(source: &str) -> Result<Program, ParseProgramError> {
+    let lines = lex_lines(source)?;
+    let mut parser = ProgramParser {
+        lines: &lines,
+        pos: 0,
+        vars: VarSet::new(),
+    };
+
+    // Header: `def protocol NAME`.
+    let header = parser
+        .next()
+        .ok_or_else(|| err(0, "empty protocol definition"))?;
+    let name = header
+        .text
+        .strip_prefix("def protocol ")
+        .ok_or_else(|| err(header.number, "expected `def protocol NAME`"))?
+        .trim()
+        .to_string();
+
+    // Declarations: `var A <- on as output, B as input, C:`.
+    let decl_line = parser
+        .next()
+        .ok_or_else(|| err(header.number, "expected a `var ...:` declaration line"))?;
+    let decls = decl_line
+        .text
+        .strip_prefix("var ")
+        .and_then(|t| t.strip_suffix(':'))
+        .ok_or_else(|| err(decl_line.number, "expected `var <declarations>:`"))?;
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    let mut init = Vec::new();
+    for decl in decls.split(',') {
+        let decl = decl.trim();
+        if decl.is_empty() {
+            continue;
+        }
+        let mut rest = decl;
+        // Name is the first token.
+        let name_end = rest.find(' ').unwrap_or(rest.len());
+        let var_name = &rest[..name_end];
+        let var = parser.vars.add(var_name);
+        rest = rest[name_end..].trim();
+        if let Some(after) = rest.strip_prefix("<- ") {
+            let (value, tail) = after.split_at(after.find(' ').unwrap_or(after.len()));
+            match value {
+                "on" => init.push((var, true)),
+                "off" => init.push((var, false)),
+                other => {
+                    return Err(err(
+                        decl_line.number,
+                        format!("bad initial value {other:?} for {var_name}"),
+                    ))
+                }
+            }
+            rest = tail.trim();
+        }
+        if let Some(tags) = rest.strip_prefix("as ") {
+            for tag in tags.split_whitespace() {
+                match tag {
+                    "input" => inputs.push(var),
+                    "output" => outputs.push(var),
+                    other => {
+                        return Err(err(
+                            decl_line.number,
+                            format!("unknown declaration tag {other:?}"),
+                        ))
+                    }
+                }
+            }
+        } else if !rest.is_empty() {
+            return Err(err(
+                decl_line.number,
+                format!("unexpected trailing declaration text {rest:?}"),
+            ));
+        }
+    }
+
+    // Threads.
+    let mut threads = Vec::new();
+    while let Some(line) = parser.peek() {
+        if line.indent != 2 {
+            return Err(err(line.number, "expected a `thread NAME:` at indent 2"));
+        }
+        let line = parser.next().expect("peeked");
+        let thread_name = line
+            .text
+            .strip_prefix("thread ")
+            .and_then(|t| t.strip_suffix(':'))
+            .ok_or_else(|| err(line.number, "expected `thread NAME:`"))?
+            .trim()
+            .to_string();
+        let body_head = parser
+            .peek()
+            .ok_or_else(|| err(line.number, "thread body missing"))?;
+        if body_head.text == "execute ruleset:" {
+            parser.next();
+            let ruleset = parser.parse_ruleset(6)?;
+            threads.push(Thread::Raw {
+                name: thread_name,
+                ruleset,
+            });
+        } else if body_head.text == "repeat:" {
+            parser.next();
+            let body = parser.parse_block(6)?;
+            threads.push(Thread::Structured {
+                name: thread_name,
+                body,
+            });
+        } else {
+            return Err(err(
+                body_head.number,
+                "thread body must start with `repeat:` or `execute ruleset:`",
+            ));
+        }
+    }
+
+    Ok(Program {
+        name,
+        vars: parser.vars,
+        inputs,
+        outputs,
+        init,
+        derived_init: Vec::new(),
+        threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Executor;
+    use pp_rules::Guard;
+
+    const LEADER_SOURCE: &str = "\
+def protocol LeaderElection
+  var L <- on as output, D, F:
+  thread Main:
+    repeat:
+      if exists (L):
+        F := {on, off} chosen uniformly at random
+        D := L & F
+      if exists (D):
+        L := D
+      else:
+        if exists (L):
+        else:
+          L := on
+";
+
+    #[test]
+    fn parses_leader_election_and_it_runs() {
+        let program = parse_program(LEADER_SOURCE).expect("parses");
+        assert_eq!(program.name, "LeaderElection");
+        let l = program.vars.get("L").unwrap();
+        assert_eq!(program.outputs, vec![l]);
+        assert_eq!(program.init, vec![(l, true)]);
+        let mut exec = Executor::new(&program, &[(vec![], 200)], 5);
+        let it = exec.run_until(300, |e| e.count_where(&Guard::var(l)) == 1);
+        assert!(it.is_some(), "parsed protocol elects a leader");
+    }
+
+    #[test]
+    fn parses_raw_threads_and_execute() {
+        let source = "\
+def protocol Toy
+  var A as input, Y as output:
+  thread Main:
+    repeat:
+      execute for >= 3 ln n rounds ruleset:
+        > (A) + (!A & !Y) -> (A) + (Y)
+      if exists (Y):
+        Y := on
+  thread Background:
+    execute ruleset:
+      > (Y) + (Y) -> (Y) + (!Y)
+";
+        let program = parse_program(source).expect("parses");
+        assert_eq!(program.structured_threads().count(), 1);
+        assert_eq!(program.raw_threads().count(), 1);
+        assert_eq!(program.loop_depth(), 0);
+    }
+
+    #[test]
+    fn render_parse_roundtrip_for_builtin_protocols() {
+        // The renderer's output must re-parse to a semantically equal
+        // program. We check structural equality of the re-render (a fixed
+        // point), which implies instruction-level agreement.
+        for source_program in [
+            crate::ast::Program {
+                name: "RT".into(),
+                vars: {
+                    let mut v = pp_rules::VarSet::new();
+                    v.add("A");
+                    v.add("B");
+                    v
+                },
+                inputs: vec![],
+                outputs: vec![],
+                init: vec![],
+                derived_init: vec![],
+                threads: vec![Thread::Structured {
+                    name: "Main".into(),
+                    body: vec![
+                        build::repeat_log(
+                            2,
+                            vec![build::assign(pp_rules::Var::new(0), Guard::any())],
+                        ),
+                        build::if_else(
+                            Guard::var(pp_rules::Var::new(1)),
+                            vec![build::assign_coin(pp_rules::Var::new(0))],
+                            vec![build::assign(pp_rules::Var::new(1), Guard::any().not())],
+                        ),
+                    ],
+                }],
+            },
+        ] {
+            let rendered = source_program.render();
+            let reparsed = parse_program(&rendered)
+                .unwrap_or_else(|e| panic!("render output must re-parse: {e}\n{rendered}"));
+            assert_eq!(
+                reparsed.render(),
+                rendered,
+                "render is a fixed point of parse∘render"
+            );
+        }
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let source = "\
+def protocol Bad
+  var A:
+  thread Main:
+    repeat:
+      bogus instruction here
+";
+        let e = parse_program(source).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("unrecognized"));
+    }
+
+    #[test]
+    fn rejects_tabs() {
+        let source = "def protocol T\n\tvar A:\n";
+        let e = parse_program(source).unwrap_err();
+        assert!(e.message.contains("tabs"));
+    }
+
+    #[test]
+    fn rejects_stray_else() {
+        let source = "\
+def protocol Bad
+  var A:
+  thread Main:
+    repeat:
+      else:
+";
+        let e = parse_program(source).unwrap_err();
+        assert!(e.message.contains("without a matching"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let source = "\
+# a comment
+def protocol WithComments
+
+  var A as input:   # trailing comment? no — comments start the line
+  thread Main:
+    repeat:
+      # full-line comment
+      A := A
+";
+        // The `#` begins a comment anywhere per lex_lines.
+        let program = parse_program(source).expect("parses");
+        assert_eq!(program.name, "WithComments");
+    }
+}

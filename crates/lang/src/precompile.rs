@@ -1,0 +1,657 @@
+//! Precompilation (Section 4): lowering the language to a complete tree of
+//! plain rulesets.
+//!
+//! The structured constructs are eliminated in three steps:
+//!
+//! 1. **Assignments** `X := Σ` become two leaves using a per-line trigger
+//!    flag `K#` (Fig. 1): first every agent arms its trigger, then every
+//!    armed agent performs the minimal update and disarms. The randomized
+//!    assignment `X := coin` uses two equiprobable rules in the second
+//!    leaf. This guarantees each agent applies the assignment at most once
+//!    per visit, and exactly once w.h.p.
+//! 2. **Branching** `if exists (Σ)` becomes two evaluation leaves using a
+//!    per-line flag `Z#` — clear `Z#`, then run an epidemic seeded by the
+//!    agents satisfying `Σ` — followed by *ruleset compaction*: the lowered
+//!    then- and else-subtrees are padded to isomorphic shape and merged
+//!    leaf-wise, conjoining `Z#` (resp. `¬Z#`) onto both guards of every
+//!    rule. The guaranteed-behavior property follows: once `Σ` is
+//!    permanently absent, `Z#` can never be set again, so then-branch rules
+//!    never fire again.
+//! 3. **Padding**: the resulting tree is completed to uniform depth
+//!    `l_max` and width `w_max` by inserting artificial loops and empty
+//!    (`nil`) leaves, so that leaves are exactly indexed by time paths
+//!    `τ = (τ_{l_max}, …, τ₁)` with `τ_j ∈ {1, …, w_max}` (Section 5.4).
+
+use crate::ast::{AssignValue, Instr, Program};
+use pp_rules::{Guard, Rule, Ruleset, VarSet};
+
+/// A node of the precompiled code tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    /// An internal `repeat ≥ c ln n times` loop.
+    Loop {
+        /// Loop constant.
+        c: u32,
+        /// Children, in execution order.
+        children: Vec<TreeNode>,
+    },
+    /// A leaf: `execute for ≥ c ln n rounds ruleset`.
+    Leaf {
+        /// Duration constant.
+        c: u32,
+        /// The rules; empty = `nil` padding leaf.
+        ruleset: Ruleset,
+    },
+}
+
+impl TreeNode {
+    fn depth(&self) -> usize {
+        match self {
+            TreeNode::Leaf { .. } => 0,
+            TreeNode::Loop { children, .. } => {
+                1 + children.iter().map(TreeNode::depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// The result of precompiling one structured thread.
+#[derive(Debug, Clone)]
+pub struct CompiledTree {
+    /// The extended variable set (program variables + `K#`/`Z#` flags).
+    pub vars: VarSet,
+    /// Loop depth including the implicit outermost `repeat:` (the paper's
+    /// `l_max ≥ 1`).
+    pub l_max: usize,
+    /// Uniform width of every internal node.
+    pub w_max: usize,
+    /// The complete `w_max`-ary tree: children of the outermost repeat.
+    pub root: Vec<TreeNode>,
+    /// The loop constant in effect (maximum of all constants in the code).
+    pub c: u32,
+}
+
+impl CompiledTree {
+    /// Collects the leaves in execution order, each tagged with its time
+    /// path `τ = (τ_{l_max}, …, τ₁)` (1-based per level).
+    #[must_use]
+    pub fn leaves(&self) -> Vec<(Vec<usize>, &Ruleset)> {
+        let mut out = Vec::new();
+        fn walk<'t>(
+            nodes: &'t [TreeNode],
+            prefix: &mut Vec<usize>,
+            out: &mut Vec<(Vec<usize>, &'t Ruleset)>,
+        ) {
+            for (i, node) in nodes.iter().enumerate() {
+                prefix.push(i + 1);
+                match node {
+                    TreeNode::Leaf { ruleset, .. } => out.push((prefix.clone(), ruleset)),
+                    TreeNode::Loop { children, .. } => walk(children, prefix, out),
+                }
+                prefix.pop();
+            }
+        }
+        let mut prefix = Vec::new();
+        walk(&self.root, &mut prefix, &mut out);
+        out
+    }
+
+    /// Number of leaves (`w_max^{l_max}` after padding).
+    #[must_use]
+    pub fn num_leaves(&self) -> usize {
+        self.w_max.pow(self.l_max as u32)
+    }
+}
+
+struct Lowerer {
+    vars: VarSet,
+    counter: usize,
+    c_max: u32,
+}
+
+impl Lowerer {
+    fn fresh(&mut self, prefix: &str) -> pp_rules::Var {
+        let name = format!("{prefix}{}", self.counter);
+        self.counter += 1;
+        self.vars.add(&name)
+    }
+
+    fn lower_block(&mut self, instrs: &[Instr]) -> Vec<TreeNode> {
+        let mut out = Vec::new();
+        for instr in instrs {
+            out.extend(self.lower_instr(instr));
+        }
+        out
+    }
+
+    fn lower_instr(&mut self, instr: &Instr) -> Vec<TreeNode> {
+        match instr {
+            Instr::Execute { c, ruleset } => {
+                self.c_max = self.c_max.max(*c);
+                vec![TreeNode::Leaf {
+                    c: *c,
+                    ruleset: ruleset.clone(),
+                }]
+            }
+            Instr::RepeatLog { c, body } => {
+                self.c_max = self.c_max.max(*c);
+                vec![TreeNode::Loop {
+                    c: *c,
+                    children: self.lower_block(body),
+                }]
+            }
+            Instr::Assign { var, value } => {
+                let k = self.fresh("K_");
+                let arm = Rule::new(Guard::not_var(k), Guard::True, &Guard::var(k), &Guard::True)
+                    .expect("arm rule");
+                let apply = match value {
+                    AssignValue::Formula(sigma) => {
+                        let set = Rule::new(
+                            sigma.clone().and(Guard::var(k)),
+                            Guard::True,
+                            &Guard::var(*var).and(Guard::not_var(k)),
+                            &Guard::True,
+                        )
+                        .expect("set rule");
+                        let clear = Rule::new(
+                            sigma.clone().not().and(Guard::var(k)),
+                            Guard::True,
+                            &Guard::not_var(*var).and(Guard::not_var(k)),
+                            &Guard::True,
+                        )
+                        .expect("clear rule");
+                        Ruleset::from_rules(vec![set, clear])
+                    }
+                    AssignValue::RandomBit => {
+                        // Two equiprobable rules under uniform selection.
+                        let heads = Rule::new(
+                            Guard::var(k),
+                            Guard::True,
+                            &Guard::var(*var).and(Guard::not_var(k)),
+                            &Guard::True,
+                        )
+                        .expect("heads rule");
+                        let tails = Rule::new(
+                            Guard::var(k),
+                            Guard::True,
+                            &Guard::not_var(*var).and(Guard::not_var(k)),
+                            &Guard::True,
+                        )
+                        .expect("tails rule");
+                        Ruleset::from_rules(vec![heads, tails])
+                    }
+                };
+                vec![
+                    TreeNode::Leaf {
+                        c: 1,
+                        ruleset: Ruleset::from_rules(vec![arm]),
+                    },
+                    TreeNode::Leaf {
+                        c: 1,
+                        ruleset: apply,
+                    },
+                ]
+            }
+            Instr::IfExists {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let z = self.fresh("Z_");
+                // Evaluation leaves: clear Z, then epidemic from cond.
+                let clear = Rule::new(Guard::var(z), Guard::True, &Guard::not_var(z), &Guard::True)
+                    .expect("clear Z");
+                let seed = Rule::new(
+                    cond.clone().and(Guard::not_var(z)),
+                    Guard::True,
+                    &Guard::var(z),
+                    &Guard::True,
+                )
+                .expect("seed Z");
+                let spread = Rule::new(
+                    Guard::not_var(z),
+                    Guard::var(z),
+                    &Guard::var(z),
+                    &Guard::var(z),
+                )
+                .expect("spread Z");
+                let mut out = vec![
+                    TreeNode::Leaf {
+                        c: 1,
+                        ruleset: Ruleset::from_rules(vec![clear]),
+                    },
+                    TreeNode::Leaf {
+                        c: 1,
+                        ruleset: Ruleset::from_rules(vec![seed, spread]),
+                    },
+                ];
+                // Lower both branches and merge leaf-wise under Z / ¬Z.
+                let then_tree = self.lower_block(then_branch);
+                let else_tree = self.lower_block(else_branch);
+                out.extend(merge_branches(then_tree, else_tree, z));
+                out
+            }
+        }
+    }
+}
+
+/// Pads two lowered branch trees to isomorphic shape, then merges them
+/// node-wise, gating then-rules on `Z` and else-rules on `¬Z` (both
+/// agents).
+fn merge_branches(then_tree: Vec<TreeNode>, else_tree: Vec<TreeNode>, z: pp_rules::Var) -> Vec<TreeNode> {
+    let depth = then_tree
+        .iter()
+        .chain(&else_tree)
+        .map(TreeNode::depth)
+        .max()
+        .unwrap_or(0);
+    let width = then_tree.len().max(else_tree.len());
+    let pad = |mut nodes: Vec<TreeNode>| -> Vec<TreeNode> {
+        while nodes.len() < width {
+            nodes.push(TreeNode::Leaf {
+                c: 1,
+                ruleset: Ruleset::new(),
+            });
+        }
+        nodes
+    };
+    let then_tree = pad(then_tree);
+    let else_tree = pad(else_tree);
+    then_tree
+        .into_iter()
+        .zip(else_tree)
+        .map(|(t, e)| merge_nodes(t, e, z, depth))
+        .collect()
+}
+
+fn gate_ruleset(ruleset: &Ruleset, guard_lit: Guard) -> Vec<Rule> {
+    ruleset
+        .rules()
+        .iter()
+        .map(|r| {
+            let mut gated = r.clone();
+            gated.guard_a = guard_lit.clone().and(r.guard_a.clone());
+            gated.guard_b = guard_lit.clone().and(r.guard_b.clone());
+            gated
+        })
+        .collect()
+}
+
+fn merge_nodes(then_node: TreeNode, else_node: TreeNode, z: pp_rules::Var, depth: usize) -> TreeNode {
+    match (then_node, else_node) {
+        (
+            TreeNode::Leaf { c: ct, ruleset: rt },
+            TreeNode::Leaf { c: ce, ruleset: re },
+        ) => {
+            let mut rules = gate_ruleset(&rt, Guard::var(z));
+            rules.extend(gate_ruleset(&re, Guard::not_var(z)));
+            let leaf = TreeNode::Leaf {
+                c: ct.max(ce),
+                ruleset: Ruleset::from_rules(rules),
+            };
+            wrap_to_depth(leaf, depth)
+        }
+        (t, e) => {
+            // At least one side is a loop: normalize both to loops of the
+            // same width, merge children pairwise.
+            let (ct, tc) = into_loop(t);
+            let (ce, ec) = into_loop(e);
+            let inner_depth = depth.saturating_sub(1);
+            let merged = merge_branches_at(tc, ec, z, inner_depth);
+            TreeNode::Loop {
+                c: ct.max(ce),
+                children: merged,
+            }
+        }
+    }
+}
+
+fn merge_branches_at(
+    then_tree: Vec<TreeNode>,
+    else_tree: Vec<TreeNode>,
+    z: pp_rules::Var,
+    depth: usize,
+) -> Vec<TreeNode> {
+    let width = then_tree.len().max(else_tree.len()).max(1);
+    let pad = |mut nodes: Vec<TreeNode>| -> Vec<TreeNode> {
+        while nodes.len() < width {
+            nodes.push(TreeNode::Leaf {
+                c: 1,
+                ruleset: Ruleset::new(),
+            });
+        }
+        nodes
+    };
+    pad(then_tree)
+        .into_iter()
+        .zip(pad(else_tree))
+        .map(|(t, e)| merge_nodes(t, e, z, depth))
+        .collect()
+}
+
+fn into_loop(node: TreeNode) -> (u32, Vec<TreeNode>) {
+    match node {
+        TreeNode::Loop { c, children } => (c, children),
+        leaf @ TreeNode::Leaf { .. } => (1, vec![leaf]),
+    }
+}
+
+fn wrap_to_depth(node: TreeNode, depth: usize) -> TreeNode {
+    let mut node = node;
+    for _ in 0..depth {
+        node = TreeNode::Loop {
+            c: 1,
+            children: vec![node],
+        };
+    }
+    node
+}
+
+/// Completes the tree to uniform depth and width.
+fn pad_tree(nodes: Vec<TreeNode>, target_depth: usize, width: usize) -> Vec<TreeNode> {
+    let mut out: Vec<TreeNode> = nodes
+        .into_iter()
+        .map(|n| pad_node(n, target_depth, width))
+        .collect();
+    while out.len() < width {
+        out.push(pad_node(
+            TreeNode::Leaf {
+                c: 1,
+                ruleset: Ruleset::new(),
+            },
+            target_depth,
+            width,
+        ));
+    }
+    out
+}
+
+fn pad_node(node: TreeNode, remaining_depth: usize, width: usize) -> TreeNode {
+    match node {
+        TreeNode::Leaf { c, ruleset } => {
+            if remaining_depth == 0 {
+                TreeNode::Leaf { c, ruleset }
+            } else {
+                // Wrap in an artificial single-iteration-schedule loop.
+                TreeNode::Loop {
+                    c: 1,
+                    children: pad_tree(vec![TreeNode::Leaf { c, ruleset }], remaining_depth - 1, width),
+                }
+            }
+        }
+        TreeNode::Loop { c, children } => {
+            debug_assert!(remaining_depth >= 1, "loop deeper than computed depth");
+            TreeNode::Loop {
+                c,
+                children: pad_tree(children, remaining_depth - 1, width),
+            }
+        }
+    }
+}
+
+/// Computes the width (max children across internal nodes, and the root).
+fn tree_width(nodes: &[TreeNode]) -> usize {
+    let mut width = nodes.len();
+    for node in nodes {
+        if let TreeNode::Loop { children, .. } = node {
+            width = width.max(tree_width(children));
+        }
+    }
+    width
+}
+
+/// Precompiles the first structured thread of `program` into a complete
+/// ruleset tree.
+///
+/// Raw threads are untouched (they compose at execution time); additional
+/// structured threads must be compiled separately.
+///
+/// # Panics
+///
+/// Panics if the program has no structured thread.
+#[must_use]
+pub fn precompile(program: &Program) -> CompiledTree {
+    let (_, body) = program
+        .structured_threads()
+        .next()
+        .expect("program has a structured thread");
+    let mut lowerer = Lowerer {
+        vars: program.vars.clone(),
+        counter: 0,
+        c_max: 1,
+    };
+    let root = lowerer.lower_block(body);
+    let depth = root.iter().map(TreeNode::depth).max().unwrap_or(0);
+    let width = tree_width(&root).max(1);
+    let root = pad_tree(root, depth, width);
+    CompiledTree {
+        vars: lowerer.vars,
+        l_max: depth + 1,
+        w_max: width,
+        root,
+        c: lowerer.c_max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{build, Thread};
+    use pp_rules::parse::parse_ruleset;
+
+    fn simple_program(body: Vec<Instr>) -> Program {
+        let mut vars = VarSet::new();
+        let _ = vars.add("X");
+        let _ = vars.add("Y");
+        Program {
+            name: "t".into(),
+            vars,
+            inputs: vec![],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![Thread::Structured {
+                name: "Main".into(),
+                body,
+            }],
+        }
+    }
+
+    #[test]
+    fn assignment_lowered_to_two_leaves() {
+        let mut vars = VarSet::new();
+        let x = vars.add("X");
+        let y = vars.add("Y");
+        let p = Program {
+            name: "t".into(),
+            vars,
+            inputs: vec![],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![Thread::Structured {
+                name: "Main".into(),
+                body: vec![build::assign(x, Guard::var(y))],
+            }],
+        };
+        let tree = precompile(&p);
+        assert_eq!(tree.l_max, 1);
+        assert_eq!(tree.w_max, 2);
+        let leaves = tree.leaves();
+        assert_eq!(leaves.len(), 2);
+        // First leaf arms the trigger, second applies.
+        assert_eq!(leaves[0].1.len(), 1);
+        assert_eq!(leaves[1].1.len(), 2);
+        assert!(tree.vars.get("K_0").is_some(), "trigger variable created");
+    }
+
+    #[test]
+    fn coin_assignment_has_two_equiprobable_rules() {
+        let mut vars = VarSet::new();
+        let f = vars.add("F");
+        let p = Program {
+            name: "t".into(),
+            vars,
+            inputs: vec![],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![Thread::Structured {
+                name: "Main".into(),
+                body: vec![build::assign_coin(f)],
+            }],
+        };
+        let tree = precompile(&p);
+        let leaves = tree.leaves();
+        let apply = leaves[1].1;
+        assert_eq!(apply.len(), 2);
+        // One rule sets F, the other clears it.
+        let k = tree.vars.get("K_0").unwrap();
+        let armed = k.mask();
+        let mut rng = pp_engine::rng::SimRng::seed_from(1);
+        let outcomes: Vec<u32> = apply
+            .rules()
+            .iter()
+            .map(|r| r.apply(armed, 0).0)
+            .collect();
+        assert!(outcomes.contains(&f.mask()), "one rule sets F");
+        assert!(outcomes.contains(&0), "one rule clears F");
+        let _ = &mut rng;
+    }
+
+    #[test]
+    fn if_exists_produces_gated_leaves() {
+        let mut vars = VarSet::new();
+        let x = vars.add("X");
+        let y = vars.add("Y");
+        let p = Program {
+            name: "t".into(),
+            vars,
+            inputs: vec![],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![Thread::Structured {
+                name: "Main".into(),
+                body: vec![build::if_else(
+                    Guard::var(x),
+                    vec![build::assign(y, Guard::any())],
+                    vec![build::assign(y, Guard::any().not())],
+                )],
+            }],
+        };
+        let tree = precompile(&p);
+        let z = tree.vars.get("Z_0").expect("Z flag created");
+        // Trigger flags for the two branch assignments share the counter.
+        let k_then = tree.vars.get("K_1").expect("then trigger");
+        let k_else = tree.vars.get("K_2").expect("else trigger");
+        let leaves = tree.leaves();
+        // 2 evaluation leaves + 2 merged assignment leaves.
+        assert_eq!(leaves.len(), 4);
+        // Merged apply-leaf contains rules gated on Z and ¬Z.
+        let merged = leaves[3].1;
+        assert_eq!(merged.len(), 4, "2 then-rules + 2 else-rules");
+        let then_state = z.mask() | k_then.mask();
+        let else_state = k_else.mask();
+        let fires_then = merged.rules().iter().filter(|r| r.guard_a.eval(then_state)).count();
+        let fires_else = merged.rules().iter().filter(|r| r.guard_a.eval(else_state)).count();
+        assert!(fires_then > 0, "some rules fire under Z");
+        assert!(fires_else > 0, "some rules fire under ¬Z");
+        // No rule fires in both branch contexts.
+        let both = merged
+            .rules()
+            .iter()
+            .filter(|r| {
+                r.guard_a.eval(z.mask() | k_then.mask() | k_else.mask())
+                    && r.guard_a.eval(k_then.mask() | k_else.mask())
+            })
+            .count();
+        assert_eq!(both, 0, "Z and ¬Z gating is exclusive");
+    }
+
+    #[test]
+    fn nested_loop_increases_depth() {
+        let mut vars = VarSet::new();
+        let rs = parse_ruleset("(X) + (.) -> (!X) + (.)", &mut vars).unwrap();
+        let p = Program {
+            name: "t".into(),
+            vars,
+            inputs: vec![],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![Thread::Structured {
+                name: "Main".into(),
+                body: vec![
+                    build::execute(2, rs.clone()),
+                    build::repeat_log(3, vec![build::execute(2, rs)]),
+                ],
+            }],
+        };
+        let tree = precompile(&p);
+        assert_eq!(tree.l_max, 2);
+        assert_eq!(tree.w_max, 2);
+        assert_eq!(tree.c, 3, "max constant wins");
+        // Complete tree: w^l leaves.
+        assert_eq!(tree.leaves().len(), 4);
+        // Every time path has l_max coordinates in 1..=w_max.
+        for (path, _) in tree.leaves() {
+            assert_eq!(path.len(), 2);
+            assert!(path.iter().all(|&t| (1..=2).contains(&t)));
+        }
+    }
+
+    #[test]
+    fn empty_padding_leaves_are_nil() {
+        let p = simple_program(vec![build::assign(
+            pp_rules::Var::new(0),
+            Guard::any(),
+        )]);
+        let tree = precompile(&p);
+        // Assignment gives 2 leaves; no padding needed at width 2.
+        assert_eq!(tree.num_leaves(), tree.leaves().len());
+    }
+
+    #[test]
+    fn leader_election_precompiles() {
+        // End-to-end over a real program shape: mirrors LeaderElection.
+        let mut vars = VarSet::new();
+        let l = vars.add("L");
+        let d = vars.add("D");
+        let f = vars.add("F");
+        let body = vec![
+            build::if_exists(
+                Guard::var(l),
+                vec![
+                    build::assign_coin(f),
+                    build::assign(d, Guard::var(l).and(Guard::var(f))),
+                ],
+            ),
+            build::if_else(
+                Guard::var(d),
+                vec![build::assign(l, Guard::var(d))],
+                vec![build::if_else(
+                    Guard::var(l),
+                    vec![],
+                    vec![build::assign(l, Guard::any())],
+                )],
+            ),
+        ];
+        let p = Program {
+            name: "LeaderElection".into(),
+            vars,
+            inputs: vec![],
+            outputs: vec![l],
+            init: vec![(l, true)],
+            derived_init: vec![],
+            threads: vec![Thread::Structured {
+                name: "Main".into(),
+                body,
+            }],
+        };
+        let tree = precompile(&p);
+        assert_eq!(tree.l_max, 1, "no nested repeat loops");
+        assert!(tree.w_max >= 8, "several lowered leaves: {}", tree.w_max);
+        assert_eq!(tree.leaves().len(), tree.num_leaves());
+    }
+}

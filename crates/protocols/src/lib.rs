@@ -1,0 +1,44 @@
+//! # pp-protocols — the protocols of *Population Protocols Are Fast*
+//!
+//! This crate implements every task protocol the paper designs, in both
+//! the w.h.p. and always-correct variants, expressed in the `pp-lang`
+//! programming framework exactly as the paper writes them (reconstructions
+//! of garbled listings are documented per item):
+//!
+//! * [`leader`] — `LeaderElection` (Theorem 3.1) and
+//!   `LeaderElectionExact` (Theorems 6.1–6.2) with the `FilteredCoin` and
+//!   `ReduceSets` threads;
+//! * [`majority`] — `Majority` (Theorem 3.2) and `MajorityExact`
+//!   (Theorem 6.3);
+//! * [`plurality`] — plurality consensus over `l` colors (Section 1.1);
+//! * [`semilinear`] — predicate AST, the slow (stable) and fast
+//!   (leader-timed) blackboxes, and `SemilinearPredicateExact`
+//!   (Theorem 6.4);
+//! * [`baselines`] — prior protocols the paper compares against:
+//!   3-state approximate majority, 4-state exact majority, fratricide
+//!   leader election, and an AAG18-style synchronized baseline;
+//! * [`coin`] — the synthetic-coin derandomization of \[AAE+17\].
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_lang::interp::Executor;
+//! use pp_protocols::leader::leader_election;
+//! use pp_rules::Guard;
+//!
+//! let program = leader_election();
+//! let l = program.vars.get("L").unwrap();
+//! let mut exec = Executor::new(&program, &[(vec![], 128)], 1);
+//! let iterations = exec.run_until(200, |e| e.count_where(&Guard::var(l)) == 1);
+//! assert!(iterations.is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod baselines;
+pub mod coin;
+pub mod leader;
+pub mod majority;
+pub mod plurality;
+pub mod semilinear;

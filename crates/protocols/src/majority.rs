@@ -1,0 +1,262 @@
+//! Exact majority protocols (Sections 3.2 and 6.2).
+//!
+//! Majority in its generalized comparison form: a set `A` of agents holds
+//! input flag `A`, a disjoint set holds `B` (some agents may be blank), and
+//! all agents must converge on output `Y_A = on` iff `|A| > |B|`.
+//!
+//! The core mechanism (after \[AAG18\], radically simplified by the
+//! framework's synchronization): per outer iteration, copy the inputs to
+//! working flags, then alternate *cancellation* (an `A*` and a `B*` erase
+//! each other, preserving the signed difference) and *doubling* (survivors
+//! recruit blank agents, doubling the difference) for `Θ(log n)` phases;
+//! whichever side survives is the majority, read out via `if exists`.
+//! Correct w.h.p. *for any gap*, including gap 1 (Theorem 3.2).
+//!
+//! The always-correct variant ([`majority_exact`], Theorem 6.3) composes
+//! the same fast loop with a slow background thread that cancels the *true
+//! inputs* pairwise — after (expected polynomial) time the minority input
+//! set is exhausted, the corresponding working flag can never reappear
+//! (guaranteed behavior), and the output is pinned to the truth forever.
+
+use pp_lang::ast::{build, Program, Thread};
+use pp_rules::parse::{parse_rule, parse_ruleset};
+use pp_rules::{Guard, Ruleset, VarSet};
+
+/// Builds the shared cancellation/doubling iteration body.
+///
+/// `c` is the loop constant used for both the phase count and the per-phase
+/// round budget.
+fn duel_body(
+    vars: &mut VarSet,
+    a_star: &str,
+    b_star: &str,
+    k_flag: &str,
+    c: u32,
+) -> (Vec<pp_lang::ast::Instr>, Guard, Guard) {
+    let cancel = parse_ruleset(
+        &format!("({a_star}) + ({b_star}) -> (!{a_star}) + (!{b_star})"),
+        vars,
+    )
+    .expect("cancellation rule parses");
+    let double = parse_ruleset(
+        &format!(
+            "({a_star} & !{k_flag}) + (!{a_star} & !{b_star}) -> ({a_star} & {k_flag}) + ({a_star} & {k_flag})\n\
+             ({b_star} & !{k_flag}) + (!{a_star} & !{b_star}) -> ({b_star} & {k_flag}) + ({b_star} & {k_flag})"
+        ),
+        vars,
+    )
+    .expect("doubling rules parse");
+    let k = vars.get(k_flag).expect("K registered");
+    let ga = Guard::var(vars.get(a_star).expect("A* registered"));
+    let gb = Guard::var(vars.get(b_star).expect("B* registered"));
+    let body = vec![build::repeat_log(
+        c,
+        vec![
+            build::execute(c, cancel),
+            build::assign(k, Guard::any().not()),
+            build::execute(c, double),
+        ],
+    )];
+    (body, ga, gb)
+}
+
+/// The w.h.p. `Majority` protocol (Section 3.2) with loop constant `c`.
+///
+/// Inputs `A`, `B`; output `Y_A`; working flags `A*`, `B*`, `K`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_lang::interp::Executor;
+/// use pp_protocols::majority::majority;
+/// use pp_rules::Guard;
+///
+/// let program = majority(2);
+/// let a = program.vars.get("A").unwrap();
+/// let b = program.vars.get("B").unwrap();
+/// let ya = program.vars.get("Y_A").unwrap();
+/// // 26 vs 24: a gap of 2 out of 100.
+/// let mut exec = Executor::new(&program, &[(vec![a], 26), (vec![b], 24), (vec![], 50)], 3);
+/// exec.run_iteration();
+/// assert_eq!(exec.count_where(&Guard::var(ya)), 100, "all agents answer A");
+/// ```
+#[must_use]
+pub fn majority(c: u32) -> Program {
+    let mut vars = VarSet::new();
+    let a = vars.add("A");
+    let b = vars.add("B");
+    let ya = vars.add("Y_A");
+    let a_star = vars.add("A'");
+    let b_star = vars.add("B'");
+    let _k = vars.add("K");
+
+    let (duel, ga, gb) = duel_body(&mut vars, "A'", "B'", "K", c);
+    let mut body = vec![
+        build::assign(a_star, Guard::var(a)),
+        build::assign(b_star, Guard::var(b)),
+    ];
+    body.extend(duel);
+    body.push(build::if_exists(
+        ga,
+        vec![build::assign(ya, Guard::any())],
+    ));
+    body.push(build::if_exists(
+        gb,
+        vec![build::assign(ya, Guard::any().not())],
+    ));
+
+    Program {
+        name: "Majority".into(),
+        vars,
+        inputs: vec![a, b],
+        outputs: vec![ya],
+        init: vec![],
+        derived_init: vec![],
+        threads: vec![Thread::Structured {
+            name: "Main".into(),
+            body,
+        }],
+    }
+}
+
+/// The always-correct `MajorityExact` protocol (Section 6.2) with loop
+/// constant `c`.
+///
+/// Identical to [`majority`] plus the `SlowCancel` raw thread
+/// `▷ (A) + (B) → (¬A) + (¬B)` acting on the *true inputs*. Once the
+/// smaller input set is exhausted (after expected polynomial time), the
+/// corresponding working flag is permanently empty, so the output can never
+/// be flipped back — correctness with certainty, while the fast loop still
+/// answers in `O(log³ n)` rounds w.h.p.
+///
+/// (The published listing of `MajorityExact` is partially garbled in the
+/// available text; this reconstruction follows the proof of Theorem 6.3,
+/// which requires exactly such a background cancellation of the inputs.)
+#[must_use]
+pub fn majority_exact(c: u32) -> Program {
+    let mut program = majority(c);
+    program.name = "MajorityExact".into();
+    let slow = parse_rule("(A) + (B) -> (!A) + (!B)", &mut program.vars)
+        .expect("slow cancellation parses");
+    program.threads.push(Thread::Raw {
+        name: "SlowCancel".into(),
+        ruleset: Ruleset::from_rules(vec![slow]),
+    });
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_lang::interp::Executor;
+
+    fn output_counts(exec: &Executor<'_>, program: &Program) -> (u64, u64) {
+        let ya = program.vars.get("Y_A").unwrap();
+        let on = exec.count_where(&Guard::var(ya));
+        (on, exec.n() - on)
+    }
+
+    #[test]
+    fn program_structure() {
+        let p = majority(2);
+        assert_eq!(p.loop_depth(), 1, "one nested repeat loop");
+        let text = p.render();
+        assert!(text.contains("repeat >= 2 ln n times:"));
+        assert!(text.contains("(A') + (B') -> (!A') + (!B')"));
+    }
+
+    #[test]
+    fn unanimous_answer_with_clear_majority() {
+        let p = majority(2);
+        let a = p.vars.get("A").unwrap();
+        let b = p.vars.get("B").unwrap();
+        let mut exec = Executor::new(&p, &[(vec![a], 150), (vec![b], 50)], 1);
+        exec.run_iteration();
+        let (on, off) = output_counts(&exec, &p);
+        assert_eq!((on, off), (200, 0));
+    }
+
+    #[test]
+    fn minority_side_loses() {
+        let p = majority(2);
+        let a = p.vars.get("A").unwrap();
+        let b = p.vars.get("B").unwrap();
+        let mut exec = Executor::new(&p, &[(vec![a], 40), (vec![b], 110), (vec![], 50)], 2);
+        exec.run_iteration();
+        let (on, off) = output_counts(&exec, &p);
+        assert_eq!((on, off), (0, 200));
+    }
+
+    #[test]
+    fn gap_of_one_is_decided_correctly() {
+        // The paper's headline: correctness w.h.p. regardless of the gap.
+        let p = majority(3);
+        let a = p.vars.get("A").unwrap();
+        let b = p.vars.get("B").unwrap();
+        let mut correct = 0;
+        let runs = 6;
+        for seed in 0..runs {
+            let mut exec =
+                Executor::new(&p, &[(vec![a], 101), (vec![b], 100), (vec![], 99)], seed);
+            exec.run_iteration();
+            let (on, _) = output_counts(&exec, &p);
+            if on == 300 {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 5, "gap-1 correct in {correct}/{runs} runs");
+    }
+
+    #[test]
+    fn inputs_are_preserved_by_whp_variant() {
+        let p = majority(2);
+        let a = p.vars.get("A").unwrap();
+        let b = p.vars.get("B").unwrap();
+        let mut exec = Executor::new(&p, &[(vec![a], 60), (vec![b], 40)], 4);
+        for _ in 0..3 {
+            exec.run_iteration();
+        }
+        assert_eq!(exec.count_where(&Guard::var(a)), 60, "input A untouched");
+        assert_eq!(exec.count_where(&Guard::var(b)), 40, "input B untouched");
+    }
+
+    #[test]
+    fn output_is_stable_across_iterations() {
+        let p = majority(2);
+        let a = p.vars.get("A").unwrap();
+        let b = p.vars.get("B").unwrap();
+        let mut exec = Executor::new(&p, &[(vec![a], 70), (vec![b], 30)], 5);
+        exec.run_iteration();
+        for _ in 0..4 {
+            exec.run_iteration();
+            let (on, _) = output_counts(&exec, &p);
+            assert_eq!(on, 100, "answer persists across iterations");
+        }
+    }
+
+    #[test]
+    fn exact_variant_consumes_inputs_and_pins_output() {
+        let p = majority_exact(2);
+        let a = p.vars.get("A").unwrap();
+        let b = p.vars.get("B").unwrap();
+        let mut exec = Executor::new(&p, &[(vec![a], 30), (vec![b], 34)], 6);
+        // Run long enough for SlowCancel to exhaust the minority input
+        // (n = 64; pairwise cancellation needs O(n) rounds at gap 4).
+        let converged = exec.run_until(400, |e| e.count_where(&Guard::var(a)) == 0);
+        assert!(converged.is_some(), "minority input exhausted");
+        assert_eq!(exec.count_where(&Guard::var(b)), 4, "difference preserved");
+        // From here the output can never flip back to A.
+        for _ in 0..10 {
+            exec.run_iteration();
+            let (on, _) = output_counts(&exec, &p);
+            assert_eq!(on, 0, "output pinned to B forever");
+        }
+    }
+
+    #[test]
+    fn exact_variant_structure() {
+        let p = majority_exact(2);
+        assert_eq!(p.raw_threads().count(), 1);
+        assert!(p.render().contains("SlowCancel"));
+    }
+}

@@ -1,0 +1,404 @@
+//! Plurality consensus: identify the largest of `l` input color sets
+//! (Section 1.1).
+//!
+//! The paper obtains plurality consensus as "a straightforward adaptation
+//! of our protocol for majority, with the same convergence time". We
+//! realize it as a sequential *tournament of majority duels*, which is
+//! sound because comparison-by-cardinality is transitive: the current
+//! champion color duels each remaining color in turn using the
+//! cancellation/doubling machinery of [`crate::majority`]; the surviving
+//! side becomes (or stays) champion. After `l − 1` duels the champion flags
+//! identify the plurality color for every agent.
+//!
+//! Per-agent flags: `l` input colors `C_i`, `l` champion/output flags
+//! `W_i`, plus the three shared duel flags — `2l + 3` booleans. (The paper
+//! optimizes the representation to `O(l²)` *states*; the flag encoding here
+//! is semantically equivalent and keeps the program in the same framework
+//! idiom.)
+
+use pp_lang::ast::{build, Instr, Program, Thread};
+use pp_rules::parse::parse_ruleset;
+use pp_rules::{Guard, VarSet};
+
+/// Maximum supported number of colors (bounded by the 20-variable flag
+/// space: `2l + 3 ≤ 20`).
+pub const MAX_COLORS: usize = 8;
+
+/// Builds the plurality-consensus program for `l` colors with loop
+/// constant `c`.
+///
+/// Input flags are named `C1 … Cl`; output flags `W1 … Wl`. All agents
+/// converge to the same `W` vector, with exactly the plurality color's flag
+/// set (when a unique plurality exists), w.h.p.
+///
+/// # Panics
+///
+/// Panics if `l < 2` or `l > MAX_COLORS`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_lang::interp::Executor;
+/// use pp_protocols::plurality::plurality;
+/// use pp_rules::Guard;
+///
+/// let program = plurality(3, 2);
+/// let c: Vec<_> = (1..=3).map(|i| program.vars.get(&format!("C{i}")).unwrap()).collect();
+/// let w2 = program.vars.get("W2").unwrap();
+/// let mut exec = Executor::new(
+///     &program,
+///     &[(vec![c[0]], 20), (vec![c[1]], 50), (vec![c[2]], 30)],
+///     5,
+/// );
+/// exec.run_iteration();
+/// assert_eq!(exec.count_where(&Guard::var(w2)), 100, "color 2 wins");
+/// ```
+#[must_use]
+pub fn plurality(l: usize, c: u32) -> Program {
+    assert!((2..=MAX_COLORS).contains(&l), "l must be in 2..={MAX_COLORS}");
+    let mut vars = VarSet::new();
+    let colors: Vec<_> = (1..=l).map(|i| vars.add(&format!("C{i}"))).collect();
+    let winners: Vec<_> = (1..=l).map(|i| vars.add(&format!("W{i}"))).collect();
+    let a_star = vars.add("A'");
+    let b_star = vars.add("B'");
+    let k = vars.add("K");
+
+    let cancel = parse_ruleset("(A') + (B') -> (!A') + (!B')", &mut vars).expect("cancel");
+    let double = parse_ruleset(
+        "(A' & !K) + (!A' & !B') -> (A' & K) + (A' & K)\n\
+         (B' & !K) + (!A' & !B') -> (B' & K) + (B' & K)",
+        &mut vars,
+    )
+    .expect("double");
+
+    let mut body: Vec<Instr> = Vec::new();
+    // Champion starts as color 1.
+    for (i, &w) in winners.iter().enumerate() {
+        body.push(build::assign(
+            w,
+            if i == 0 { Guard::any() } else { Guard::any().not() },
+        ));
+    }
+    // Duel the champion against each remaining color in turn.
+    for (j, &challenger) in colors.iter().enumerate().skip(1) {
+        // A' := agent belongs to the current champion color.
+        let champ_guard = colors
+            .iter()
+            .zip(&winners)
+            .map(|(&ci, &wi)| Guard::var(ci).and(Guard::var(wi)))
+            .reduce(Guard::or)
+            .expect("at least one color");
+        body.push(build::assign(a_star, champ_guard));
+        body.push(build::assign(b_star, Guard::var(challenger)));
+        body.push(build::repeat_log(
+            c,
+            vec![
+                build::execute(c, cancel.clone()),
+                build::assign(k, Guard::any().not()),
+                build::execute(c, double.clone()),
+            ],
+        ));
+        // If the challenger survived, it becomes the champion.
+        let mut crown: Vec<Instr> = Vec::new();
+        for (i, &w) in winners.iter().enumerate() {
+            crown.push(build::assign(
+                w,
+                if i == j { Guard::any() } else { Guard::any().not() },
+            ));
+        }
+        body.push(build::if_exists(Guard::var(b_star), crown));
+    }
+
+    Program {
+        name: format!("Plurality{l}"),
+        vars,
+        inputs: colors,
+        outputs: winners,
+        init: vec![],
+        derived_init: vec![],
+        threads: vec![Thread::Structured {
+            name: "Main".into(),
+            body,
+        }],
+    }
+}
+
+/// Always-correct plurality consensus for **three** colors, built as a
+/// product of stable pairwise comparisons.
+///
+/// Multi-way cancellation does *not* stably compute plurality (pairwise
+/// `C_i + C_j → blank` erasures do not preserve the relative order of
+/// non-cancelling pairs), so the exact variant instead runs one slow
+/// threshold blackbox per ordered color pair — `[#C_i − #C_j ≥ 1]` with
+/// values clamped to `{−1, 0, 1}` — and combines the (eventually stable)
+/// leader outputs: `W_i := ∧_{j≠i} [#C_i > #C_j]`. With 3 colors this is
+/// `3 + 3·4 + 3 = 18` boolean flags, the `O(l²)` state footprint the paper
+/// mentions for plurality.
+///
+/// Exact and eventually stable for inputs with a unique plurality;
+/// polynomial-time (slow-blackbox convergence).
+#[must_use]
+pub fn plurality_exact_three() -> Program {
+    use crate::semilinear::slow_threshold_ruleset;
+    use pp_lang::ast::Instr;
+
+    let mut vars = VarSet::new();
+    let colors: Vec<_> = (1..=3).map(|i| vars.add(&format!("C{i}"))).collect();
+    let winners: Vec<_> = (1..=3).map(|i| vars.add(&format!("W{i}"))).collect();
+    // One atom per ordered pair (i, j), i < j, computing #C_i − #C_j ≥ 1.
+    // The reverse comparison is the negation of `≥ 0`, but with distinct
+    // counts (unique plurality) `¬(i > j) ⇔ (j > i)`, so three atoms
+    // suffice for three colors.
+    let pairs = [(0usize, 1usize), (0, 2), (1, 2)];
+    let mut raw_threads = Vec::new();
+    let mut atom_vars = Vec::new();
+    for &(i, j) in &pairs {
+        let pre = format!("T{}{}", i + 1, j + 1);
+        let (rs, out) = slow_threshold_ruleset(&mut vars, &pre, 1);
+        let g = vars.get(&format!("{pre}G")).expect("G");
+        let vp = vars.get(&format!("{pre}Vp")).expect("Vp");
+        let vm = vars.get(&format!("{pre}Vm")).expect("Vm");
+        raw_threads.push(Thread::Raw {
+            name: format!("Slow{pre}"),
+            ruleset: rs,
+        });
+        atom_vars.push((i, j, g, vp, vm, out));
+    }
+
+    // Main: W_i := conjunction of the relevant pairwise outcomes, read via
+    // leader-gated existential checks. wins(i over j) for i<j is atom out;
+    // for i>j it is ¬out of atom (j, i).
+    let atom_for = |i: usize, j: usize| -> (pp_rules::Var, pp_rules::Var, bool) {
+        // returns (leader flag, output flag, polarity)
+        for &(a, b, g, _, _, out) in &atom_vars {
+            if (a, b) == (i, j) {
+                return (g, out, true);
+            }
+            if (a, b) == (j, i) {
+                return (g, out, false);
+            }
+        }
+        unreachable!("pair covered");
+    };
+    let mut body: Vec<Instr> = Vec::new();
+    for (i, &w) in winners.iter().enumerate() {
+        // W_i := on iff for every j ≠ i the pairwise atom says i > j.
+        // Built as nested if-exists over leader outputs; the innermost
+        // then-branch sets W_i on, every else sets it off.
+        let mut instr = build::assign(w, Guard::any());
+        for j in (0..3).filter(|&j| j != i).rev() {
+            let (g, out, polarity) = atom_for(i, j);
+            let cond = if polarity {
+                Guard::var(g).and(Guard::var(out))
+            } else {
+                Guard::var(g).and(Guard::not_var(out))
+            };
+            instr = build::if_else(cond, vec![instr], vec![build::assign(w, Guard::any().not())]);
+        }
+        body.push(instr);
+    }
+
+    // Derived initial values: all atoms start as leaders with the signed
+    // membership value and the matching initial output.
+    let mut derived_init = Vec::new();
+    for &(i, j, g, vp, vm, out) in &atom_vars {
+        derived_init.push((g, Guard::any()));
+        derived_init.push((vp, Guard::var(colors[i])));
+        derived_init.push((vm, Guard::var(colors[j])));
+        derived_init.push((out, Guard::var(colors[i]).and(Guard::not_var(colors[j]))));
+    }
+
+    let mut threads = vec![Thread::Structured {
+        name: "Main".into(),
+        body,
+    }];
+    threads.extend(raw_threads);
+    Program {
+        name: "PluralityExact3".into(),
+        vars,
+        inputs: colors,
+        outputs: winners,
+        init: vec![],
+        derived_init,
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_lang::interp::Executor;
+    use pp_rules::Var;
+
+    fn color_vars(p: &Program, l: usize) -> Vec<Var> {
+        (1..=l)
+            .map(|i| p.vars.get(&format!("C{i}")).unwrap())
+            .collect()
+    }
+
+    fn winner_of(exec: &Executor<'_>, p: &Program, l: usize) -> Option<usize> {
+        let n = exec.n();
+        let mut winner = None;
+        for i in 1..=l {
+            let w = p.vars.get(&format!("W{i}")).unwrap();
+            let count = exec.count_where(&Guard::var(w));
+            if count == n {
+                if winner.is_some() {
+                    return None; // two unanimous winners: inconsistent
+                }
+                winner = Some(i);
+            } else if count != 0 {
+                return None; // not unanimous
+            }
+        }
+        winner
+    }
+
+    #[test]
+    fn three_colors_unique_plurality() {
+        let p = plurality(3, 2);
+        let c = color_vars(&p, 3);
+        let mut exec = Executor::new(
+            &p,
+            &[(vec![c[0]], 45), (vec![c[1]], 30), (vec![c[2]], 25)],
+            1,
+        );
+        exec.run_iteration();
+        assert_eq!(winner_of(&exec, &p, 3), Some(1));
+    }
+
+    #[test]
+    fn plurality_without_absolute_majority() {
+        // Winner has 40% — less than half, still the plurality.
+        let p = plurality(3, 2);
+        let c = color_vars(&p, 3);
+        let mut exec = Executor::new(
+            &p,
+            &[(vec![c[0]], 30), (vec![c[1]], 40), (vec![c[2]], 30)],
+            2,
+        );
+        exec.run_iteration();
+        assert_eq!(winner_of(&exec, &p, 3), Some(2));
+    }
+
+    #[test]
+    fn four_colors_last_wins() {
+        let p = plurality(4, 2);
+        let c = color_vars(&p, 4);
+        let mut exec = Executor::new(
+            &p,
+            &[
+                (vec![c[0]], 20),
+                (vec![c[1]], 25),
+                (vec![c[2]], 25),
+                (vec![c[3]], 50),
+            ],
+            3,
+        );
+        exec.run_iteration();
+        assert_eq!(winner_of(&exec, &p, 4), Some(4));
+    }
+
+    #[test]
+    fn uncolored_agents_are_allowed() {
+        let p = plurality(3, 2);
+        let c = color_vars(&p, 3);
+        let mut exec = Executor::new(
+            &p,
+            &[(vec![c[0]], 10), (vec![c[1]], 25), (vec![], 65)],
+            4,
+        );
+        exec.run_iteration();
+        assert_eq!(winner_of(&exec, &p, 3), Some(2));
+    }
+
+    #[test]
+    fn empty_color_never_wins() {
+        let p = plurality(3, 2);
+        let c = color_vars(&p, 3);
+        let mut exec = Executor::new(&p, &[(vec![c[0]], 60), (vec![c[1]], 40)], 5);
+        exec.run_iteration();
+        assert_eq!(winner_of(&exec, &p, 3), Some(1));
+    }
+
+    #[test]
+    fn result_is_stable_across_iterations() {
+        let p = plurality(3, 2);
+        let c = color_vars(&p, 3);
+        let mut exec = Executor::new(
+            &p,
+            &[(vec![c[0]], 25), (vec![c[1]], 35), (vec![c[2]], 40)],
+            6,
+        );
+        exec.run_iteration();
+        for _ in 0..3 {
+            exec.run_iteration();
+            assert_eq!(winner_of(&exec, &p, 3), Some(3));
+        }
+    }
+
+    #[test]
+    fn inputs_preserved() {
+        let p = plurality(3, 2);
+        let c = color_vars(&p, 3);
+        let mut exec = Executor::new(
+            &p,
+            &[(vec![c[0]], 30), (vec![c[1]], 50), (vec![c[2]], 20)],
+            7,
+        );
+        exec.run_iteration();
+        assert_eq!(exec.count_where(&Guard::var(c[0])), 30);
+        assert_eq!(exec.count_where(&Guard::var(c[1])), 50);
+        assert_eq!(exec.count_where(&Guard::var(c[2])), 20);
+    }
+
+    #[test]
+    fn exact_three_color_plurality_is_stable() {
+        let p = plurality_exact_three();
+        assert_eq!(p.vars.len(), 18, "the O(l²) flag footprint");
+        let c: Vec<_> = (1..=3)
+            .map(|i| p.vars.get(&format!("C{i}")).unwrap())
+            .collect();
+        for (shares, expect) in [
+            ([10u64, 7, 5], 1usize),
+            ([5, 10, 7], 2),
+            ([5, 7, 10], 3),
+            ([8, 7, 9], 3),
+        ] {
+            let mut groups: Vec<(Vec<pp_rules::Var>, u64)> = c
+                .iter()
+                .zip(&shares)
+                .map(|(&ci, &s)| (vec![ci], s))
+                .collect();
+            groups.push((vec![], 6));
+            let mut exec = Executor::new(&p, &groups, shares[0] * 100 + shares[1]);
+            // Burn in past slow-blackbox convergence (n = 28, polynomial).
+            for _ in 0..400 {
+                exec.run_iteration();
+            }
+            for _ in 0..5 {
+                exec.run_iteration();
+                for i in 1..=3 {
+                    let w = p.vars.get(&format!("W{i}")).unwrap();
+                    let count = exec.count_where(&Guard::var(w));
+                    assert_eq!(
+                        count == exec.n(),
+                        i == expect,
+                        "shares {shares:?}: W{i} = {count}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "l must be in")]
+    fn too_many_colors_rejected() {
+        let _ = plurality(MAX_COLORS + 1, 2);
+    }
+
+    #[test]
+    fn loop_depth_is_one() {
+        assert_eq!(plurality(4, 2).loop_depth(), 1);
+    }
+}

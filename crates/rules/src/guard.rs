@@ -1,0 +1,297 @@
+//! Boolean formulas over state variables, used as rule guards and branch
+//! conditions.
+//!
+//! Guards evaluate against a packed state bitmask. The paper's rule bodies
+//! (post-conditions) are conjunctions of literals; guards on the left-hand
+//! side and `if exists (…)` conditions may be arbitrary boolean formulas.
+
+use crate::var::{Var, VarSet};
+use std::fmt;
+
+/// A boolean formula over state variables.
+///
+/// # Examples
+///
+/// ```
+/// use pp_rules::guard::Guard;
+/// use pp_rules::var::VarSet;
+///
+/// let vs = VarSet::from_names(&["A", "B"]);
+/// let a = vs.get("A").unwrap();
+/// let b = vs.get("B").unwrap();
+/// let g = Guard::var(a).and(Guard::var(b).not());
+/// assert!(g.eval(0b01)); //  A ∧ ¬B
+/// assert!(!g.eval(0b11));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Guard {
+    /// The empty formula `(.)` — matches any agent.
+    True,
+    /// A single variable.
+    Var(Var),
+    /// Negation.
+    Not(Box<Guard>),
+    /// Conjunction.
+    And(Box<Guard>, Box<Guard>),
+    /// Disjunction.
+    Or(Box<Guard>, Box<Guard>),
+}
+
+impl Guard {
+    /// The always-true guard `(.)`.
+    #[must_use]
+    pub fn any() -> Self {
+        Guard::True
+    }
+
+    /// A guard testing a single variable.
+    #[must_use]
+    pub fn var(v: Var) -> Self {
+        Guard::Var(v)
+    }
+
+    /// A guard testing the negation of a single variable.
+    #[must_use]
+    pub fn not_var(v: Var) -> Self {
+        Guard::Var(v).not()
+    }
+
+    /// Negates this guard.
+    #[must_use]
+    pub fn not(self) -> Self {
+        Guard::Not(Box::new(self))
+    }
+
+    /// Conjunction with another guard.
+    #[must_use]
+    pub fn and(self, other: Guard) -> Self {
+        Guard::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction with another guard.
+    #[must_use]
+    pub fn or(self, other: Guard) -> Self {
+        Guard::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Conjunction of a list of literals, `(var, polarity)` pairs.
+    #[must_use]
+    pub fn all_of(literals: &[(Var, bool)]) -> Self {
+        literals.iter().fold(Guard::True, |acc, &(v, pos)| {
+            let lit = if pos { Guard::var(v) } else { Guard::not_var(v) };
+            if acc == Guard::True {
+                lit
+            } else {
+                acc.and(lit)
+            }
+        })
+    }
+
+    /// Evaluates the guard against a packed state.
+    #[must_use]
+    pub fn eval(&self, state: u32) -> bool {
+        match self {
+            Guard::True => true,
+            Guard::Var(v) => v.is_set(state),
+            Guard::Not(g) => !g.eval(state),
+            Guard::And(a, b) => a.eval(state) && b.eval(state),
+            Guard::Or(a, b) => a.eval(state) || b.eval(state),
+        }
+    }
+
+    /// If this guard is a pure conjunction of literals, returns them.
+    ///
+    /// Returns `None` if the formula contains `Or`, or a `Not` applied to a
+    /// non-variable. `True` yields an empty list. Duplicate or contradictory
+    /// literals are returned as-is (callers detect contradictions via
+    /// [`Guard::eval`]).
+    #[must_use]
+    pub fn literals(&self) -> Option<Vec<(Var, bool)>> {
+        let mut out = Vec::new();
+        if self.collect_literals(&mut out, false) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    fn collect_literals(&self, out: &mut Vec<(Var, bool)>, negated: bool) -> bool {
+        match self {
+            Guard::True => !negated,
+            Guard::Var(v) => {
+                out.push((*v, !negated));
+                true
+            }
+            Guard::Not(g) => match g.as_ref() {
+                Guard::Var(v) => {
+                    out.push((*v, negated));
+                    true
+                }
+                _ => false,
+            },
+            Guard::And(a, b) if !negated => {
+                a.collect_literals(out, false) && b.collect_literals(out, false)
+            }
+            _ => false,
+        }
+    }
+
+    /// The set of variables mentioned anywhere in the formula.
+    #[must_use]
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Guard::True => {}
+            Guard::Var(v) => out.push(*v),
+            Guard::Not(g) => g.collect_vars(out),
+            Guard::And(a, b) | Guard::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Renders the guard using the paper's notation, with names from `vars`.
+    #[must_use]
+    pub fn render(&self, vars: &VarSet) -> String {
+        match self {
+            Guard::True => ".".to_string(),
+            Guard::Var(v) => vars.name(*v).to_string(),
+            Guard::Not(g) => match g.as_ref() {
+                Guard::Var(v) => format!("!{}", vars.name(*v)),
+                inner => format!("!({})", inner.render(vars)),
+            },
+            Guard::And(a, b) => format!("{} & {}", a.render_child(vars, true), b.render_child(vars, true)),
+            Guard::Or(a, b) => format!("{} | {}", a.render_child(vars, false), b.render_child(vars, false)),
+        }
+    }
+
+    fn render_child(&self, vars: &VarSet, in_and: bool) -> String {
+        let needs_parens = matches!(
+            (self, in_and),
+            (Guard::Or(_, _), true)
+        );
+        if needs_parens {
+            format!("({})", self.render(vars))
+        } else {
+            self.render(vars)
+        }
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Guard::True => write!(f, "."),
+            Guard::Var(v) => write!(f, "v{}", v.index()),
+            Guard::Not(g) => write!(f, "!({g})"),
+            Guard::And(a, b) => write!(f, "({a} & {b})"),
+            Guard::Or(a, b) => write!(f, "({a} | {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_vars() -> (VarSet, Var, Var, Var) {
+        let vs = VarSet::from_names(&["A", "B", "C"]);
+        let a = vs.get("A").unwrap();
+        let b = vs.get("B").unwrap();
+        let c = vs.get("C").unwrap();
+        (vs, a, b, c)
+    }
+
+    #[test]
+    fn true_matches_everything() {
+        for s in 0..8 {
+            assert!(Guard::any().eval(s));
+        }
+    }
+
+    #[test]
+    fn literal_evaluation() {
+        let (_, a, _, _) = three_vars();
+        assert!(Guard::var(a).eval(0b001));
+        assert!(!Guard::var(a).eval(0b110));
+        assert!(Guard::not_var(a).eval(0b110));
+    }
+
+    #[test]
+    fn compound_formulas() {
+        let (_, a, b, c) = three_vars();
+        let g = Guard::var(a).and(Guard::var(b)).or(Guard::var(c));
+        assert!(g.eval(0b011)); // A ∧ B
+        assert!(g.eval(0b100)); // C
+        assert!(!g.eval(0b001)); // only A
+    }
+
+    #[test]
+    fn demorgan_holds() {
+        let (_, a, b, _) = three_vars();
+        let lhs = Guard::var(a).or(Guard::var(b)).not();
+        let rhs = Guard::not_var(a).and(Guard::not_var(b));
+        for s in 0..8 {
+            assert_eq!(lhs.eval(s), rhs.eval(s), "state {s:#b}");
+        }
+    }
+
+    #[test]
+    fn literals_extracted_from_conjunction() {
+        let (_, a, b, c) = three_vars();
+        let g = Guard::var(a).and(Guard::not_var(b)).and(Guard::var(c));
+        let lits = g.literals().expect("pure conjunction");
+        assert_eq!(lits, vec![(a, true), (b, false), (c, true)]);
+    }
+
+    #[test]
+    fn literals_reject_disjunction() {
+        let (_, a, b, _) = three_vars();
+        assert!(Guard::var(a).or(Guard::var(b)).literals().is_none());
+        assert!(Guard::var(a).and(Guard::var(b)).not().literals().is_none());
+    }
+
+    #[test]
+    fn all_of_builds_conjunction() {
+        let (_, a, b, _) = three_vars();
+        let g = Guard::all_of(&[(a, true), (b, false)]);
+        assert!(g.eval(0b001));
+        assert!(!g.eval(0b011));
+        assert_eq!(g.literals().unwrap(), vec![(a, true), (b, false)]);
+    }
+
+    #[test]
+    fn all_of_empty_is_true() {
+        assert_eq!(Guard::all_of(&[]), Guard::True);
+    }
+
+    #[test]
+    fn vars_are_collected_sorted_unique() {
+        let (_, a, b, c) = three_vars();
+        let g = Guard::var(c).and(Guard::var(a)).or(Guard::var(a).and(Guard::var(b)));
+        assert_eq!(g.vars(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn render_uses_paper_notation() {
+        let (vs, a, b, _) = three_vars();
+        let g = Guard::var(a).and(Guard::not_var(b));
+        assert_eq!(g.render(&vs), "A & !B");
+        assert_eq!(Guard::any().render(&vs), ".");
+    }
+
+    #[test]
+    fn render_parenthesizes_or_inside_and() {
+        let (vs, a, b, c) = three_vars();
+        let g = Guard::var(a).or(Guard::var(b)).and(Guard::var(c));
+        assert_eq!(g.render(&vs), "(A | B) & C");
+    }
+}

@@ -1,0 +1,442 @@
+//! Text parser for the paper's rule notation.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! ruleset :=  rule (newline rule)*
+//! rule    :=  ['>'] '(' guard ')' '+' '(' guard ')' '->'
+//!             '(' guard ')' '+' '(' guard ')' ['@' float]
+//! guard   :=  '.' | or
+//! or      :=  and ('|' and)*
+//! and     :=  atom ('&' atom)*
+//! atom    :=  '!' atom | '(' or ')' | ident | '.'
+//! ```
+//!
+//! Identifiers name state variables; unknown names are registered on the
+//! fly when parsing with a mutable [`VarSet`]. Lines starting with `#` and
+//! blank lines are skipped. Post-conditions must be conjunctions of
+//! literals, matching the minimal-update semantics.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_rules::parse::parse_ruleset;
+//! use pp_rules::var::VarSet;
+//!
+//! let mut vars = VarSet::new();
+//! let ruleset = parse_ruleset(
+//!     "# leader fratricide\n> (L) + (L) -> (L) + (!L)",
+//!     &mut vars,
+//! ).unwrap();
+//! assert_eq!(ruleset.len(), 1);
+//! assert!(vars.get("L").is_some());
+//! ```
+
+use crate::guard::Guard;
+use crate::rule::{Rule, Ruleset};
+use crate::var::VarSet;
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseRuleError {
+    /// 1-based line number within the parsed text.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseRuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseRuleError {}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    LParen,
+    RParen,
+    Plus,
+    Arrow,
+    And,
+    Or,
+    Not,
+    Dot,
+    At,
+    Ident(String),
+    Number(f64),
+    End,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            chars: s.chars().peekable(),
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<Tok, String> {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.chars.next();
+        }
+        let Some(&c) = self.chars.peek() else {
+            return Ok(Tok::End);
+        };
+        match c {
+            '(' => {
+                self.chars.next();
+                Ok(Tok::LParen)
+            }
+            ')' => {
+                self.chars.next();
+                Ok(Tok::RParen)
+            }
+            '+' => {
+                self.chars.next();
+                Ok(Tok::Plus)
+            }
+            '&' => {
+                self.chars.next();
+                Ok(Tok::And)
+            }
+            '|' => {
+                self.chars.next();
+                Ok(Tok::Or)
+            }
+            '!' | '¬' => {
+                self.chars.next();
+                Ok(Tok::Not)
+            }
+            '.' => {
+                self.chars.next();
+                Ok(Tok::Dot)
+            }
+            '@' => {
+                self.chars.next();
+                Ok(Tok::At)
+            }
+            '-' => {
+                self.chars.next();
+                if self.chars.next() == Some('>') {
+                    Ok(Tok::Arrow)
+                } else {
+                    Err("expected '>' after '-'".to_string())
+                }
+            }
+            '→' => {
+                self.chars.next();
+                Ok(Tok::Arrow)
+            }
+            c if c.is_ascii_digit() => {
+                let mut num = String::new();
+                while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit() || *c == '.') {
+                    num.push(self.chars.next().expect("peeked"));
+                }
+                num.parse::<f64>()
+                    .map(Tok::Number)
+                    .map_err(|e| format!("bad number {num:?}: {e}"))
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while matches!(self.chars.peek(), Some(c) if c.is_alphanumeric() || *c == '_' || *c == '\'')
+                {
+                    ident.push(self.chars.next().expect("peeked"));
+                }
+                Ok(Tok::Ident(ident))
+            }
+            other => Err(format!("unexpected character {other:?}")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    current: Tok,
+    vars: &'a mut VarSet,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str, vars: &'a mut VarSet) -> Result<Self, String> {
+        let mut lexer = Lexer::new(s);
+        let current = lexer.next_tok()?;
+        Ok(Self {
+            lexer,
+            current,
+            vars,
+        })
+    }
+
+    fn advance(&mut self) -> Result<(), String> {
+        self.current = self.lexer.next_tok()?;
+        Ok(())
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), String> {
+        if &self.current == tok {
+            self.advance()
+        } else {
+            Err(format!("expected {tok:?}, found {:?}", self.current))
+        }
+    }
+
+    fn guard(&mut self) -> Result<Guard, String> {
+        // `.` is handled as an atom, so compound guards containing it
+        // (e.g. `. & A`) parse uniformly.
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Guard, String> {
+        let mut left = self.and_expr()?;
+        while self.current == Tok::Or {
+            self.advance()?;
+            let right = self.and_expr()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Guard, String> {
+        let mut left = self.atom()?;
+        while self.current == Tok::And {
+            self.advance()?;
+            let right = self.atom()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn atom(&mut self) -> Result<Guard, String> {
+        match self.current.clone() {
+            Tok::Dot => {
+                // `.` (the empty formula) is allowed as an atom so that
+                // rendered compound guards like `. & A` re-parse.
+                self.advance()?;
+                Ok(Guard::True)
+            }
+            Tok::Not => {
+                self.advance()?;
+                Ok(self.atom()?.not())
+            }
+            Tok::LParen => {
+                self.advance()?;
+                let inner = self.or_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(inner)
+            }
+            Tok::Ident(name) => {
+                self.advance()?;
+                let var = match self.vars.get(&name) {
+                    Some(v) => v,
+                    None => self.vars.add(&name),
+                };
+                Ok(Guard::var(var))
+            }
+            other => Err(format!("expected a guard atom, found {other:?}")),
+        }
+    }
+
+    fn paren_guard(&mut self) -> Result<Guard, String> {
+        self.expect(&Tok::LParen)?;
+        let g = self.guard()?;
+        self.expect(&Tok::RParen)?;
+        Ok(g)
+    }
+
+    fn rule(&mut self) -> Result<Rule, String> {
+        let guard_a = self.paren_guard()?;
+        self.expect(&Tok::Plus)?;
+        let guard_b = self.paren_guard()?;
+        self.expect(&Tok::Arrow)?;
+        let post_a = self.paren_guard()?;
+        self.expect(&Tok::Plus)?;
+        let post_b = self.paren_guard()?;
+        let mut rule =
+            Rule::new(guard_a, guard_b, &post_a, &post_b).map_err(|e| e.to_string())?;
+        if self.current == Tok::At {
+            self.advance()?;
+            match self.current.clone() {
+                Tok::Number(p) => {
+                    if !(p > 0.0 && p <= 1.0) {
+                        return Err(format!("probability {p} out of (0, 1]"));
+                    }
+                    rule = rule.with_probability(p);
+                    self.advance()?;
+                }
+                other => return Err(format!("expected probability after '@', found {other:?}")),
+            }
+        }
+        if self.current != Tok::End {
+            return Err(format!("trailing input: {:?}", self.current));
+        }
+        Ok(rule)
+    }
+}
+
+/// Parses a single rule line (optionally prefixed with `>` or `▷`).
+///
+/// Unknown variable names are added to `vars`.
+///
+/// # Errors
+///
+/// Returns a [`ParseRuleError`] describing the first syntax problem.
+pub fn parse_rule(line: &str, vars: &mut VarSet) -> Result<Rule, ParseRuleError> {
+    let trimmed = line
+        .trim()
+        .trim_start_matches('▷')
+        .trim_start_matches('>')
+        .trim();
+    let mut parser = Parser::new(trimmed, vars).map_err(|message| ParseRuleError {
+        line: 1,
+        message,
+    })?;
+    parser.rule().map_err(|message| ParseRuleError {
+        line: 1,
+        message,
+    })
+}
+
+/// Parses a multi-line ruleset. Blank lines and `#`-comments are skipped.
+///
+/// # Errors
+///
+/// Returns a [`ParseRuleError`] with the offending line number.
+pub fn parse_ruleset(text: &str, vars: &mut VarSet) -> Result<Ruleset, ParseRuleError> {
+    let mut out = Ruleset::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rule = parse_rule(line, vars).map_err(|mut e| {
+            e.line = idx + 1;
+            e
+        })?;
+        out.push(rule);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_rule() {
+        let mut vars = VarSet::new();
+        let r = parse_rule("(L) + (L) -> (L) + (!L)", &mut vars).unwrap();
+        let l = vars.get("L").unwrap();
+        assert!(r.matches(l.mask(), l.mask()));
+        let (a2, b2) = r.apply(l.mask(), l.mask());
+        assert_eq!(a2, l.mask());
+        assert_eq!(b2, 0);
+    }
+
+    #[test]
+    fn parses_dot_guards() {
+        let mut vars = VarSet::new();
+        let r = parse_rule("(.) + (X) -> (.) + (!X)", &mut vars).unwrap();
+        let x = vars.get("X").unwrap();
+        assert!(r.matches(0, x.mask()));
+        assert!(r.matches(x.mask(), x.mask()));
+    }
+
+    #[test]
+    fn parses_complex_guards() {
+        let mut vars = VarSet::new();
+        let r = parse_rule("(A & !B) + (A | B) -> (A & B) + (.)", &mut vars).unwrap();
+        let a = vars.get("A").unwrap();
+        let b = vars.get("B").unwrap();
+        assert!(r.matches(a.mask(), b.mask()));
+        assert!(!r.matches(a.mask() | b.mask(), b.mask()));
+        assert!(!r.matches(a.mask(), 0));
+    }
+
+    #[test]
+    fn parses_probability_suffix() {
+        let mut vars = VarSet::new();
+        let r = parse_rule("(A) + (.) -> (!A) + (.) @ 0.5", &mut vars).unwrap();
+        assert_eq!(r.probability, 0.5);
+    }
+
+    #[test]
+    fn parses_unicode_notation() {
+        let mut vars = VarSet::new();
+        let r = parse_rule("▷ (X) + (¬X) → (¬X) + (.)", &mut vars).unwrap();
+        let x = vars.get("X").unwrap();
+        assert!(r.matches(x.mask(), 0));
+    }
+
+    #[test]
+    fn rejects_disjunctive_post_condition() {
+        let mut vars = VarSet::new();
+        let err = parse_rule("(A) + (.) -> (A | B) + (.)", &mut vars).unwrap_err();
+        assert!(err.message.contains("conjunction of literals"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        let mut vars = VarSet::new();
+        let err = parse_rule("(A) + (.) -> (.) + (.) @ 2.0", &mut vars).unwrap_err();
+        assert!(err.message.contains("out of"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut vars = VarSet::new();
+        let err = parse_rule("(A) + (.) -> (.) + (.) extra", &mut vars).unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn ruleset_skips_comments_and_blanks() {
+        let mut vars = VarSet::new();
+        let rs = parse_ruleset(
+            "# a comment\n\n(A) + (A) -> (A) + (!A)\n  \n# another\n(A) + (!A) -> (A) + (.)\n",
+            &mut vars,
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn ruleset_error_reports_line_number() {
+        let mut vars = VarSet::new();
+        let err = parse_ruleset("(A) + (A) -> (A) + (!A)\n(bogus", &mut vars).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn roundtrip_through_render() {
+        let mut vars = VarSet::new();
+        let original = "(A & !B) + (.) -> (A & B) + (!A)";
+        let r = parse_rule(original, &mut vars).unwrap();
+        let rendered = r.render(&vars);
+        let mut vars2 = vars.clone();
+        let r2 = parse_rule(&rendered, &mut vars2).unwrap();
+        // Semantically identical: same matches and applications on all states.
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                assert_eq!(r.matches(a, b), r2.matches(a, b));
+                if r.matches(a, b) {
+                    assert_eq!(r.apply(a, b), r2.apply(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn primed_identifiers_allowed() {
+        let mut vars = VarSet::new();
+        let r = parse_rule("(A') + (B') -> (!A') + (!B')", &mut vars).unwrap();
+        assert!(vars.get("A'").is_some());
+        let a = vars.get("A'").unwrap();
+        let b = vars.get("B'").unwrap();
+        assert!(r.matches(a.mask(), b.mask()));
+    }
+}

@@ -1,0 +1,251 @@
+//! Boolean state variables and the variable registry.
+//!
+//! Section 1.3 of the paper represents an `O(1)`-state agent as a tuple of
+//! boolean *state variables* (flags). A protocol's state space is the set of
+//! assignments to its flags, which we pack as a bitmask: bit `i` of the
+//! state index is the value of variable `i`. This gives a dense state space
+//! of size `2^v`, directly usable by the `pp-engine` simulators.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Maximum number of boolean variables per protocol (state space `2^20`).
+pub const MAX_VARS: usize = 20;
+
+/// A boolean state variable, identified by its bit index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u8);
+
+impl Var {
+    /// Creates a variable with the given bit index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_VARS`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(index < MAX_VARS, "variable index {index} >= {MAX_VARS}");
+        Self(index as u8)
+    }
+
+    /// The bit index of this variable.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The bitmask with only this variable's bit set.
+    #[must_use]
+    pub fn mask(self) -> u32 {
+        1 << self.0
+    }
+
+    /// Whether this variable is set in the packed state `state`.
+    #[must_use]
+    pub fn is_set(self, state: u32) -> bool {
+        state & self.mask() != 0
+    }
+
+    /// Returns `state` with this variable forced to `value`.
+    #[must_use]
+    pub fn assign(self, state: u32, value: bool) -> u32 {
+        if value {
+            state | self.mask()
+        } else {
+            state & !self.mask()
+        }
+    }
+}
+
+/// A registry assigning names to variables, defining a protocol's flag space.
+///
+/// # Examples
+///
+/// ```
+/// use pp_rules::var::VarSet;
+///
+/// let mut vars = VarSet::new();
+/// let a = vars.add("A");
+/// let b = vars.add("B");
+/// assert_eq!(vars.len(), 2);
+/// assert_eq!(vars.get("A"), Some(a));
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarSet {
+    names: Vec<String>,
+    by_name: HashMap<String, Var>,
+}
+
+impl VarSet {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry from a list of names.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or too many variables.
+    #[must_use]
+    pub fn from_names<S: AsRef<str>>(names: &[S]) -> Self {
+        let mut set = Self::new();
+        for n in names {
+            set.add(n.as_ref());
+        }
+        set
+    }
+
+    /// Registers a new variable with `name` and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered, is empty, or the registry
+    /// is full ([`MAX_VARS`]).
+    pub fn add(&mut self, name: &str) -> Var {
+        assert!(!name.is_empty(), "variable name must be non-empty");
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate variable name {name:?}"
+        );
+        let var = Var::new(self.names.len());
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), var);
+        var
+    }
+
+    /// Looks up a variable by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Var> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is not from this registry.
+    #[must_use]
+    pub fn name(&self, var: Var) -> &str {
+        &self.names[var.index()]
+    }
+
+    /// Number of registered variables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Number of packed states: `2^len`.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        1 << self.names.len()
+    }
+
+    /// Iterates over `(Var, name)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Var::new(i), n.as_str()))
+    }
+
+    /// Builds a packed state with exactly the given variables set.
+    #[must_use]
+    pub fn state_with(&self, on: &[Var]) -> u32 {
+        on.iter().fold(0, |acc, v| acc | v.mask())
+    }
+
+    /// Renders a packed state as the set of on-variables, e.g. `{A, L}`.
+    #[must_use]
+    pub fn render_state(&self, state: u32) -> String {
+        let on: Vec<&str> = self
+            .iter()
+            .filter(|(v, _)| v.is_set(state))
+            .map(|(_, n)| n)
+            .collect();
+        format!("{{{}}}", on.join(","))
+    }
+}
+
+impl fmt::Display for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vars[{}]", self.names.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_mask_and_assign() {
+        let v = Var::new(3);
+        assert_eq!(v.mask(), 8);
+        assert!(!v.is_set(0));
+        let s = v.assign(0, true);
+        assert!(v.is_set(s));
+        assert_eq!(v.assign(s, false), 0);
+    }
+
+    #[test]
+    fn assign_is_idempotent() {
+        let v = Var::new(1);
+        let s = v.assign(v.assign(0b101, true), true);
+        assert_eq!(s, 0b111);
+        let s = v.assign(v.assign(s, false), false);
+        assert_eq!(s, 0b101);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 20")]
+    fn var_index_bounded() {
+        let _ = Var::new(MAX_VARS);
+    }
+
+    #[test]
+    fn varset_registration() {
+        let mut vs = VarSet::new();
+        let a = vs.add("A");
+        let b = vs.add("B");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(vs.num_states(), 4);
+        assert_eq!(vs.name(b), "B");
+        assert_eq!(vs.get("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable")]
+    fn duplicate_names_rejected() {
+        let mut vs = VarSet::new();
+        vs.add("A");
+        vs.add("A");
+    }
+
+    #[test]
+    fn state_construction_and_rendering() {
+        let vs = VarSet::from_names(&["A", "B", "C"]);
+        let a = vs.get("A").unwrap();
+        let c = vs.get("C").unwrap();
+        let s = vs.state_with(&[a, c]);
+        assert_eq!(s, 0b101);
+        assert_eq!(vs.render_state(s), "{A,C}");
+        assert_eq!(vs.render_state(0), "{}");
+    }
+
+    #[test]
+    fn iter_is_in_index_order() {
+        let vs = VarSet::from_names(&["X", "Y"]);
+        let collected: Vec<_> = vs.iter().map(|(v, n)| (v.index(), n.to_string())).collect();
+        assert_eq!(collected, vec![(0, "X".to_string()), (1, "Y".to_string())]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the rule DSL: parse/render round-trips, minimal
+//! update semantics, and guard algebra.
+
+use pp_rules::parse::parse_rule;
+use pp_rules::{Guard, Rule, Ruleset, Update, Var, VarSet};
+use proptest::prelude::*;
+
+fn vars3() -> VarSet {
+    VarSet::from_names(&["A", "B", "C"])
+}
+
+/// Strategy: an arbitrary guard over 3 variables with bounded depth.
+fn guard_strategy() -> impl Strategy<Value = Guard> {
+    let leaf = prop_oneof![
+        Just(Guard::True),
+        (0usize..3).prop_map(|i| Guard::var(Var::new(i))),
+        (0usize..3).prop_map(|i| Guard::not_var(Var::new(i))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|g| g.not()),
+        ]
+    })
+}
+
+/// Strategy: a conjunction-of-literals guard (usable as post-condition).
+fn literal_conj_strategy() -> impl Strategy<Value = Guard> {
+    proptest::collection::vec((0usize..3, any::<bool>()), 0..3).prop_map(|lits| {
+        let unique: Vec<(Var, bool)> = {
+            let mut seen = std::collections::HashMap::new();
+            for (i, pos) in lits {
+                seen.insert(i, pos);
+            }
+            seen.into_iter().map(|(i, p)| (Var::new(i), p)).collect()
+        };
+        Guard::all_of(&unique)
+    })
+}
+
+proptest! {
+    /// Rendering a guard and re-parsing it (as part of a rule) preserves
+    /// semantics on every state.
+    #[test]
+    fn guard_render_roundtrip(g in guard_strategy()) {
+        let vars = vars3();
+        let rendered = g.render(&vars);
+        let rule_text = format!("({rendered}) + (.) -> (.) + (.)");
+        let mut vars2 = vars.clone();
+        let rule = parse_rule(&rule_text, &mut vars2).expect("re-parses");
+        for state in 0..8u32 {
+            prop_assert_eq!(g.eval(state), rule.guard_a.eval(state),
+                "state {:#b} disagrees for {}", state, rendered);
+        }
+    }
+
+    /// Full rule round-trip: render then parse gives the same matches and
+    /// applications everywhere.
+    #[test]
+    fn rule_render_roundtrip(g1 in guard_strategy(), g2 in guard_strategy(),
+                             p1 in literal_conj_strategy(), p2 in literal_conj_strategy()) {
+        let vars = vars3();
+        let rule = match Rule::new(g1, g2, &p1, &p2) {
+            Ok(r) => r,
+            Err(_) => return Ok(()), // contradictory post-condition: skip
+        };
+        let rendered = rule.render(&vars);
+        let mut vars2 = vars.clone();
+        let reparsed = parse_rule(&rendered, &mut vars2).expect("re-parses");
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                prop_assert_eq!(rule.matches(a, b), reparsed.matches(a, b));
+                if rule.matches(a, b) {
+                    prop_assert_eq!(rule.apply(a, b), reparsed.apply(a, b));
+                }
+            }
+        }
+    }
+
+    /// Minimal update: applying an update twice equals applying it once
+    /// (idempotence), and untouched bits are preserved.
+    #[test]
+    fn updates_are_idempotent_and_minimal(p in literal_conj_strategy(), state in 0u32..8) {
+        let u = Update::from_guard(&p).expect("literal conjunction");
+        let once = u.apply(state);
+        prop_assert_eq!(u.apply(once), once, "idempotent");
+        // The post-condition holds after the update.
+        prop_assert!(p.eval(once));
+        // Bits not mentioned are untouched.
+        let touched = u.set | u.clear;
+        prop_assert_eq!(state & !touched, once & !touched);
+    }
+
+    /// Guard evaluation respects boolean algebra: double negation.
+    #[test]
+    fn double_negation(g in guard_strategy(), state in 0u32..8) {
+        prop_assert_eq!(g.clone().not().not().eval(state), g.eval(state));
+    }
+
+    /// Composition preserves per-thread uniform selection: composing a
+    /// ruleset with itself doubles the length but keeps semantics.
+    #[test]
+    fn compose_self_preserves_rules(g in guard_strategy()) {
+        let rule = Rule::new(g, Guard::True, &Guard::True, &Guard::True).unwrap();
+        let rs = Ruleset::from_rules(vec![rule.clone()]);
+        let composed = Ruleset::compose(&[rs.clone(), rs]);
+        prop_assert_eq!(composed.len(), 2);
+        for r in composed.rules() {
+            prop_assert_eq!(r, &rule);
+        }
+    }
+
+    /// literals() and all_of() are mutually inverse on literal sets.
+    #[test]
+    fn literals_roundtrip(p in literal_conj_strategy()) {
+        if let Some(lits) = p.literals() {
+            let rebuilt = Guard::all_of(&lits);
+            for state in 0..8u32 {
+                prop_assert_eq!(p.eval(state), rebuilt.eval(state));
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+# The w.h.p. leader election protocol of Section 3.1, in the framework's
+# pseudocode syntax (parseable by `ppsim run-file`).
+def protocol LeaderElection
+  var L <- on as output, D, F:
+  thread Main:
+    repeat:
+      if exists (L):
+        F := {on, off} chosen uniformly at random
+        D := L & F
+      if exists (D):
+        L := D
+      else:
+        if exists (L):
+        else:
+          L := on

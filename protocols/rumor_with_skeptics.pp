@@ -1,0 +1,12 @@
+# A custom protocol: rumor spreading with skeptics, plus a framework thread
+# that reports whether the rumor has reached everyone.
+def protocol RumorWithSkeptics
+  var R as input, S as input, Done as output:
+  thread Main:
+    repeat:
+      execute for >= 4 ln n rounds ruleset:
+        > (R) + (!R & !S) -> (R) + (R)
+        > (S) + (R) -> (!S & R) + (!R)
+      if exists (!R & !S):
+      else:
+        Done := on

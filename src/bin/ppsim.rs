@@ -1,0 +1,257 @@
+//! `ppsim` — command-line runner for the paper's protocols.
+//!
+//! ```text
+//! ppsim list
+//! ppsim leader        --n 10000 --seed 7
+//! ppsim leader-exact  --n 1000
+//! ppsim majority      --n 10000 --a 5001 --b 4999
+//! ppsim plurality     --n 3000 --colors 3
+//! ppsim parity        --n 200 --a 7
+//! ppsim oscillator    --n 50000 --rounds 300
+//! ```
+
+use population_protocols::core::clocks::detect::{dominance_events, periods, rotation_violations};
+use population_protocols::core::clocks::oscillator::{central_init, Dk18Oscillator, Oscillator};
+use population_protocols::core::engine::counts::CountPopulation;
+use population_protocols::core::engine::rng::SimRng;
+use population_protocols::core::engine::sim::Simulator;
+use population_protocols::core::lang::interp::Executor;
+use population_protocols::core::lang::parse::parse_program;
+use population_protocols::core::protocols::leader::{leader_election, leader_election_exact};
+use population_protocols::core::protocols::majority::majority;
+use population_protocols::core::protocols::plurality::plurality;
+use population_protocols::core::protocols::semilinear::parity_exact;
+use population_protocols::core::rules::Guard;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> HashMap<String, u64> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                out.insert(key.to_string(), value);
+                i += 2;
+                continue;
+            }
+        }
+        eprintln!("warning: ignoring argument {:?}", args[i]);
+        i += 1;
+    }
+    out
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ppsim <command> [--n N] [--seed S] [...]\n\
+         commands:\n\
+         \tlist                         list available protocols\n\
+         \tleader       [--n --seed]    w.h.p. leader election (Thm 3.1)\n\
+         \tleader-exact [--n --seed]    always-correct leader election (Thm 6.1)\n\
+         \tmajority     [--n --a --b --seed]  exact majority (Thm 3.2)\n\
+         \tplurality    [--n --colors --seed] plurality consensus\n\
+         \tparity       [--n --a --seed]      #A odd? (slow blackbox)\n\
+         \toscillator   [--n --x --rounds --seed]  the DK18-style oscillator"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let flags = parse_flags(&args[1..]);
+    let n = *flags.get("n").unwrap_or(&1_000);
+    let seed = *flags.get("seed").unwrap_or(&42);
+
+    match command.as_str() {
+        "list" => {
+            println!("leader leader-exact majority plurality parity oscillator run-file");
+            ExitCode::SUCCESS
+        }
+        "run-file" => {
+            // ppsim run-file <path> [--n N] [--seed S] [--iters I]
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("usage: ppsim run-file <protocol.pp> [--n N] [--seed S] [--iters I]");
+                return ExitCode::FAILURE;
+            };
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let program = match parse_program(&source) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{path}:{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let iters = *flags.get("iters").unwrap_or(&20);
+            println!("{}", program.render());
+            // Input groups: `--in-NAME count` puts `count` agents with the
+            // input flag NAME set; the rest start blank.
+            let mut groups: Vec<(Vec<population_protocols::core::rules::Var>, u64)> = Vec::new();
+            let mut assigned = 0u64;
+            for (key, &count) in &flags {
+                if let Some(name) = key.strip_prefix("in-") {
+                    let Some(var) = program.vars.get(name) else {
+                        eprintln!("unknown input variable {name:?}");
+                        return ExitCode::FAILURE;
+                    };
+                    groups.push((vec![var], count));
+                    assigned += count;
+                }
+            }
+            if assigned > n {
+                eprintln!("input groups exceed n");
+                return ExitCode::FAILURE;
+            }
+            groups.push((vec![], n - assigned));
+            let mut exec = Executor::new(&program, &groups, seed);
+            for _ in 0..iters {
+                exec.run_iteration();
+            }
+            println!("after {iters} iterations ≈ {:.0} rounds:", exec.rounds());
+            for (v, name) in program.vars.iter() {
+                use population_protocols::core::rules::Guard;
+                println!("  #{name} = {}", exec.count_where(&Guard::var(v)));
+            }
+            ExitCode::SUCCESS
+        }
+        "leader" | "leader-exact" => {
+            let program = if command == "leader" {
+                leader_election()
+            } else {
+                leader_election_exact()
+            };
+            let l = program.vars.get("L").expect("L");
+            let mut exec = Executor::new(&program, &[(vec![], n)], seed);
+            match exec.run_until(5_000, |e| e.count_where(&Guard::var(l)) == 1) {
+                Some(iters) => {
+                    println!(
+                        "unique leader after {iters} iterations ≈ {:.0} parallel rounds (n = {n})",
+                        exec.rounds()
+                    );
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("did not converge within the iteration budget");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "majority" => {
+            let a_count = *flags.get("a").unwrap_or(&(n / 2 + 1));
+            let b_count = *flags.get("b").unwrap_or(&(n / 2 - 1));
+            if a_count + b_count > n || a_count == b_count {
+                eprintln!("need a + b <= n and a != b");
+                return ExitCode::FAILURE;
+            }
+            let program = majority(3);
+            let a = program.vars.get("A").expect("A");
+            let b = program.vars.get("B").expect("B");
+            let y = program.vars.get("Y_A").expect("Y_A");
+            let mut exec = Executor::new(
+                &program,
+                &[(vec![a], a_count), (vec![b], b_count), (vec![], n - a_count - b_count)],
+                seed,
+            );
+            exec.run_iteration();
+            let on = exec.count_where(&Guard::var(y));
+            let answer = if on == exec.n() { "A" } else if on == 0 { "B" } else { "split (rerun)" };
+            let truth = if a_count > b_count { "A" } else { "B" };
+            println!(
+                "majority says {answer} (truth {truth}) after {:.0} rounds; #A={a_count} #B={b_count} n={n}",
+                exec.rounds()
+            );
+            ExitCode::from(u8::from(answer != truth))
+        }
+        "plurality" => {
+            let colors = (*flags.get("colors").unwrap_or(&3)).clamp(2, 8) as usize;
+            let program = plurality(colors, 2);
+            // Deterministic skewed shares: color i gets weight i+1.
+            let weight_total: u64 = (1..=colors as u64).sum();
+            let mut groups = Vec::new();
+            let mut assigned = 0;
+            for i in 1..=colors {
+                let c = program.vars.get(&format!("C{i}")).expect("color");
+                let share = n * i as u64 / weight_total;
+                groups.push((vec![c], share));
+                assigned += share;
+            }
+            groups.push((vec![], n - assigned));
+            let mut exec = Executor::new(&program, &groups, seed);
+            exec.run_iteration();
+            for i in 1..=colors {
+                let w = program.vars.get(&format!("W{i}")).expect("winner flag");
+                let count = exec.count_where(&Guard::var(w));
+                if count == exec.n() {
+                    println!(
+                        "plurality winner: color {i} (expected {colors}) after {:.0} rounds",
+                        exec.rounds()
+                    );
+                    return ExitCode::from(u8::from(i != colors));
+                }
+            }
+            eprintln!("no unanimous winner (rerun with another seed)");
+            ExitCode::FAILURE
+        }
+        "parity" => {
+            let a_count = *flags.get("a").unwrap_or(&7);
+            if a_count > n {
+                eprintln!("need a <= n");
+                return ExitCode::FAILURE;
+            }
+            let program = parity_exact(1);
+            let a = program.vars.get("A").expect("A");
+            let p = program.vars.get("P").expect("P");
+            let truth = a_count % 2 == 1;
+            let mut exec = Executor::new(&program, &[(vec![a], a_count), (vec![], n - a_count)], seed);
+            let done = exec.run_until(20_000, |e| {
+                let on = e.count_where(&Guard::var(p));
+                (on == e.n()) == truth && (on == 0) != truth
+            });
+            match done {
+                Some(iters) => {
+                    println!("#A = {a_count} is {}; decided after {iters} iterations", if truth { "odd" } else { "even" });
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("did not converge (parity is exact but polynomial-time)");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "oscillator" => {
+            let x = *flags.get("x").unwrap_or(&((n as f64).powf(0.3) as u64).max(1));
+            let rounds = *flags.get("rounds").unwrap_or(&300);
+            let osc = Dk18Oscillator::new();
+            let mut pop = CountPopulation::from_counts(&osc, &central_init(&osc, n, x));
+            let mut rng = SimRng::seed_from(seed);
+            let mut trace = Vec::new();
+            while pop.time() < rounds as f64 {
+                for _ in 0..n {
+                    pop.step(&mut rng);
+                }
+                trace.push((pop.time(), osc.species_counts(&pop.counts())));
+            }
+            let events = dominance_events(&trace, 0.8);
+            let per = periods(&events);
+            let mean = per.iter().sum::<f64>() / per.len().max(1) as f64;
+            println!(
+                "oscillator n={n} #X={x}: {} dominance events, {} rotation violations, mean period {:.1} rounds (log2 n = {:.1})",
+                events.len(),
+                rotation_violations(&events),
+                mean,
+                (n as f64).log2()
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

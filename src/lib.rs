@@ -1,0 +1,34 @@
+//! # population-protocols
+//!
+//! A comprehensive Rust reproduction of *Population Protocols Are Fast*
+//! (Adrian Kosowski & Przemysław Uznański, PODC 2018): constant-state
+//! population protocols solving leader election, majority, plurality
+//! consensus, and all semi-linear predicates in polylogarithmic parallel
+//! time (w.h.p.), or always-correctly in `O(n^ε)` time — built on a
+//! self-organizing oscillator, a hierarchy of phase clocks, and a compiled
+//! imperative programming framework.
+//!
+//! This crate is a thin wrapper over [`pp_core`]; see that crate (or the
+//! workspace README) for the full API tour.
+//!
+//! # Examples
+//!
+//! ```
+//! use population_protocols::core::protocols::majority::majority;
+//! use population_protocols::core::lang::interp::Executor;
+//! use population_protocols::core::rules::Guard;
+//!
+//! let program = majority(2);
+//! let a = program.vars.get("A").unwrap();
+//! let b = program.vars.get("B").unwrap();
+//! let y = program.vars.get("Y_A").unwrap();
+//!
+//! // 501 vs 499 — an adversarial gap of 2 out of 1000 agents.
+//! let mut exec = Executor::new(&program, &[(vec![a], 501), (vec![b], 499)], 1);
+//! exec.run_iteration();
+//! assert_eq!(exec.count_where(&Guard::var(y)), 1000, "everyone answers A");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pp_core as core;

@@ -1,0 +1,155 @@
+//! Cross-crate integration tests: whole-pipeline behavior at moderate
+//! population sizes with fixed seeds.
+
+use population_protocols::core::clocks::junta::PairwiseElimination;
+use population_protocols::core::clocks::oscillator::Dk18Oscillator;
+use population_protocols::core::engine::obj::ObjPopulation;
+use population_protocols::core::engine::rng::SimRng;
+use population_protocols::core::lang::ast::{build, Program, Thread};
+use population_protocols::core::lang::compile::CompiledProtocol;
+use population_protocols::core::lang::interp::Executor;
+use population_protocols::core::protocols::leader::{leader_election, leader_election_exact};
+use population_protocols::core::protocols::majority::{majority, majority_exact};
+use population_protocols::core::protocols::plurality::plurality;
+use population_protocols::core::rules::{Guard, VarSet};
+
+#[test]
+fn leader_election_scales_polylogarithmically() {
+    // Iterations to a unique leader should grow like log n: going from
+    // n = 64 to n = 4096 (64×) should far less than double the iteration
+    // count on average.
+    let program = leader_election();
+    let l = program.vars.get("L").unwrap();
+    let mean_iters = |n: u64| -> f64 {
+        let runs = 5;
+        let total: u64 = (0..runs)
+            .map(|seed| {
+                let mut exec = Executor::new(&program, &[(vec![], n)], 1000 + seed);
+                exec.run_until(500, |e| e.count_where(&Guard::var(l)) == 1)
+                    .expect("converges")
+            })
+            .sum();
+        total as f64 / runs as f64
+    };
+    let small = mean_iters(64);
+    let large = mean_iters(4096);
+    assert!(
+        large < small * 3.0,
+        "64× population growth must not triple iterations: {small} -> {large}"
+    );
+}
+
+#[test]
+fn majority_correct_across_gaps_and_sizes() {
+    let program = majority(3);
+    let a = program.vars.get("A").unwrap();
+    let b = program.vars.get("B").unwrap();
+    let y = program.vars.get("Y_A").unwrap();
+    for &(n, gap) in &[(200u64, 2u64), (200, 20), (1000, 2)] {
+        let na = n / 2;
+        let nb = n / 2 - gap;
+        let blank = n - na - nb;
+        let mut exec = Executor::new(
+            &program,
+            &[(vec![a], na), (vec![b], nb), (vec![], blank)],
+            n * 7 + gap,
+        );
+        exec.run_iteration();
+        assert_eq!(
+            exec.count_where(&Guard::var(y)),
+            n,
+            "n={n} gap={gap}: unanimous A answer expected"
+        );
+    }
+}
+
+#[test]
+fn exact_protocols_reach_certainty() {
+    // LeaderElectionExact: run until the backstop pins the answer.
+    let program = leader_election_exact();
+    let l = program.vars.get("L").unwrap();
+    let r = program.vars.get("R").unwrap();
+    let mut exec = Executor::new(&program, &[(vec![], 48)], 9);
+    exec.run_until(3_000, |e| {
+        e.count_where(&Guard::var(r)) == 1 && e.count_where(&Guard::var(l)) == 1
+    })
+    .expect("exact leader election reaches the locked state");
+
+    // MajorityExact: the slow thread empties the minority input.
+    let program = majority_exact(2);
+    let a = program.vars.get("A").unwrap();
+    let b = program.vars.get("B").unwrap();
+    let y = program.vars.get("Y_A").unwrap();
+    let mut exec = Executor::new(&program, &[(vec![a], 26), (vec![b], 22)], 10);
+    exec.run_until(500, |e| e.count_where(&Guard::var(b)) == 0)
+        .expect("minority input exhausted");
+    exec.run_iteration();
+    assert_eq!(exec.count_where(&Guard::var(y)), 48, "output pinned to A");
+}
+
+#[test]
+fn plurality_and_majority_agree_on_two_colors() {
+    // With two colors, plurality must reduce to majority.
+    let p2 = plurality(2, 2);
+    let c1 = p2.vars.get("C1").unwrap();
+    let c2 = p2.vars.get("C2").unwrap();
+    let w1 = p2.vars.get("W1").unwrap();
+    let mut exec = Executor::new(&p2, &[(vec![c1], 55), (vec![c2], 45)], 11);
+    exec.run_iteration();
+    assert_eq!(exec.count_where(&Guard::var(w1)), 100);
+}
+
+#[test]
+fn compiled_program_runs_on_real_clocks() {
+    // Small full-stack run: Y := X compiled onto the hierarchy.
+    let mut vars = VarSet::new();
+    let x = vars.add("X");
+    let y = vars.add("Y");
+    let program = Program {
+        name: "copy".into(),
+        vars,
+        inputs: vec![x],
+        outputs: vec![y],
+        init: vec![],
+        derived_init: vec![],
+        threads: vec![Thread::Structured {
+            name: "Main".into(),
+            body: vec![build::assign(y, Guard::var(x))],
+        }],
+    };
+    let compiled = CompiledProtocol::new(
+        &program,
+        Dk18Oscillator::new(),
+        PairwiseElimination::new(),
+        6,
+    );
+    let n = 200usize;
+    let mut pop = ObjPopulation::from_fn(&compiled, n, |i| {
+        if i % 4 == 0 {
+            compiled.initial_agent(&[x])
+        } else {
+            compiled.initial_agent(&[])
+        }
+    });
+    let mut rng = SimRng::seed_from(12);
+    let done = pop.run_until(&mut rng, 40_000.0, 512 * n as u64, |p| {
+        p.count_where(|ag| y.is_set(ag.flags) == x.is_set(ag.flags)) == n as u64
+    });
+    assert!(done.is_some(), "compiled program completed under real clocks");
+}
+
+#[test]
+fn deterministic_given_seed() {
+    // The whole stack is replayable: same seed, same trajectory.
+    let program = leader_election();
+    let l = program.vars.get("L").unwrap();
+    let run = |seed: u64| -> (u64, f64) {
+        let mut exec = Executor::new(&program, &[(vec![], 256)], seed);
+        let it = exec
+            .run_until(500, |e| e.count_where(&Guard::var(l)) == 1)
+            .unwrap();
+        (it, exec.rounds())
+    };
+    assert_eq!(run(77), run(77));
+    assert_ne!(run(77), run(78), "different seeds should differ");
+}
