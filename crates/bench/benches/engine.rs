@@ -1,9 +1,13 @@
-//! Criterion micro-benchmarks for the simulation substrate:
-//! per-interaction throughput of every backend, Fenwick vs linear
-//! sampling, and the geometric no-op accelerator (E14 / design-ablation
-//! benches from DESIGN.md §6).
+//! Micro-benchmarks for the simulation substrate: per-interaction
+//! throughput of every backend, Fenwick vs linear sampling, the geometric
+//! no-op accelerator (E14 / design-ablation benches from DESIGN.md §6),
+//! and the headline `step` vs `step_batch` comparison on
+//! `CountPopulation`, whose results are written to `BENCH_batch.json` at
+//! the workspace root.
+//!
+//! Run with: `cargo bench --bench engine`
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_bench::timing::{bench, throughput};
 use pp_engine::accel::AcceleratedPopulation;
 use pp_engine::counts::CountPopulation;
 use pp_engine::fenwick::Fenwick;
@@ -11,6 +15,7 @@ use pp_engine::population::Population;
 use pp_engine::protocol::TableProtocol;
 use pp_engine::rng::SimRng;
 use pp_engine::sim::Simulator;
+use std::path::PathBuf;
 
 fn epidemic() -> TableProtocol {
     TableProtocol::new(2, "epidemic")
@@ -25,71 +30,71 @@ fn cycle3() -> TableProtocol {
         .rule(2, 0, 0, 0)
 }
 
-fn bench_backends(c: &mut Criterion) {
-    let mut group = c.benchmark_group("backend_step");
+/// Token passing: a token hops from initiator to responder. The count
+/// vector is invariant, so reactivity stays fixed at `2·t·(n−t)` ordered
+/// pairs forever — a stationary, reactive-sparse workload that isolates
+/// the cost of leaping over no-op interactions.
+fn token() -> TableProtocol {
+    TableProtocol::new(2, "token").rule(1, 0, 0, 1)
+}
+
+fn bench_backends() {
+    println!("\n== backend_step (per-interaction cost) ==");
     for n in [1_000u64, 100_000] {
-        group.bench_with_input(BenchmarkId::new("agent_array", n), &n, |b, &n| {
-            let p = cycle3();
-            let mut pop = Population::from_counts(p, &[n / 3, n / 3, n - 2 * (n / 3)]);
+        {
+            let mut pop = Population::from_counts(cycle3(), &[n / 3, n / 3, n - 2 * (n / 3)]);
             let mut rng = SimRng::seed_from(1);
-            b.iter(|| black_box(pop.step(&mut rng)));
-        });
-        group.bench_with_input(BenchmarkId::new("count_fenwick", n), &n, |b, &n| {
-            let p = cycle3();
-            let mut pop = CountPopulation::from_counts(p, &[n / 3, n / 3, n - 2 * (n / 3)]);
+            bench(&format!("agent_array/step n={n}"), || pop.step(&mut rng));
+        }
+        {
+            let mut pop = CountPopulation::from_counts(cycle3(), &[n / 3, n / 3, n - 2 * (n / 3)]);
             let mut rng = SimRng::seed_from(1);
-            b.iter(|| black_box(pop.step(&mut rng)));
-        });
+            bench(&format!("count_fenwick/step n={n}"), || pop.step(&mut rng));
+        }
     }
-    group.finish();
 }
 
-fn bench_accelerator(c: &mut Criterion) {
-    // E14: sparse dynamics — 2 leaders among n agents. The accelerated
-    // backend jumps the dead time; the naive one slogs through it.
-    let mut group = c.benchmark_group("accel_sparse_fratricide");
-    group.sample_size(20);
+fn bench_accelerator() {
+    // E14: sparse dynamics — 4 leaders among n agents. The accelerated
+    // backend jumps the dead time; the naive one slogs through it (so the
+    // naive side only runs at the smaller n).
+    println!("\n== accel_sparse_fratricide (full run to 1 leader) ==");
+    let p = TableProtocol::new(2, "frat").rule(1, 1, 1, 0);
     for n in [1_000u64, 10_000] {
-        group.bench_with_input(BenchmarkId::new("accelerated", n), &n, |b, &n| {
-            let p = TableProtocol::new(2, "frat").rule(1, 1, 1, 0);
-            b.iter(|| {
-                let mut pop = AcceleratedPopulation::from_counts(&p, &[n - 4, 4]);
-                let mut rng = SimRng::seed_from(7);
-                while pop.count(1) > 1 {
-                    pop.step(&mut rng);
-                }
-                black_box(pop.steps())
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
-            let p = TableProtocol::new(2, "frat").rule(1, 1, 1, 0);
-            b.iter(|| {
-                let mut pop = CountPopulation::from_counts(&p, &[n - 4, 4]);
-                let mut rng = SimRng::seed_from(7);
-                while pop.count(1) > 1 {
-                    pop.step(&mut rng);
-                }
-                black_box(pop.steps())
-            });
+        bench(&format!("accelerated n={n}"), || {
+            let mut pop = AcceleratedPopulation::from_counts(&p, &[n - 4, 4]);
+            let mut rng = SimRng::seed_from(7);
+            while pop.count(1) > 1 {
+                pop.step(&mut rng);
+            }
+            pop.steps()
         });
     }
-    group.finish();
+    bench("naive_count n=1000", || {
+        let mut pop = CountPopulation::from_counts(&p, &[996, 4]);
+        let mut rng = SimRng::seed_from(7);
+        while pop.count(1) > 1 {
+            pop.step(&mut rng);
+        }
+        pop.steps()
+    });
 }
 
-fn bench_fenwick(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fenwick_sampling");
+fn bench_fenwick() {
+    println!("\n== fenwick_sampling ==");
     for k in [16usize, 256, 4096] {
-        group.bench_with_input(BenchmarkId::new("fenwick_find", k), &k, |b, &k| {
-            let weights: Vec<u64> = (0..k as u64).map(|i| i % 17 + 1).collect();
+        let weights: Vec<u64> = (0..k as u64).map(|i| i % 17 + 1).collect();
+        {
             let f = Fenwick::from_weights(&weights);
             let mut rng = SimRng::seed_from(3);
-            b.iter(|| black_box(f.find(rng.below(f.total()))));
-        });
-        group.bench_with_input(BenchmarkId::new("linear_scan", k), &k, |b, &k| {
-            let weights: Vec<u64> = (0..k as u64).map(|i| i % 17 + 1).collect();
+            bench(&format!("fenwick_find k={k}"), || {
+                f.find(rng.below(f.total()))
+            });
+        }
+        {
             let total: u64 = weights.iter().sum();
             let mut rng = SimRng::seed_from(3);
-            b.iter(|| {
+            bench(&format!("linear_scan k={k}"), || {
                 let mut r = rng.below(total);
                 let mut idx = 0;
                 for (i, &w) in weights.iter().enumerate() {
@@ -99,37 +104,125 @@ fn bench_fenwick(c: &mut Criterion) {
                     }
                     r -= w;
                 }
-                black_box(idx)
+                idx
             });
-        });
+        }
     }
-    group.finish();
 }
 
-fn bench_epidemic_completion(c: &mut Criterion) {
-    let mut group = c.benchmark_group("epidemic_completion");
-    group.sample_size(10);
+fn bench_epidemic_completion() {
+    println!("\n== epidemic_completion (count backend, batched) ==");
     for n in [10_000u64, 1_000_000] {
-        group.bench_with_input(BenchmarkId::new("count_backend", n), &n, |b, &n| {
-            b.iter(|| {
-                let p = epidemic();
-                let mut pop = CountPopulation::from_counts(p, &[n - 1, 1]);
-                let mut rng = SimRng::seed_from(5);
-                while pop.count(0) > 0 {
-                    pop.step(&mut rng);
-                }
-                black_box(pop.time())
-            });
+        bench(&format!("count_backend n={n}"), || {
+            let mut pop = CountPopulation::from_counts(epidemic(), &[n - 1, 1]);
+            let mut rng = SimRng::seed_from(5);
+            while pop.count(0) > 0 {
+                pop.step_batch(&mut rng, n);
+            }
+            pop.time()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_backends,
-    bench_accelerator,
-    bench_fenwick,
-    bench_epidemic_completion
-);
-criterion_main!(benches);
+/// Interactions per second when driving `pop` with per-interaction
+/// `step()`.
+fn step_rate(mut pop: CountPopulation<TableProtocol>, seed: u64) -> f64 {
+    let mut rng = SimRng::seed_from(seed);
+    throughput(|| {
+        for _ in 0..4096 {
+            pop.step(&mut rng);
+        }
+        4096
+    })
+}
+
+/// Interactions per second when driving `pop` with `step_batch(chunk)`.
+fn batch_rate(mut pop: CountPopulation<TableProtocol>, seed: u64, chunk: u64) -> f64 {
+    let mut rng = SimRng::seed_from(seed);
+    throughput(|| pop.step_batch(&mut rng, chunk).executed)
+}
+
+struct BatchRow {
+    scenario: &'static str,
+    n: u64,
+    step_per_sec: f64,
+    batch_per_sec: f64,
+}
+
+fn bench_step_vs_batch() -> Vec<BatchRow> {
+    println!("\n== step vs step_batch on CountPopulation ==");
+    let mut rows = Vec::new();
+    for n in [10_000u64, 1_000_000, 100_000_000] {
+        // Sparse regime: 10 tokens — the batch path leaps over the
+        // overwhelmingly non-reactive schedule. Chunk sized so one call
+        // stays well under a millisecond even at small n.
+        let sparse = || CountPopulation::from_counts(token(), &[n - 10, 10]);
+        let s_step = step_rate(sparse(), 11);
+        let s_batch = batch_rate(sparse(), 12, 1 << 26);
+        println!(
+            "sparse_token   n={n:<11} step {:>14.3e}/s   batch {:>14.3e}/s   ({:.1}x)",
+            s_step,
+            s_batch,
+            s_batch / s_step
+        );
+        rows.push(BatchRow {
+            scenario: "sparse_token",
+            n,
+            step_per_sec: s_step,
+            batch_per_sec: s_batch,
+        });
+
+        // Dense regime: uniform 3-cycle, about a third of ordered pairs
+        // reactive — the batch path falls back to tight plain stepping.
+        let dense = || CountPopulation::from_counts(cycle3(), &[n / 3, n / 3, n - 2 * (n / 3)]);
+        let d_step = step_rate(dense(), 21);
+        let d_batch = batch_rate(dense(), 22, 1 << 20);
+        println!(
+            "dense_cycle3   n={n:<11} step {:>14.3e}/s   batch {:>14.3e}/s   ({:.1}x)",
+            d_step,
+            d_batch,
+            d_batch / d_step
+        );
+        rows.push(BatchRow {
+            scenario: "dense_cycle3",
+            n,
+            step_per_sec: d_step,
+            batch_per_sec: d_batch,
+        });
+    }
+    rows
+}
+
+fn write_batch_json(rows: &[BatchRow]) {
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let mut out = String::from(
+        "{\n  \"bench\": \"step_vs_step_batch\",\n  \"backend\": \"CountPopulation\",\n  \"unit\": \"interactions_per_second\",\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"n\": {}, \"step_per_sec\": {:.4e}, \"batch_per_sec\": {:.4e}, \"speedup\": {:.2}}}{sep}\n",
+            r.scenario,
+            r.n,
+            r.step_per_sec,
+            r.batch_per_sec,
+            r.batch_per_sec / r.step_per_sec
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = root.join("BENCH_batch.json");
+    std::fs::write(&path, out).expect("write BENCH_batch.json");
+    println!("\nwrote {}", path.display());
+}
+
+fn main() {
+    println!("engine micro-benchmarks (median of 5 samples per line)");
+    bench_backends();
+    bench_fenwick();
+    bench_accelerator();
+    bench_epidemic_completion();
+    let rows = bench_step_vs_batch();
+    write_batch_json(&rows);
+}

@@ -1,8 +1,10 @@
-//! Criterion benchmarks at the protocol layer: one bench per experiment
-//! family for regression tracking — oscillator stepping, phase-clock
-//! stepping, a full leader-election run, and a full majority iteration.
+//! Benchmarks at the protocol layer: one bench per experiment family for
+//! regression tracking — oscillator stepping, phase-clock stepping, a full
+//! leader-election run, and a full majority iteration.
+//!
+//! Run with: `cargo bench --bench protocols`
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_bench::timing::bench;
 use pp_clocks::controlled::{fixed_x_init, ControlledClock, FixedX};
 use pp_clocks::oscillator::{central_init, Dk18Oscillator};
 use pp_engine::counts::CountPopulation;
@@ -13,81 +15,68 @@ use pp_protocols::leader::leader_election;
 use pp_protocols::majority::majority;
 use pp_rules::Guard;
 
-fn bench_oscillator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("oscillator_step");
+fn bench_oscillator() {
+    println!("\n== oscillator (cost per 1024-step batch) ==");
     for n in [10_000u64, 100_000] {
-        group.bench_with_input(BenchmarkId::new("dk18", n), &n, |b, &n| {
-            let osc = Dk18Oscillator::new();
-            let init = central_init(&osc, n, 10);
-            let mut pop = CountPopulation::from_counts(osc, &init);
-            let mut rng = SimRng::seed_from(1);
-            b.iter(|| black_box(pop.step(&mut rng)));
+        let osc = Dk18Oscillator::new();
+        let init = central_init(&osc, n, 10);
+        let mut pop = CountPopulation::from_counts(osc, &init);
+        let mut rng = SimRng::seed_from(1);
+        bench(&format!("dk18/step_batch(1024) n={n}"), || {
+            pop.step_batch(&mut rng, 1024).executed
         });
     }
-    group.finish();
 }
 
-fn bench_phase_clock(c: &mut Criterion) {
-    let mut group = c.benchmark_group("phase_clock_step");
-    {
-        let n = 10_000u64;
-        group.bench_with_input(BenchmarkId::new("controlled", n), &n, |b, &n| {
-            let clock = ControlledClock::new(Dk18Oscillator::new(), FixedX::new(), 6, 12);
-            let mut pop = CountPopulation::from_counts(&clock, &fixed_x_init(&clock, n, 15));
-            let mut rng = SimRng::seed_from(2);
-            b.iter(|| black_box(pop.step(&mut rng)));
-        });
-    }
-    group.finish();
+fn bench_phase_clock() {
+    println!("\n== phase clock (cost per 1024-step batch) ==");
+    let n = 10_000u64;
+    let clock = ControlledClock::new(Dk18Oscillator::new(), FixedX::new(), 6, 12);
+    let mut pop = CountPopulation::from_counts(&clock, &fixed_x_init(&clock, n, 15));
+    let mut rng = SimRng::seed_from(2);
+    bench(&format!("controlled/step_batch(1024) n={n}"), || {
+        pop.step_batch(&mut rng, 1024).executed
+    });
 }
 
-fn bench_leader_election(c: &mut Criterion) {
+fn bench_leader_election() {
     // E1 regression anchor: full leader election at n = 1000.
-    let mut group = c.benchmark_group("leader_election_full");
-    group.sample_size(10);
-    group.bench_function("n1000", |b| {
-        let program = leader_election();
-        let l = program.vars.get("L").unwrap();
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            let mut exec = Executor::new(&program, &[(vec![], 1000)], seed);
-            exec.run_until(500, |e| e.count_where(&Guard::var(l)) == 1)
-                .expect("converges");
-            black_box(exec.rounds())
-        });
+    println!("\n== leader election (full run) ==");
+    let program = leader_election();
+    let l = program.vars.get("L").unwrap();
+    let mut seed = 0;
+    bench("leader_election n=1000", || {
+        seed += 1;
+        let mut exec = Executor::new(&program, &[(vec![], 1000)], seed);
+        exec.run_until(500, |e| e.count_where(&Guard::var(l)) == 1)
+            .expect("converges");
+        exec.rounds()
     });
-    group.finish();
 }
 
-fn bench_majority_iteration(c: &mut Criterion) {
+fn bench_majority_iteration() {
     // E2 regression anchor: one majority iteration at n = 1000, gap 2.
-    let mut group = c.benchmark_group("majority_iteration");
-    group.sample_size(10);
-    group.bench_function("n1000_gap2", |b| {
-        let program = majority(3);
-        let a = program.vars.get("A").unwrap();
-        let bb = program.vars.get("B").unwrap();
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            let mut exec = Executor::new(
-                &program,
-                &[(vec![a], 500), (vec![bb], 498), (vec![], 2)],
-                seed,
-            );
-            exec.run_iteration();
-            black_box(exec.rounds())
-        });
+    println!("\n== majority (one iteration) ==");
+    let program = majority(3);
+    let a = program.vars.get("A").unwrap();
+    let bb = program.vars.get("B").unwrap();
+    let mut seed = 0;
+    bench("majority n=1000 gap=2", || {
+        seed += 1;
+        let mut exec = Executor::new(
+            &program,
+            &[(vec![a], 500), (vec![bb], 498), (vec![], 2)],
+            seed,
+        );
+        exec.run_iteration();
+        exec.rounds()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_oscillator,
-    bench_phase_clock,
-    bench_leader_election,
-    bench_majority_iteration
-);
-criterion_main!(benches);
+fn main() {
+    println!("protocol-layer benchmarks (median of 5 samples per line)");
+    bench_oscillator();
+    bench_phase_clock();
+    bench_leader_election();
+    bench_majority_iteration();
+}

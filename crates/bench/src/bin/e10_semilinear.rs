@@ -17,7 +17,12 @@ fn main() {
     let seeds = scale.pick(4u64, 8, 16);
 
     let mut table = Table::new(vec![
-        "predicate", "#A", "#B", "truth", "correct", "iters_med",
+        "predicate",
+        "#A",
+        "#B",
+        "truth",
+        "correct",
+        "iters_med",
     ]);
 
     // --- Comparison: #A − #B ≥ 1 via the full composition ----------------
@@ -26,7 +31,12 @@ fn main() {
     let b = program.vars.get("B").expect("B");
     let p = program.vars.get("P").expect("P");
     let pred = Predicate::Comparison { t: 1 };
-    for &(na, nb) in &[(n / 2, n / 4), (n / 4, n / 2), (n / 3 + 1, n / 3), (n / 3, n / 3)] {
+    for &(na, nb) in &[
+        (n / 2, n / 4),
+        (n / 4, n / 2),
+        (n / 3 + 1, n / 3),
+        (n / 3, n / 3),
+    ] {
         let truth = pred.eval(na, nb);
         let configs: Vec<u64> = (0..seeds).collect();
         let results = map_configs(&configs, 0, |&seed| {

@@ -17,7 +17,12 @@ fn main() {
     let seeds = scale.pick(5u64, 10, 20);
 
     let mut table = Table::new(vec![
-        "l", "n", "winner share", "runner-up share", "correct", "rounds_med",
+        "l",
+        "n",
+        "winner share",
+        "runner-up share",
+        "correct",
+        "rounds_med",
     ]);
     println!("E11 — plurality consensus (n = {n})\n");
 
@@ -58,10 +63,7 @@ fn main() {
                     0xEB_0000 + seed * 37 + l as u64 * 1000 + win_pct,
                 );
                 exec.run_iteration();
-                let w = program
-                    .vars
-                    .get(&format!("W{}", winner_idx + 1))
-                    .unwrap();
+                let w = program.vars.get(&format!("W{}", winner_idx + 1)).unwrap();
                 let got = exec.count_where(&Guard::var(w));
                 (got == exec.n(), exec.rounds())
             });

@@ -47,10 +47,11 @@ fn main() {
         let mut rng = SimRng::seed_from(0xEC_0000 + seed);
         let mut trace = Vec::new();
         while pop.time() < horizon {
-            for _ in 0..n / 4 {
-                pop.step(&mut rng);
-            }
+            let out = pop.step_batch(&mut rng, (n / 4).max(1));
             trace.push((pop.time(), osc.species_counts(&pop.counts())));
+            if out.silent && out.executed == 0 {
+                break;
+            }
         }
         if let Some(t) = escape_time(&trace, bound) {
             esc_async.push(t);
@@ -63,7 +64,10 @@ fn main() {
         let mut trace = Vec::new();
         for _ in 0..horizon as u64 {
             pop.round(&mut rng);
-            trace.push((pop.rounds() as f64, osc.species_counts(&pop.population().counts())));
+            trace.push((
+                pop.rounds() as f64,
+                osc.species_counts(&pop.population().counts()),
+            ));
         }
         if let Some(t) = escape_time(&trace, bound) {
             esc_match.push(t);
@@ -91,8 +95,7 @@ fn main() {
         let p = epidemic();
         let mut pop = Population::from_counts(&p, &[n - 1, 1]);
         let mut rng = SimRng::seed_from(0xEC_2000 + seed);
-        t_async
-            .push(run_until(&mut pop, &mut rng, 1e5, 64, |s| s.count(0) == 0).unwrap());
+        t_async.push(run_until(&mut pop, &mut rng, 1e5, 64, |s| s.count(0) == 0).unwrap());
 
         let p = epidemic();
         let mut pop = MatchingPopulation::from_counts(&p, &[n - 1, 1]);

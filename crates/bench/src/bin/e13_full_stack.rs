@@ -81,7 +81,9 @@ fn main() {
     ]);
     println!(
         "CopyXtoY: {} (correct flags: {}/{n})",
-        done.map_or("timeout".to_string(), |t| format!("completed at {t:.0} rounds")),
+        done.map_or("timeout".to_string(), |t| format!(
+            "completed at {t:.0} rounds"
+        )),
         pop.count_where(|ag| y.is_set(ag.flags) == x.is_set(ag.flags)),
     );
 
@@ -121,7 +123,9 @@ fn main() {
         compiled.tree().l_max.to_string(),
         compiled.tree().w_max.to_string(),
         compiled.modulus().to_string(),
-        outcome.map_or(format!("timeout (#L={leaders})"), |_| "unique leader".into()),
+        outcome.map_or(format!("timeout (#L={leaders})"), |_| {
+            "unique leader".into()
+        }),
         outcome.map_or("-".into(), fmt_f64),
     ]);
     println!(

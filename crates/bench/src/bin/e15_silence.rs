@@ -20,7 +20,7 @@ use pp_clocks::oscillator::Dk18Oscillator;
 use pp_engine::counts::CountPopulation;
 use pp_engine::report::{fmt_f64, Table};
 use pp_engine::rng::SimRng;
-use pp_engine::sim::{Simulator, StepOutcome};
+use pp_engine::sim::Simulator;
 
 fn main() {
     let scale = Scale::from_args();
@@ -50,13 +50,14 @@ fn main() {
         let late_start = horizon * 0.9;
         while pop.time() < horizon {
             let t = pop.time();
-            for _ in 0..n / 2 {
-                let changed = pop.step(&mut rng) == StepOutcome::Changed;
-                if changed && t < early_window {
-                    early_changes += 1;
-                } else if changed && t >= late_start {
-                    late_changes += 1;
-                }
+            let out = pop.step_batch(&mut rng, (n / 2).max(1));
+            if t < early_window {
+                early_changes += out.changed;
+            } else if t >= late_start {
+                late_changes += out.changed;
+            }
+            if out.silent && out.executed == 0 {
+                break;
             }
             let counts = pop.counts();
             if x_death.is_none() {

@@ -22,7 +22,13 @@ fn main() {
     let l = program.vars.get("L").expect("L");
 
     let mut table = Table::new(vec![
-        "n", "runs", "ok", "iter_med", "iter_p90", "rounds_med", "rounds_p90",
+        "n",
+        "runs",
+        "ok",
+        "iter_med",
+        "iter_p90",
+        "rounds_med",
+        "rounds_p90",
     ]);
     let mut iter_points = Vec::new();
     let mut round_points = Vec::new();

@@ -23,9 +23,7 @@ fn main() {
     let b = program.vars.get("B").expect("B");
     let y = program.vars.get("Y_A").expect("Y_A");
 
-    let mut table = Table::new(vec![
-        "n", "gap", "runs", "correct", "rounds_med",
-    ]);
+    let mut table = Table::new(vec!["n", "gap", "runs", "correct", "rounds_med"]);
     let mut round_points = Vec::new();
     for &n in &ns {
         let gaps = [1u64, (n as f64).sqrt() as u64, n / 3];

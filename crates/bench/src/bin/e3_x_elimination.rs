@@ -6,13 +6,13 @@
 //! a ladder of `n`, and fits `T ~ n^ε` on log–log axes.
 
 use pp_bench::{emit, n_ladder, Scale};
+use pp_clocks::junta::PairwiseElimination;
 use pp_engine::counts::CountPopulation;
 use pp_engine::report::{fmt_f64, Table};
 use pp_engine::rng::SimRng;
 use pp_engine::sim::{run_until, Simulator};
 use pp_engine::stats::{fit_power_exponent, Summary};
 use pp_engine::sweep::map_configs;
-use pp_clocks::junta::PairwiseElimination;
 
 fn main() {
     let scale = Scale::from_args();

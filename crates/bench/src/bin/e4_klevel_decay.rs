@@ -32,8 +32,9 @@ fn main() {
         let mut hit: Option<f64> = None;
         let mut samples: Vec<(f64, f64)> = Vec::new(); // (t^{1/(k+1)}, ln(n/#X))
         while pop.time() < horizon {
-            for _ in 0..n {
-                pop.step(&mut rng);
+            let out = pop.step_batch(&mut rng, n);
+            if out.silent && out.executed == 0 {
+                break;
             }
             let x = proc.count_x(&pop.counts());
             if x == 0 {
@@ -88,8 +89,9 @@ fn main() {
     println!("{:>6}  {:>10}  {:>10}", "t", "ODE", "simulated");
     let mut max_gap = 0.0f64;
     for (t, state) in traj.times.iter().zip(&traj.states) {
-        while pop.time() < *t {
-            pop.step(&mut rng);
+        let target = (*t * n as f64).ceil() as u64;
+        if target > pop.steps() {
+            pop.step_batch(&mut rng, target - pop.steps());
         }
         let ode_x: f64 = state
             .iter()
@@ -99,7 +101,7 @@ fn main() {
             .sum();
         let sim_x = proc.count_x(&pop.counts()) as f64 / n as f64;
         max_gap = max_gap.max((ode_x - sim_x).abs());
-        if (*t as u64) % 10 == 0 {
+        if (*t as u64).is_multiple_of(10) {
             println!("{t:>6.0}  {:>10.5}  {:>10.5}", ode_x, sim_x);
         }
     }

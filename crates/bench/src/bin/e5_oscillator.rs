@@ -30,10 +30,11 @@ fn run_async<O: Oscillator + Clone + Send + Sync>(
     let mut rng = SimRng::seed_from(seed);
     let mut trace = Vec::new();
     while pop.time() < rounds {
-        for _ in 0..n.max(1) / 4 {
-            pop.step(&mut rng);
-        }
+        let out = pop.step_batch(&mut rng, (n / 4).max(1));
         trace.push((pop.time(), osc.species_counts(&pop.counts())));
+        if out.silent && out.executed == 0 {
+            break;
+        }
     }
     trace
 }
@@ -63,7 +64,14 @@ fn main() {
     let horizon = scale.pick(300.0, 500.0, 800.0);
 
     let mut table = Table::new(vec![
-        "oscillator", "scheduler", "n", "#X", "escape_med", "period_med", "rot_viol", "log2 n",
+        "oscillator",
+        "scheduler",
+        "n",
+        "#X",
+        "escape_med",
+        "period_med",
+        "rot_viol",
+        "log2 n",
     ]);
     let mut escape_pts = Vec::new();
     let mut period_pts = Vec::new();
@@ -131,7 +139,11 @@ fn main() {
             n.to_string(),
             x.to_string(),
             escape_time(&trace, bound).map_or("-".into(), fmt_f64),
-            if ev.len() < 4 { "- (stuck)".into() } else { fmt_f64(Summary::of(&periods(&ev)).median) },
+            if ev.len() < 4 {
+                "- (stuck)".into()
+            } else {
+                fmt_f64(Summary::of(&periods(&ev)).median)
+            },
             rotation_violations(&ev).to_string(),
             fmt_f64((n as f64).log2()),
         ]);

@@ -40,8 +40,9 @@ fn measure_k(k: u8, depth: u8, n: u64, horizon: f64, seed: u64) -> ClockStats {
     let mut adj2_min = f64::INFINITY;
     let mut samples = 0u32;
     while pop.time() < horizon {
-        for _ in 0..n {
-            pop.step(&mut rng);
+        let out = pop.step_batch(&mut rng, n);
+        if out.silent && out.executed == 0 {
+            break;
         }
         if pop.time() < warmup {
             continue;
@@ -84,7 +85,13 @@ fn main() {
     let horizon = scale.pick(500.0, 900.0, 1500.0);
 
     let mut table = Table::new(vec![
-        "n", "consensus", "ticks", "gap_mean", "bad_seq", "agree±1_mean", "agree±1_min",
+        "n",
+        "consensus",
+        "ticks",
+        "gap_mean",
+        "bad_seq",
+        "agree±1_mean",
+        "agree±1_min",
     ]);
     let mut gap_pts = Vec::new();
     for &n in &ns {
@@ -111,7 +118,12 @@ fn main() {
     // Detector confirmation-depth ablation (DESIGN §6): small k admits
     // false ticks (sequence violations, short gaps); large k delays ticks.
     let mut ktable = Table::new(vec![
-        "k", "n", "ticks", "gap_mean", "bad_seq", "agree±1_mean",
+        "k",
+        "n",
+        "ticks",
+        "gap_mean",
+        "bad_seq",
+        "agree±1_mean",
     ]);
     for k in [2u8, 4, 6, 10] {
         let s = measure_k(k, 3, ns[0], horizon, 0xE6_7000 + u64::from(k));

@@ -19,22 +19,14 @@ struct LevelStats {
 }
 
 fn measure(n: usize, horizon: f64, seed: u64) -> (Vec<LevelStats>, u64) {
-    let h = ClockHierarchy::new(
-        Dk18Oscillator::new(),
-        PairwiseElimination::new(),
-        2,
-        6,
-        12,
-    );
+    let h = ClockHierarchy::new(Dk18Oscillator::new(), PairwiseElimination::new(), 2, 6, 12);
     let mut pop = ObjPopulation::from_fn(&h, n, |_| h.initial_agent());
     let mut rng = SimRng::seed_from(seed);
     let warmup = 150.0;
     let mut last = [None::<u8>; 2];
     let mut ticks: [Vec<(f64, u8)>; 2] = [Vec::new(), Vec::new()];
     while pop.time() < horizon {
-        for _ in 0..n {
-            pop.step(&mut rng);
-        }
+        pop.step_batch(&mut rng, n as u64);
         if pop.time() < warmup {
             continue;
         }

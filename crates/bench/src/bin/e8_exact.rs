@@ -20,7 +20,13 @@ fn main() {
     let seeds = scale.pick(8u64, 20, 40);
 
     let mut table = Table::new(vec![
-        "protocol", "n", "runs", "fast_ok", "wrong", "iter_med", "rounds_med",
+        "protocol",
+        "n",
+        "runs",
+        "fast_ok",
+        "wrong",
+        "iter_med",
+        "rounds_med",
     ]);
 
     // --- LeaderElectionExact --------------------------------------------
@@ -51,8 +57,7 @@ fn main() {
             }
             (it, exec.rounds(), wrong)
         });
-        let ok: Vec<&(Option<u64>, f64, bool)> =
-            results.iter().filter(|r| r.0.is_some()).collect();
+        let ok: Vec<&(Option<u64>, f64, bool)> = results.iter().filter(|r| r.0.is_some()).collect();
         let wrong = results.iter().filter(|r| r.2).count();
         let iters = Summary::of(&ok.iter().map(|r| r.0.unwrap() as f64).collect::<Vec<_>>());
         let rounds = Summary::of(&ok.iter().map(|r| r.1).collect::<Vec<_>>());

@@ -38,7 +38,13 @@ fn main() {
     let seeds = scale.pick(5u64, 9, 15);
 
     let mut table = Table::new(vec![
-        "task", "protocol", "states", "n", "gap", "rounds_med", "correct",
+        "task",
+        "protocol",
+        "states",
+        "n",
+        "gap",
+        "rounds_med",
+        "correct",
     ]);
 
     for &n in &ns {
@@ -52,7 +58,7 @@ fn main() {
             let p = ApproxMajority::new();
             let mut pop = CountPopulation::from_counts(p, &[n - na - nb, na, nb]);
             let mut rng = SimRng::seed_from(0xE9_0000 + seed + n);
-            
+
             run_until(&mut pop, &mut rng, 1e7, 64, |s| {
                 s.count(ApproxMajority::A) == 0 || s.count(ApproxMajority::B) == 0
             })

@@ -8,6 +8,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod timing;
+
 use pp_engine::report::Table;
 use std::path::PathBuf;
 

@@ -1,0 +1,88 @@
+//! Minimal self-contained timing harness for the `cargo bench` targets
+//! (`harness = false` in Cargo.toml): warmup, auto-calibrated batch sizes,
+//! median-of-samples reporting, and steady-state throughput measurement.
+
+use std::time::{Duration, Instant};
+
+/// One timed benchmark result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label as printed.
+    pub name: String,
+    /// Median wall time per call, in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Calls per timed sample (chosen by calibration).
+    pub iters: u64,
+}
+
+/// Formats a nanosecond figure with a human unit.
+#[must_use]
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Times `f`, printing and returning the median per-call cost.
+///
+/// Calibrates the batch size until one batch takes ≥ 50 ms (so cheap calls
+/// are measured over many iterations), then reports the median of five
+/// timed batches. The closure's result is passed through
+/// [`std::hint::black_box`] to keep the optimizer honest.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(50) || iters >= 1 << 34 {
+            break;
+        }
+        let scale = (Duration::from_millis(60).as_nanos() as f64 / elapsed.as_nanos().max(1) as f64)
+            .ceil() as u64;
+        iters = iters.saturating_mul(scale.clamp(2, 1_000));
+    }
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let m = Measurement {
+        name: name.to_string(),
+        ns_per_iter: samples[2],
+        iters,
+    };
+    println!(
+        "{:<48} {:>12}/iter   ({} iters/sample)",
+        m.name,
+        fmt_ns(m.ns_per_iter),
+        m.iters
+    );
+    m
+}
+
+/// Measures steady-state throughput: calls `advance` (which returns how
+/// many units of work it performed) until ~300 ms of wall time has
+/// elapsed, after a single warmup call, and returns units per second.
+pub fn throughput(mut advance: impl FnMut() -> u64) -> f64 {
+    std::hint::black_box(advance());
+    let start = Instant::now();
+    let mut units: u64 = 0;
+    while start.elapsed() < Duration::from_millis(300) {
+        units += std::hint::black_box(advance());
+    }
+    units as f64 / start.elapsed().as_secs_f64()
+}

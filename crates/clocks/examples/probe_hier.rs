@@ -13,12 +13,16 @@ fn main() {
     let mut last = [None::<u8>; 2];
     let mut ticks = [Vec::new(), Vec::new()];
     while pop.time() < 40000.0 {
-        for _ in 0..n { pop.step(&mut rng); }
-        if pop.time() < 150.0 { continue; }
+        pop.step_batch(&mut rng, n as u64);
+        if pop.time() < 150.0 {
+            continue;
+        }
         // majority phase per level
         for lvl in 0..2 {
             let mut hist = [0u64; 12];
-            for a in pop.iter() { hist[a.cur[lvl].phase as usize] += 1; }
+            for a in pop.iter() {
+                hist[a.cur[lvl].phase as usize] += 1;
+            }
             let maj = (0..12).max_by_key(|&p| hist[p]).unwrap() as u8;
             if last[lvl] != Some(maj) {
                 ticks[lvl].push((pop.time(), maj));
@@ -26,11 +30,17 @@ fn main() {
             }
         }
     }
-    for lvl in 0..2 {
-        let g: Vec<f64> = ticks[lvl].windows(2).map(|w| w[1].0 - w[0].0).collect();
+    for (lvl, t) in ticks.iter().enumerate() {
+        let g: Vec<f64> = t.windows(2).map(|w| w[1].0 - w[0].0).collect();
         let mean = g.iter().sum::<f64>() / g.len().max(1) as f64;
-        let bad = ticks[lvl].windows(2).filter(|w| (w[1].1 + 12 - w[0].1) % 12 != 1).count();
-        println!("level {lvl}: ticks={} mean_gap={mean:.1} bad_seq={bad}", ticks[lvl].len());
+        let bad = t
+            .windows(2)
+            .filter(|w| (w[1].1 + 12 - w[0].1) % 12 != 1)
+            .count();
+        println!(
+            "level {lvl}: ticks={} mean_gap={mean:.1} bad_seq={bad}",
+            t.len()
+        );
     }
     // also report X count
     let x = pop.count_where(|a| h.is_x(a));

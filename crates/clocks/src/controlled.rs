@@ -48,7 +48,11 @@ impl Protocol for FixedX {
     }
 
     fn state_label(&self, state: usize) -> String {
-        if state == 1 { "X".into() } else { "!X".into() }
+        if state == 1 {
+            "X".into()
+        } else {
+            "!X".into()
+        }
     }
 
     fn name(&self) -> &str {
@@ -248,7 +252,13 @@ impl<O: Oscillator, C: XControl> ControlledClock<O, C> {
     }
 
     /// Restores the `X`-flag/species invariant after a control transition.
-    fn reconcile(&self, ctrl_before: usize, ctrl_after: usize, osc: usize, rng: &mut SimRng) -> usize {
+    fn reconcile(
+        &self,
+        ctrl_before: usize,
+        ctrl_after: usize,
+        osc: usize,
+        rng: &mut SimRng,
+    ) -> usize {
         let was_x = self.control.is_x(ctrl_before);
         let is_x = self.control.is_x(ctrl_after);
         match (was_x, is_x) {
@@ -301,8 +311,16 @@ impl<O: Oscillator, C: XControl> Protocol for ControlledClock<O, C> {
                 let sp_b = self.oscillator.species_of(osc_b);
                 let step_a = detector_observe(det_a, self.k, sp_b);
                 let step_b = detector_observe(det_b, self.k, sp_a);
-                let pa = if step_a.ticked { (ph_a + 1) % self.m } else { ph_a };
-                let pb = if step_b.ticked { (ph_b + 1) % self.m } else { ph_b };
+                let pa = if step_a.ticked {
+                    (ph_a + 1) % self.m
+                } else {
+                    ph_a
+                };
+                let pb = if step_b.ticked {
+                    (ph_b + 1) % self.m
+                } else {
+                    ph_b
+                };
                 let (pa2, da2, pb2, db2) = if self.consensus_depth > 0 {
                     let (na, da) = doubt_consensus(pa, db_a, pb, self.consensus_depth, self.m);
                     let (nb, db) = doubt_consensus(pb, db_b, pa, self.consensus_depth, self.m);
@@ -340,11 +358,7 @@ impl<O: Oscillator, C: XControl> Protocol for ControlledClock<O, C> {
 ///
 /// Panics if `x > n`.
 #[must_use]
-pub fn fixed_x_init<O: Oscillator>(
-    clock: &ControlledClock<O, FixedX>,
-    n: u64,
-    x: u64,
-) -> Vec<u64> {
+pub fn fixed_x_init<O: Oscillator>(clock: &ControlledClock<O, FixedX>, n: u64, x: u64) -> Vec<u64> {
     assert!(x <= n);
     let mut counts = vec![0u64; clock.num_states()];
     let osc = clock.oscillator();

@@ -130,8 +130,14 @@ mod tests {
     #[test]
     fn rotation_violation_detected() {
         let ev = vec![
-            Dominance { time: 0.0, species: 0 },
-            Dominance { time: 1.0, species: 2 },
+            Dominance {
+                time: 0.0,
+                species: 0,
+            },
+            Dominance {
+                time: 1.0,
+                species: 2,
+            },
         ];
         assert_eq!(rotation_violations(&ev), 1);
     }
@@ -139,11 +145,26 @@ mod tests {
     #[test]
     fn periods_from_same_species_returns() {
         let ev = vec![
-            Dominance { time: 0.0, species: 0 },
-            Dominance { time: 1.0, species: 1 },
-            Dominance { time: 2.0, species: 2 },
-            Dominance { time: 3.5, species: 0 },
-            Dominance { time: 4.5, species: 1 },
+            Dominance {
+                time: 0.0,
+                species: 0,
+            },
+            Dominance {
+                time: 1.0,
+                species: 1,
+            },
+            Dominance {
+                time: 2.0,
+                species: 2,
+            },
+            Dominance {
+                time: 3.5,
+                species: 0,
+            },
+            Dominance {
+                time: 4.5,
+                species: 1,
+            },
         ];
         let p = periods(&ev);
         assert_eq!(p, vec![3.5, 3.5]);
@@ -151,7 +172,11 @@ mod tests {
 
     #[test]
     fn escape_time_finds_first_crossing() {
-        let trace = vec![row(0.0, 34, 33, 33), row(2.0, 50, 40, 10), row(3.0, 80, 19, 1)];
+        let trace = vec![
+            row(0.0, 34, 33, 33),
+            row(2.0, 50, 40, 10),
+            row(3.0, 80, 19, 1),
+        ];
         assert_eq!(escape_time(&trace, 5), Some(3.0));
         assert_eq!(escape_time(&trace, 1), None);
     }

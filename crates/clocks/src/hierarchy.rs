@@ -235,10 +235,7 @@ impl<O: Oscillator, C: XControl> ClockHierarchy<O, C> {
     /// first (the paper's `τ = (τ_{l_max}, …, τ₁)`).
     #[must_use]
     pub fn time_path(&self, agent: &HierAgent) -> Vec<u8> {
-        (0..self.levels)
-            .rev()
-            .map(|j| agent.cur[j].phase)
-            .collect()
+        (0..self.levels).rev().map(|j| agent.cur[j].phase).collect()
     }
 
     /// One interaction of the level-`j` clock protocol applied to a state
@@ -264,8 +261,16 @@ impl<O: Oscillator, C: XControl> ClockHierarchy<O, C> {
                 .oscillator
                 .interact(a.osc as usize, b.osc as usize, rng);
             // Keep X agents pinned to the source regardless of the rule.
-            a.osc = if a_is_x { self.oscillator.x_state() as u8 } else { oa as u8 };
-            b.osc = if b_is_x { self.oscillator.x_state() as u8 } else { ob as u8 };
+            a.osc = if a_is_x {
+                self.oscillator.x_state() as u8
+            } else {
+                oa as u8
+            };
+            b.osc = if b_is_x {
+                self.oscillator.x_state() as u8
+            } else {
+                ob as u8
+            };
         } else {
             let sp_a = self.oscillator.species_of(a.osc as usize);
             let sp_b = self.oscillator.species_of(b.osc as usize);
@@ -315,21 +320,14 @@ impl<O: Oscillator, C: XControl> ClockHierarchy<O, C> {
 impl<O: Oscillator, C: XControl> ObjProtocol for ClockHierarchy<O, C> {
     type State = HierAgent;
 
-    fn interact(
-        &self,
-        a: &HierAgent,
-        b: &HierAgent,
-        rng: &mut SimRng,
-    ) -> (HierAgent, HierAgent) {
+    fn interact(&self, a: &HierAgent, b: &HierAgent, rng: &mut SimRng) -> (HierAgent, HierAgent) {
         let mut a = *a;
         let mut b = *b;
 
         // Base threads: control 1/6, level-0 oscillator 1/3, level-0 clock 1/2.
         match rng.index(6) {
             0 => {
-                let (ca, cb) =
-                    self.control
-                        .interact(a.ctrl as usize, b.ctrl as usize, rng);
+                let (ca, cb) = self.control.interact(a.ctrl as usize, b.ctrl as usize, rng);
                 let was_xa = self.control.is_x(a.ctrl as usize);
                 let was_xb = self.control.is_x(b.ctrl as usize);
                 a.ctrl = ca as u16;
@@ -343,11 +341,19 @@ impl<O: Oscillator, C: XControl> ObjProtocol for ClockHierarchy<O, C> {
                 }
                 let a_is_x = self.is_x(&a);
                 let b_is_x = self.is_x(&b);
-                let (oa, ob) = self
-                    .oscillator
-                    .interact(a.cur[0].osc as usize, b.cur[0].osc as usize, rng);
-                a.cur[0].osc = if a_is_x { self.oscillator.x_state() as u8 } else { oa as u8 };
-                b.cur[0].osc = if b_is_x { self.oscillator.x_state() as u8 } else { ob as u8 };
+                let (oa, ob) =
+                    self.oscillator
+                        .interact(a.cur[0].osc as usize, b.cur[0].osc as usize, rng);
+                a.cur[0].osc = if a_is_x {
+                    self.oscillator.x_state() as u8
+                } else {
+                    oa as u8
+                };
+                b.cur[0].osc = if b_is_x {
+                    self.oscillator.x_state() as u8
+                } else {
+                    ob as u8
+                };
             }
             _ => {
                 let sp_a = self.oscillator.species_of(a.cur[0].osc as usize);
@@ -450,13 +456,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "4 | m")]
     fn modulus_must_be_divisible_by_four() {
-        let _ = ClockHierarchy::new(
-            Dk18Oscillator::new(),
-            PairwiseElimination::new(),
-            2,
-            6,
-            10,
-        );
+        let _ = ClockHierarchy::new(Dk18Oscillator::new(), PairwiseElimination::new(), 2, 6, 10);
     }
 
     #[test]
@@ -553,14 +553,9 @@ mod tests {
         // Measure majority-phase changes over a fixed horizon with tempo 1
         // vs tempo 4: the slowed clock must tick substantially less often.
         let ticks_with_tempo = |tempo: u8| -> usize {
-            let h = ClockHierarchy::new(
-                Dk18Oscillator::new(),
-                PairwiseElimination::new(),
-                1,
-                6,
-                12,
-            )
-            .with_tempo(tempo);
+            let h =
+                ClockHierarchy::new(Dk18Oscillator::new(), PairwiseElimination::new(), 1, 6, 12)
+                    .with_tempo(tempo);
             let n = 400usize;
             let mut pop = ObjPopulation::from_fn(&h, n, |_| h.initial_agent());
             let mut rng = SimRng::seed_from(42);

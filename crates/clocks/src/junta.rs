@@ -75,7 +75,11 @@ impl Protocol for PairwiseElimination {
     }
 
     fn state_label(&self, state: usize) -> String {
-        if state == 1 { "X".into() } else { "!X".into() }
+        if state == 1 {
+            "X".into()
+        } else {
+            "!X".into()
+        }
     }
 
     fn name(&self) -> &str {
@@ -209,8 +213,16 @@ impl Protocol for KLevelDecay {
 
     fn state_label(&self, state: usize) -> String {
         let (z, x) = self.unpack(state);
-        let zs = if z == 0 { "!Z".to_string() } else { format!("Z{}", z - 1) };
-        let xs = if x == 0 { "!X".to_string() } else { format!("X{}", x - 1) };
+        let zs = if z == 0 {
+            "!Z".to_string()
+        } else {
+            format!("Z{}", z - 1)
+        };
+        let xs = if x == 0 {
+            "!X".to_string()
+        } else {
+            format!("X{}", x - 1)
+        };
         format!("({zs},{xs})")
     }
 
@@ -435,8 +447,10 @@ mod tests {
         // After a polylog time, #X should have decayed below n^{3/4} but
         // remain positive.
         let target = (n as f64).powf(0.75) as u64;
-        let t = run_until(&mut pop, &mut rng, 50_000.0, 64, |s| p.count_x(&s.counts()) < target)
-            .expect("X decays below n^{3/4}");
+        let t = run_until(&mut pop, &mut rng, 50_000.0, 64, |s| {
+            p.count_x(&s.counts()) < target
+        })
+        .expect("X decays below n^{3/4}");
         assert!(t > 1.0, "decay is not instant: {t}");
         assert!(
             p.count_x(&pop.counts()) > 0,

@@ -44,7 +44,7 @@
 //! let mut rng = SimRng::seed_from(1);
 //! let mut trace = Vec::new();
 //! while pop.time() < 150.0 {
-//!     for _ in 0..2000 { pop.step(&mut rng); }
+//!     pop.step_batch(&mut rng, 2000);
 //!     trace.push((pop.time(), osc.species_counts(&pop.counts())));
 //! }
 //! let events = dominance_events(&trace, 0.8);

@@ -392,11 +392,7 @@ impl Dk18Oscillator {
         let charged = Self::charge_of(pred_state);
         let p_convert = if charged { 1.0 } else { self.weak_predation };
         let new_pred = Self::make_state(pred_species, false);
-        let converted = if pred_first {
-            (new_pred, new_pred)
-        } else {
-            (new_pred, new_pred)
-        };
+        let converted = (new_pred, new_pred);
         let unchanged = if pred_first {
             (pred_state, prey_state)
         } else {

@@ -233,8 +233,7 @@ impl<O: Oscillator> PhaseClock<O> {
         debug_assert!((doubt as usize) < self.doubt_states());
         osc + self.osc_states
             * (detector as usize
-                + 3 * self.k as usize
-                    * (phase as usize + self.m as usize * doubt as usize))
+                + 3 * self.k as usize * (phase as usize + self.m as usize * doubt as usize))
     }
 
     /// Unpacks a dense state index into `(osc, detector, phase, doubt)`.
@@ -366,12 +365,7 @@ impl<O: Oscillator> Protocol for PhaseClock<O> {
 
     fn state_label(&self, state: usize) -> String {
         let (osc, det, ph, _) = self.unpack(state);
-        format!(
-            "({},d{},p{})",
-            self.oscillator.state_label(osc),
-            det,
-            ph
-        )
+        format!("({},d{},p{})", self.oscillator.state_label(osc), det, ph)
     }
 
     fn name(&self) -> &str {

@@ -18,7 +18,7 @@
 
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
-use crate::sim::{Simulator, StepOutcome};
+use crate::sim::{BatchOutcome, Simulator, StepOutcome};
 
 /// Count-based backend with exact geometric leaping over non-reactive pairs.
 ///
@@ -218,6 +218,43 @@ impl<P: Protocol> Simulator for AcceleratedPopulation<P> {
         self.apply_count_change(b2, 1);
         debug_assert_eq!(self.reactive_pairs, self.recount_reactive_pairs());
         StepOutcome::Changed
+    }
+
+    /// The no-op leaping of [`AcceleratedPopulation::step`] folded into one
+    /// loop: each iteration draws the geometric skip and performs one
+    /// reactive interaction, stopping when the skip overshoots the batch
+    /// budget (exact by memorylessness — the leftover activations are
+    /// provably no-ops) or the configuration goes silent. The reactive-pair
+    /// consistency recount runs once per batch instead of per change.
+    fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        let total_pairs = self.n * (self.n - 1);
+        while out.executed < max_steps {
+            if self.reactive_pairs == 0 {
+                out.silent = true;
+                break;
+            }
+            let remaining = max_steps - out.executed;
+            let p = self.reactive_pairs as f64 / total_pairs as f64;
+            let skip = if p < 1.0 { rng.geometric(p) } else { 0 };
+            if skip >= remaining {
+                out.executed = max_steps;
+                break;
+            }
+            out.executed += skip + 1;
+            let (a, b) = self.sample_reactive_pair(rng);
+            let (a2, b2) = self.protocol.interact(a, b, rng);
+            if (a2, b2) != (a, b) {
+                out.changed += 1;
+                self.apply_count_change(a, -1);
+                self.apply_count_change(b, -1);
+                self.apply_count_change(a2, 1);
+                self.apply_count_change(b2, 1);
+            }
+        }
+        debug_assert_eq!(self.reactive_pairs, self.recount_reactive_pairs());
+        self.steps += out.executed;
+        out
     }
 }
 

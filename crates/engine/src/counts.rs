@@ -16,7 +16,98 @@
 use crate::fenwick::Fenwick;
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
-use crate::sim::{Simulator, StepOutcome};
+use crate::sim::{BatchOutcome, Simulator, StepOutcome};
+
+/// Largest state space for which [`CountPopulation`] builds the `k × k`
+/// reactivity cache that powers batched no-op leaping. Above this, the
+/// `O(k²)` table build and reactive-pair scans would dominate, so
+/// `step_batch` falls back to a tight Fenwick-sampled loop.
+const BATCH_STATE_LIMIT: usize = 1024;
+
+/// Lazily built state for batched stepping: the protocol's reactivity table,
+/// a dense shadow of the Fenwick counts, and the number of ordered reactive
+/// pairs of distinct agents.
+#[derive(Debug, Clone)]
+struct BatchCache {
+    /// `reactive[a * k + b]`: interaction `(a, b)` can change states.
+    reactive: Vec<bool>,
+    /// Dense mirror of the Fenwick counts (kept in sync by `apply_change`).
+    dense: Vec<u64>,
+    /// Number of ordered reactive pairs of distinct agents.
+    pairs: u64,
+}
+
+impl BatchCache {
+    fn recount(&self) -> u64 {
+        let k = self.dense.len();
+        let mut total = 0u64;
+        for a in 0..k {
+            let ca = self.dense[a];
+            if ca == 0 {
+                continue;
+            }
+            for b in 0..k {
+                if self.reactive[a * k + b] {
+                    let cb = if a == b { ca - 1 } else { self.dense[b] };
+                    total += ca * cb;
+                }
+            }
+        }
+        total
+    }
+
+    /// Adjusts `pairs` for a count change `dense[u] += delta`, with `dense`
+    /// already reflecting the change. `O(k)`.
+    fn adjust(&mut self, u: usize, delta: i64) {
+        let k = self.dense.len();
+        let cu = self.dense[u] as i64;
+        let old_cu = cu - delta;
+        let mut d = 0i64;
+        for v in 0..k {
+            let cv = self.dense[v] as i64;
+            if v == u {
+                if self.reactive[u * k + u] {
+                    d += cu * (cu - 1) - old_cu * (old_cu - 1);
+                }
+                continue;
+            }
+            if self.reactive[u * k + v] {
+                d += delta * cv;
+            }
+            if self.reactive[v * k + u] {
+                d += cv * delta;
+            }
+        }
+        self.pairs = (self.pairs as i64 + d) as u64;
+    }
+
+    /// Samples an ordered reactive state pair proportional to the number of
+    /// agent pairs realizing it. `O(k²)` worst case; rows of empty states
+    /// short-circuit.
+    fn sample_reactive_pair(&self, rng: &mut SimRng) -> (usize, usize) {
+        debug_assert!(self.pairs > 0);
+        let mut r = rng.below(self.pairs);
+        let k = self.dense.len();
+        for a in 0..k {
+            let ca = self.dense[a];
+            if ca == 0 {
+                continue;
+            }
+            for b in 0..k {
+                if !self.reactive[a * k + b] {
+                    continue;
+                }
+                let cb = if a == b { ca - 1 } else { self.dense[b] };
+                let w = ca * cb;
+                if r < w {
+                    return (a, b);
+                }
+                r -= w;
+            }
+        }
+        unreachable!("rank exhausted the reactive pair mass");
+    }
+}
 
 /// A population represented by per-state agent counts.
 ///
@@ -40,6 +131,9 @@ pub struct CountPopulation<P> {
     counts: Fenwick,
     n: u64,
     steps: u64,
+    /// Built on the first `step_batch` call (for `k ≤ BATCH_STATE_LIMIT`);
+    /// invalidated by out-of-band count edits ([`CountPopulation::reassign`]).
+    batch: Option<BatchCache>,
 }
 
 impl<P: Protocol> CountPopulation<P> {
@@ -62,6 +156,7 @@ impl<P: Protocol> CountPopulation<P> {
             counts: Fenwick::from_weights(&full),
             n,
             steps: 0,
+            batch: None,
         }
     }
 
@@ -92,10 +187,16 @@ impl<P: Protocol> CountPopulation<P> {
     /// Panics if fewer than `how_many` agents are in `from` or states are
     /// out of range.
     pub fn reassign(&mut self, from: usize, to: usize, how_many: u64) {
-        assert!(self.counts.get(from) >= how_many, "not enough agents in source state");
+        assert!(
+            self.counts.get(from) >= how_many,
+            "not enough agents in source state"
+        );
         assert!(to < self.protocol.num_states());
         self.counts.add(from, -(how_many as i64));
         self.counts.add(to, how_many as i64);
+        // Out-of-band edit: the batch cache's dense mirror and reactive-pair
+        // count are stale; rebuild lazily on the next step_batch.
+        self.batch = None;
     }
 
     /// Samples the states of a uniformly random ordered pair of distinct
@@ -107,6 +208,48 @@ impl<P: Protocol> CountPopulation<P> {
         let b = self.counts.find(rng.below(self.n - 1));
         self.counts.add(a, 1);
         (a, b)
+    }
+
+    /// Applies one interaction's count changes to the Fenwick tree and, if
+    /// present, the batch cache (dense mirror + reactive pair count).
+    fn apply_change(&mut self, a: usize, b: usize, a2: usize, b2: usize) {
+        for (s, d) in [(a, -1i64), (b, -1), (a2, 1), (b2, 1)] {
+            self.counts.add(s, d);
+            if let Some(cache) = &mut self.batch {
+                cache.dense[s] = (cache.dense[s] as i64 + d) as u64;
+                cache.adjust(s, d);
+            }
+        }
+        debug_assert!(self
+            .batch
+            .as_ref()
+            .is_none_or(|c| c.pairs == c.recount() && c.dense == self.counts.to_weights()));
+    }
+
+    /// Ensures the batch cache exists; returns false when the state space is
+    /// too large for `O(k²)` caching to pay off.
+    fn ensure_batch_cache(&mut self) -> bool {
+        let k = self.protocol.num_states();
+        if k > BATCH_STATE_LIMIT {
+            return false;
+        }
+        if self.batch.is_none() {
+            let dense = self.counts.to_weights();
+            let mut reactive = vec![false; k * k];
+            for a in 0..k {
+                for b in 0..k {
+                    reactive[a * k + b] = self.protocol.is_reactive(a, b);
+                }
+            }
+            let mut cache = BatchCache {
+                reactive,
+                dense,
+                pairs: 0,
+            };
+            cache.pairs = cache.recount();
+            self.batch = Some(cache);
+        }
+        true
     }
 }
 
@@ -138,11 +281,77 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
         if (a2, b2) == (a, b) {
             return StepOutcome::Unchanged;
         }
-        self.counts.add(a, -1);
-        self.counts.add(b, -1);
-        self.counts.add(a2, 1);
-        self.counts.add(b2, 1);
+        self.apply_change(a, b, a2, b2);
         StepOutcome::Changed
+    }
+
+    /// Count-vector batching: between reactive interactions, the number of
+    /// consecutive no-op activations is geometric with success probability
+    /// `p = R / (n(n−1))` (`R` = ordered reactive pairs), so the batch loop
+    /// draws the skip length in `O(1)` instead of executing the no-ops. When
+    /// the skip overshoots the batch budget, the remaining activations are
+    /// consumed as no-ops — exact by memorylessness of the geometric. When
+    /// most pairs are reactive (`p ≥ ½`), leaping saves nothing and the loop
+    /// takes plain `O(log k)` Fenwick-sampled steps instead. Reports silence
+    /// when no reactive pair remains.
+    fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        if !self.ensure_batch_cache() {
+            // Huge state space: no reactivity cache, just a tight loop.
+            while out.executed < max_steps {
+                let (a, b) = self.sample_pair(rng);
+                out.executed += 1;
+                let (a2, b2) = self.protocol.interact(a, b, rng);
+                if (a2, b2) != (a, b) {
+                    out.changed += 1;
+                    self.apply_change(a, b, a2, b2);
+                }
+            }
+            self.steps += out.executed;
+            return out;
+        }
+        let total_pairs = self.n * (self.n - 1);
+        while out.executed < max_steps {
+            let pairs = self.batch.as_ref().expect("cache built above").pairs;
+            if pairs == 0 {
+                out.silent = true;
+                break;
+            }
+            if pairs.saturating_mul(2) >= total_pairs {
+                // Reactive-dense regime: a geometric draw per step would cost
+                // more than it skips.
+                let (a, b) = self.sample_pair(rng);
+                out.executed += 1;
+                let (a2, b2) = self.protocol.interact(a, b, rng);
+                if (a2, b2) != (a, b) {
+                    out.changed += 1;
+                    self.apply_change(a, b, a2, b2);
+                }
+                continue;
+            }
+            let remaining = max_steps - out.executed;
+            let p = pairs as f64 / total_pairs as f64;
+            let skip = rng.geometric(p);
+            if skip >= remaining {
+                // The whole rest of the batch is provably no-ops; truncating
+                // the geometric at the boundary is exact by memorylessness.
+                out.executed = max_steps;
+                break;
+            }
+            out.executed += skip + 1;
+            let (a, b) = self
+                .batch
+                .as_ref()
+                .expect("cache built above")
+                .sample_reactive_pair(rng);
+            let (a2, b2) = self.protocol.interact(a, b, rng);
+            if (a2, b2) != (a, b) {
+                out.changed += 1;
+                self.apply_change(a, b, a2, b2);
+            }
+        }
+        self.steps += out.executed;
+        out
     }
 }
 
@@ -298,10 +507,7 @@ impl<P: Protocol> SparseCountPopulation<P> {
             if count == 0 {
                 continue;
             }
-            assert!(
-                !index.contains_key(&state),
-                "state {state} listed twice"
-            );
+            assert!(!index.contains_key(&state), "state {state} listed twice");
             index.insert(state, occupied.len());
             occupied.push((state, count));
             n += count;
@@ -426,6 +632,32 @@ impl<P: Protocol> Simulator for SparseCountPopulation<P> {
         self.add(a2, 1);
         self.add(b2, 1);
         StepOutcome::Changed
+    }
+
+    /// Tight inner loop: the linear scans over occupied states already make
+    /// each step `O(occupied)`, so batching here only removes per-step
+    /// dispatch and outcome plumbing. Never reports silence.
+    fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
+        let n = self.n;
+        let mut changed = 0u64;
+        for _ in 0..max_steps {
+            let a = self.sample(rng.below(n), usize::MAX);
+            let b = self.sample(rng.below(n - 1), a);
+            let (a2, b2) = self.protocol.interact(a, b, rng);
+            if (a2, b2) != (a, b) {
+                self.add(a, -1);
+                self.add(b, -1);
+                self.add(a2, 1);
+                self.add(b2, 1);
+                changed += 1;
+            }
+        }
+        self.steps += max_steps;
+        BatchOutcome {
+            executed: max_steps,
+            changed,
+            silent: false,
+        }
     }
 }
 

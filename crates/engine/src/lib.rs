@@ -11,17 +11,27 @@
 //!
 //! ## Backends
 //!
-//! | Backend | Representation | Per-step cost | Use case |
-//! |---|---|---|---|
-//! | [`population::Population`] | explicit agent array | `O(1)` | per-agent inspection, matching scheduler |
-//! | [`counts::CountPopulation`] | state-count vector + Fenwick | `O(log k)` | very large `n` |
-//! | [`accel::AcceleratedPopulation`] | count vector + reactivity | `O(k)` per *reactive* step | sparse dynamics, silence detection |
-//! | [`matching::MatchingPopulation`] | agent array | `O(n)` per round | random-matching scheduler (§5.3) |
-//! | [`meanfield`] | fraction vector | `O(k²)` per ODE step | `n → ∞` limit |
+//! Every backend implements [`sim::Simulator`], including the batched
+//! stepping entry point [`sim::Simulator::step_batch`] that the run loops
+//! ([`sim::run_rounds`], [`sim::run_until`]) drive; per-interaction
+//! [`sim::Simulator::step`] remains for fine-grained control. Batch cost is
+//! what matters on hot paths: it is paid once per *reactive* interaction (or
+//! per executed step where no reactivity information exists), with no-op
+//! stretches leaped over in `O(1)`.
 //!
-//! All stochastic backends implement the same distribution over runs; the
-//! accelerated backend is exact because it only skips interactions that
-//! provably cannot change state.
+//! | Backend | Representation | Per-step cost | Batch cost (per `step_batch` of `m` steps) | Use case |
+//! |---|---|---|---|---|
+//! | [`population::Population`] | explicit agent array | `O(1)` | `O(m)` tight loop | per-agent inspection, matching scheduler |
+//! | [`counts::CountPopulation`] | state-count vector + Fenwick | `O(log k)` | `O(k)` per reactive interaction, `O(1)` per no-op stretch (`k ≤ 1024`); `O(m log k)` otherwise | very large `n` |
+//! | [`counts::SparseCountPopulation`] | occupied states only | `O(occupied)` | `O(m · occupied)` tight loop | huge nominal `k`, few occupied states |
+//! | [`accel::AcceleratedPopulation`] | count vector + reactivity | `O(k)` per *reactive* step | `O(k)` per reactive interaction, `O(1)` per no-op stretch | sparse dynamics, silence detection |
+//! | [`matching::MatchingPopulation`] | agent array | `O(n)` per round | whole rounds, `O(1)` amortized per step | random-matching scheduler (§5.3) |
+//! | [`meanfield`] | fraction vector | `O(k²)` per ODE step | — (deterministic) | `n → ∞` limit |
+//!
+//! All stochastic backends implement the same distribution over runs, and
+//! `step_batch` induces the same run distribution as iterated `step` — the
+//! leaping backends are exact because they only skip interactions that
+//! provably cannot change state (see `DESIGN.md` for the argument).
 //!
 //! ## Example
 //!
@@ -60,4 +70,4 @@ pub mod sweep;
 
 pub use protocol::{Protocol, ProtocolSpec};
 pub use rng::SimRng;
-pub use sim::{run_rounds, run_until, Simulator, StepOutcome};
+pub use sim::{run_rounds, run_until, BatchOutcome, Simulator, StepOutcome};

@@ -13,7 +13,7 @@
 use crate::population::Population;
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
-use crate::sim::{Simulator, StepOutcome};
+use crate::sim::{BatchOutcome, Simulator, StepOutcome};
 
 /// A population driven by the random-matching synchronous scheduler.
 ///
@@ -77,22 +77,27 @@ impl<P: Protocol> MatchingPopulation<P> {
     }
 
     /// Executes one round: a fresh uniform random matching, one interaction
-    /// per matched pair with random orientation.
-    pub fn round(&mut self, rng: &mut SimRng) {
+    /// per matched pair with random orientation. Returns how many of the
+    /// round's interactions changed at least one agent's state.
+    pub fn round(&mut self, rng: &mut SimRng) -> u64 {
         // Fisher–Yates shuffle; consecutive entries are matched.
         let n = self.order.len();
         for i in (1..n).rev() {
             let j = rng.index(i + 1);
             self.order.swap(i, j);
         }
+        let mut changed = 0u64;
         for pair in self.order.chunks_exact(2) {
             let (mut i, mut j) = (pair[0] as usize, pair[1] as usize);
             if rng.chance(0.5) {
                 std::mem::swap(&mut i, &mut j);
             }
-            self.inner.interact_pair(i, j, rng);
+            if self.inner.interact_pair(i, j, rng) == StepOutcome::Changed {
+                changed += 1;
+            }
         }
         self.rounds += 1;
+        changed
     }
 
     /// Runs until `stop` holds (checked once per round) or `max_rounds`
@@ -142,12 +147,28 @@ impl<P: Protocol> Simulator for MatchingPopulation<P> {
 
     /// A single scheduler activation is a whole matching round.
     fn step(&mut self, rng: &mut SimRng) -> StepOutcome {
-        let before = self.inner.counts();
-        self.round(rng);
-        if self.inner.counts() == before {
-            StepOutcome::Unchanged
-        } else {
+        if self.round(rng) > 0 {
             StepOutcome::Changed
+        } else {
+            StepOutcome::Unchanged
+        }
+    }
+
+    /// Runs whole matching rounds until at least `max_steps` interactions
+    /// (`⌊n/2⌋` per round) have been executed. The matching scheduler has no
+    /// sub-round granularity, so a batch may overshoot `max_steps` by up to
+    /// one round minus one interaction; `executed` reports the true step
+    /// delta. Never reports silence.
+    fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
+        let start = self.inner.steps();
+        let mut changed = 0u64;
+        while self.inner.steps() - start < max_steps {
+            changed += self.round(rng);
+        }
+        BatchOutcome {
+            executed: self.inner.steps() - start,
+            changed,
+            silent: false,
         }
     }
 }
@@ -168,7 +189,9 @@ mod tests {
         // With the swap protocol, counts are invariant, but every matched
         // pair swaps; after one round each agent took part in ≤ 1 pair.
         // We verify indirectly: a 2-agent population swaps exactly once.
-        let swap = TableProtocol::new(2, "swap").rule(0, 1, 1, 0).rule(1, 0, 0, 1);
+        let swap = TableProtocol::new(2, "swap")
+            .rule(0, 1, 1, 0)
+            .rule(1, 0, 0, 1);
         let mut pop = MatchingPopulation::from_counts(swap, &[1, 1]);
         let mut rng = SimRng::seed_from(1);
         let before = pop.population().agent(0);

@@ -186,7 +186,9 @@ mod tests {
 
     #[test]
     fn probabilistic_rules_scale_drift() {
-        let p = TableProtocol::new(2, "slow").rule_p(1, 0, 1, 1, 0.5).rule_p(0, 1, 1, 1, 0.5);
+        let p = TableProtocol::new(2, "slow")
+            .rule_p(1, 0, 1, 1, 0.5)
+            .rule_p(0, 1, 1, 1, 0.5);
         let d = drift(&p, &[0.5, 0.5]);
         // Half the rate of the deterministic epidemic at the same point.
         assert!((d[1] - 0.25).abs() < 1e-12, "drift {d:?}");
@@ -198,7 +200,10 @@ mod tests {
         let traj = integrate(&p, &[0.9, 0.1], 1.0, 0.1, 2);
         let series = traj.series(1);
         assert_eq!(series.len(), traj.times.len());
-        assert!(series.windows(2).all(|w| w[1].1 >= w[0].1), "monotone growth");
+        assert!(
+            series.windows(2).all(|w| w[1].1 >= w[0].1),
+            "monotone growth"
+        );
     }
 
     #[test]

@@ -141,28 +141,47 @@ impl<P: ObjProtocol> ObjPopulation<P> {
 
     /// Performs one asynchronous-scheduler interaction.
     pub fn step(&mut self, rng: &mut SimRng) {
-        let n = self.agents.len();
-        let i = rng.index(n);
-        let mut j = rng.index(n - 1);
-        if j >= i {
-            j += 1;
-        }
-        self.steps += 1;
-        let (a2, b2) = self.protocol.interact(&self.agents[i], &self.agents[j], rng);
-        self.agents[i] = a2;
-        self.agents[j] = b2;
+        self.step_batch(rng, 1);
     }
 
-    /// Runs for `rounds` parallel rounds.
+    /// Executes `max_steps` asynchronous-scheduler interactions as one
+    /// batch with the population size and agent buffer access hoisted out
+    /// of the per-step path. Returns how many interactions changed at least
+    /// one agent's state.
+    pub fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> u64 {
+        let n = self.agents.len();
+        let mut changed = 0u64;
+        for _ in 0..max_steps {
+            let i = rng.index(n);
+            let mut j = rng.index(n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let (a2, b2) = self
+                .protocol
+                .interact(&self.agents[i], &self.agents[j], rng);
+            if a2 != self.agents[i] || b2 != self.agents[j] {
+                changed += 1;
+            }
+            self.agents[i] = a2;
+            self.agents[j] = b2;
+        }
+        self.steps += max_steps;
+        changed
+    }
+
+    /// Runs for `rounds` parallel rounds (batched internally).
     pub fn run_rounds(&mut self, rounds: f64, rng: &mut SimRng) {
         let target = self.steps + (rounds * self.agents.len() as f64).ceil() as u64;
-        while self.steps < target {
-            self.step(rng);
+        if target > self.steps {
+            self.step_batch(rng, target - self.steps);
         }
     }
 
     /// Runs until `stop` holds (checked every `check_every` steps) or
-    /// `max_rounds` elapse; returns the time `stop` first held.
+    /// `max_rounds` elapse; returns the time `stop` first held. Advances
+    /// `check_every` steps per batch, so the predicate is evaluated at
+    /// checkpoint granularity.
     pub fn run_until(
         &mut self,
         rng: &mut SimRng,
@@ -175,14 +194,11 @@ impl<P: ObjProtocol> ObjPopulation<P> {
             return Some(self.time());
         }
         let limit = self.steps + (max_rounds * self.agents.len() as f64).ceil() as u64;
-        let mut next = self.steps + check_every;
         while self.steps < limit {
-            self.step(rng);
-            if self.steps >= next {
-                if stop(self) {
-                    return Some(self.time());
-                }
-                next = self.steps + check_every;
+            let batch = check_every.min(limit - self.steps);
+            self.step_batch(rng, batch);
+            if stop(self) {
+                return Some(self.time());
             }
         }
         None
@@ -203,7 +219,9 @@ impl<P: ObjProtocol> ObjPopulation<P> {
                 std::mem::swap(&mut i, &mut j);
             }
             self.steps += 1;
-            let (a2, b2) = self.protocol.interact(&self.agents[i], &self.agents[j], rng);
+            let (a2, b2) = self
+                .protocol
+                .interact(&self.agents[i], &self.agents[j], rng);
             self.agents[i] = a2;
             self.agents[j] = b2;
         }

@@ -1,16 +1,40 @@
 //! Observers: measurement instrumentation attached to simulation runs.
 //!
-//! Observers receive a callback after every scheduler activation and can
-//! record traces, detect convergence, or detect silence without the run loop
-//! knowing anything about the measurement. They deliberately receive the
-//! simulator as `&dyn` so one observer implementation serves every backend.
+//! Observers are invoked at *checkpoints*, not after every scheduler
+//! activation: each observer declares via [`Observer::stride`] how many steps
+//! may elapse before it next needs to look at the simulator, and the run loop
+//! ([`crate::sim::run_rounds`]) sizes its `step_batch` calls to the smallest
+//! pending stride. This keeps measurement granularity an observer-local
+//! decision while letting the backends run tight batched inner loops between
+//! callbacks. Observers deliberately receive the simulator as `&dyn` so one
+//! observer implementation serves every backend.
+//!
+//! Because batches are bounded by the *minimum* stride across all attached
+//! observers (and backends may overshoot a batch slightly, e.g. the matching
+//! scheduler completes whole rounds), `observe` can be called earlier or
+//! later than the declared stride; implementations must re-check their own
+//! schedule, as all the built-in observers do.
 
 use crate::sim::Simulator;
 
-/// Receives a callback after every simulation step.
+/// Receives checkpoint callbacks during a simulation run.
 pub trait Observer {
-    /// Called after each step with the current step count and simulator.
+    /// Called at each batch boundary with the current step count and
+    /// simulator. May be called more often than [`Observer::stride`]
+    /// requests (another observer's stride can be smaller), so
+    /// implementations guard with their own schedule.
     fn observe(&mut self, steps: u64, sim: &dyn Simulator);
+
+    /// Maximum number of further steps the run loop may execute before this
+    /// observer needs its next [`Observer::observe`] call.
+    ///
+    /// Defaults to one parallel round (`n` steps). Return `u64::MAX` when
+    /// the observer no longer needs callbacks (the run loop clamps to the
+    /// remaining budget).
+    fn stride(&self, steps: u64, sim: &dyn Simulator) -> u64 {
+        let _ = steps;
+        sim.n().max(1)
+    }
 }
 
 /// Records the counts of selected states on a fixed parallel-time grid.
@@ -80,6 +104,10 @@ impl Observer for TraceRecorder {
         let stride = (self.every_rounds * sim.n() as f64).max(1.0) as u64;
         self.next_step = steps + stride;
     }
+
+    fn stride(&self, steps: u64, _sim: &dyn Simulator) -> u64 {
+        self.next_step.saturating_sub(steps).max(1)
+    }
 }
 
 /// Detects when a predicate over the counts has held continuously for a
@@ -146,6 +174,14 @@ impl<F: FnMut(&dyn Simulator) -> bool> Observer for ConvergenceDetector<F> {
             self.hold_start = None;
         }
     }
+
+    fn stride(&self, steps: u64, _sim: &dyn Simulator) -> u64 {
+        if self.converged_at.is_some() {
+            u64::MAX
+        } else {
+            self.next_check.saturating_sub(steps).max(1)
+        }
+    }
 }
 
 /// Tracks how long the configuration has been unchanged (*silence* proxy).
@@ -158,13 +194,26 @@ impl<F: FnMut(&dyn Simulator) -> bool> Observer for ConvergenceDetector<F> {
 pub struct LastChangeTracker {
     last_counts: Option<Vec<u64>>,
     last_change_time: f64,
+    /// Steps between count snapshots; 0 means one parallel round.
+    check_stride: u64,
 }
 
 impl LastChangeTracker {
-    /// Creates a tracker.
+    /// Creates a tracker that snapshots the counts once per parallel round.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a tracker that snapshots the counts every `check_stride`
+    /// steps (0 means once per parallel round). Finer strides sharpen the
+    /// last-change estimate at the cost of more `counts()` snapshots.
+    #[must_use]
+    pub fn with_stride(check_stride: u64) -> Self {
+        Self {
+            check_stride,
+            ..Self::default()
+        }
     }
 
     /// Parallel time of the most recent observed count change.
@@ -183,6 +232,14 @@ impl Observer for LastChangeTracker {
                 self.last_change_time = sim.time();
                 self.last_counts = Some(counts);
             }
+        }
+    }
+
+    fn stride(&self, _steps: u64, sim: &dyn Simulator) -> u64 {
+        if self.check_stride == 0 {
+            sim.n().max(1)
+        } else {
+            self.check_stride
         }
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
-use crate::sim::{Simulator, StepOutcome};
+use crate::sim::{BatchOutcome, Simulator, StepOutcome};
 
 /// A population of `n` explicitly stored agents running protocol `P`.
 ///
@@ -48,7 +48,10 @@ impl<P: Protocol> Population<P> {
     pub fn from_counts(protocol: P, counts: &[u64]) -> Self {
         let k = protocol.num_states();
         assert!(counts.len() <= k, "more initial counts than states");
-        assert!(k <= u32::MAX as usize, "state space too large for agent array");
+        assert!(
+            k <= u32::MAX as usize,
+            "state space too large for agent array"
+        );
         let n: u64 = counts.iter().sum();
         assert!(n >= 2, "population must have at least 2 agents");
         let mut agents = Vec::with_capacity(n as usize);
@@ -167,6 +170,40 @@ impl<P: Protocol> Simulator for Population<P> {
         }
         self.interact_pair(i, j, rng)
     }
+
+    /// Tight inner loop over `max_steps` activations: pair sampling, the
+    /// transition, and count maintenance are inlined with the population
+    /// size hoisted out of the loop, avoiding per-step dispatch. Never
+    /// reports silence (this backend has no reactivity information).
+    fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
+        let n = self.agents.len();
+        let mut changed = 0u64;
+        for _ in 0..max_steps {
+            let i = rng.index(n);
+            let mut j = rng.index(n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let a = self.agents[i] as usize;
+            let b = self.agents[j] as usize;
+            let (a2, b2) = self.protocol.interact(a, b, rng);
+            if (a2, b2) != (a, b) {
+                self.counts[a] -= 1;
+                self.counts[b] -= 1;
+                self.counts[a2] += 1;
+                self.counts[b2] += 1;
+                self.agents[i] = a2 as u32;
+                self.agents[j] = b2 as u32;
+                changed += 1;
+            }
+        }
+        self.steps += max_steps;
+        BatchOutcome {
+            executed: max_steps,
+            changed,
+            silent: false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -224,7 +261,9 @@ mod tests {
     #[test]
     fn step_selects_distinct_agents() {
         // A 2-agent population must always pick the pair (0, 1) in one order.
-        let swap = TableProtocol::new(2, "swap").rule(0, 1, 1, 0).rule(1, 0, 0, 1);
+        let swap = TableProtocol::new(2, "swap")
+            .rule(0, 1, 1, 0)
+            .rule(1, 0, 0, 1);
         let mut pop = Population::from_counts(swap, &[1, 1]);
         let mut rng = SimRng::seed_from(4);
         for _ in 0..50 {

@@ -407,7 +407,11 @@ mod tests {
 
     #[test]
     fn threads_pack_unpack_roundtrip() {
-        let t = Threads::new(vec![Box::new(Swap(3)), Box::new(Swap(5)), Box::new(Swap(2))]);
+        let t = Threads::new(vec![
+            Box::new(Swap(3)),
+            Box::new(Swap(5)),
+            Box::new(Swap(2)),
+        ]);
         assert_eq!(t.num_states(), 30);
         for s in 0..30 {
             assert_eq!(t.pack(&t.unpack(s)), s);
@@ -465,7 +469,9 @@ mod tests {
 
     #[test]
     fn table_protocol_deterministic_rule_fires() {
-        let p = TableProtocol::new(2, "epidemic").rule(1, 0, 1, 1).rule(0, 1, 1, 1);
+        let p = TableProtocol::new(2, "epidemic")
+            .rule(1, 0, 1, 1)
+            .rule(0, 1, 1, 1);
         let mut rng = SimRng::seed_from(0);
         assert_eq!(p.interact(1, 0, &mut rng), (1, 1));
         assert_eq!(p.interact(0, 1, &mut rng), (1, 1));

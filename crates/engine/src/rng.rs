@@ -3,22 +3,19 @@
 //! Simulation results must be reproducible across runs and platforms, and the
 //! inner interaction loop samples the generator several times per event. We
 //! therefore ship a small, well-known generator — xoshiro256\*\* seeded via
-//! SplitMix64 — rather than depending on the platform entropy source. The
-//! generator implements [`rand::RngCore`], so the whole `rand` combinator
-//! ecosystem works on top of it.
+//! SplitMix64 — rather than depending on the platform entropy source or an
+//! external crate. All sampling primitives the simulators need (uniform
+//! integers, Bernoulli, binomial, geometric, normal) are inherent methods.
 //!
 //! # Examples
 //!
 //! ```
 //! use pp_engine::rng::SimRng;
-//! use rand::Rng;
 //!
 //! let mut rng = SimRng::seed_from(42);
-//! let x: f64 = rng.gen();
+//! let x = rng.f64();
 //! assert!((0.0..1.0).contains(&x));
 //! ```
-
-use rand::{Error, RngCore, SeedableRng};
 
 /// SplitMix64 stepper, used to expand a 64-bit seed into xoshiro state.
 ///
@@ -212,51 +209,13 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    #[inline]
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
-    }
-
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        // xoshiro256** scrambler.
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
-        result
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        let mut chunks = dest.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
-        }
-        let rem = chunks.into_remainder();
-        if !rem.is_empty() {
-            let bytes = self.next_u64().to_le_bytes();
-            rem.copy_from_slice(&bytes[..rem.len()]);
-        }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for SimRng {
-    type Seed = [u8; 32];
-
-    fn from_seed(seed: Self::Seed) -> Self {
+impl SimRng {
+    /// Creates a generator from a full 256-bit seed (little-endian words).
+    ///
+    /// An all-zero seed (the forbidden xoshiro fixed point) falls back to
+    /// `seed_from(0)`.
+    #[must_use]
+    pub fn from_seed(seed: [u8; 32]) -> Self {
         let mut s = [0u64; 4];
         for (i, word) in s.iter_mut().enumerate() {
             let mut bytes = [0u8; 8];
@@ -269,8 +228,38 @@ impl SeedableRng for SimRng {
         Self { s }
     }
 
-    fn seed_from_u64(state: u64) -> Self {
-        Self::seed_from(state)
+    /// Returns the next raw 64-bit output of the generator.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        // xoshiro256** scrambler.
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns the next 32 random bits (upper half of [`SimRng::next_u64`]).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
     }
 }
 
@@ -283,7 +272,6 @@ impl Default for SimRng {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn deterministic_for_fixed_seed() {
@@ -406,8 +394,8 @@ mod tests {
         let mut rng = SimRng::seed_from(27);
         let samples: Vec<f64> = (0..50_000).map(|_| rng.normal()).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "variance {var}");
     }
@@ -419,15 +407,6 @@ mod tests {
         let a: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
         let b: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
         assert_ne!(a, b);
-    }
-
-    #[test]
-    fn rand_trait_integration() {
-        let mut rng = SimRng::seed_from(31);
-        let x: f64 = rng.gen_range(0.0..10.0);
-        assert!((0.0..10.0).contains(&x));
-        let y: u32 = rng.gen_range(0..7);
-        assert!(y < 7);
     }
 
     #[test]

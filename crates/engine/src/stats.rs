@@ -106,7 +106,11 @@ pub fn fit_line(points: &[(f64, f64)]) -> LineFit {
         .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
         .sum();
     let ss_tot: f64 = points.iter().map(|p| (p.1 - my).powi(2)).sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     LineFit {
         slope,
         intercept,
@@ -169,6 +173,122 @@ pub fn consistent_with_rate(successes: u64, trials: u64, p_min: f64, z: f64) -> 
     let expect = p_min * n;
     let sd = (n * p_min * (1.0 - p_min)).sqrt();
     successes as f64 + 0.5 >= expect - z * sd
+}
+
+/// Pearson chi-square statistic for the homogeneity of two count samples
+/// over the same categories, e.g. pooled state counts produced by two
+/// simulation strategies that should induce the same distribution.
+///
+/// Categories empty in *both* samples are dropped; the returned degrees of
+/// freedom are `(non-empty categories) − 1`. Returns `(0.0, 0)` when fewer
+/// than two categories carry mass.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or either sample is empty.
+#[must_use]
+pub fn chi_square_two_sample(a: &[u64], b: &[u64]) -> (f64, usize) {
+    assert_eq!(a.len(), b.len(), "samples must share categories");
+    let ta: u64 = a.iter().sum();
+    let tb: u64 = b.iter().sum();
+    assert!(ta > 0 && tb > 0, "empty sample");
+    let grand = (ta + tb) as f64;
+    let mut stat = 0.0;
+    let mut cats = 0usize;
+    for (&ca, &cb) in a.iter().zip(b) {
+        let pooled = ca + cb;
+        if pooled == 0 {
+            continue;
+        }
+        cats += 1;
+        let ea = ta as f64 * pooled as f64 / grand;
+        let eb = tb as f64 * pooled as f64 / grand;
+        stat += (ca as f64 - ea).powi(2) / ea + (cb as f64 - eb).powi(2) / eb;
+    }
+    (stat, cats.saturating_sub(1))
+}
+
+/// Upper-tail p-value of the chi-square distribution: `P(X² ≥ stat)` with
+/// `dof` degrees of freedom, via the regularized incomplete gamma function.
+///
+/// Accurate to ~1e-10 over the ranges used in tests. `dof = 0` returns 1.
+#[must_use]
+pub fn chi_square_p_value(stat: f64, dof: usize) -> f64 {
+    if dof == 0 || stat <= 0.0 {
+        return 1.0;
+    }
+    1.0 - gamma_p(dof as f64 / 2.0, stat / 2.0)
+}
+
+/// Regularized lower incomplete gamma `P(a, x)` (series for `x < a + 1`,
+/// continued fraction otherwise — Numerical Recipes `gammp`).
+fn gamma_p(a: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    let ln_ga = ln_gamma(a);
+    if x < a + 1.0 {
+        // Series representation.
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..500 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_ga).exp()
+    } else {
+        // Continued fraction for Q(a, x) = 1 − P(a, x).
+        let tiny = 1e-300;
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / tiny;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < tiny {
+                d = tiny;
+            }
+            c = b + an / c;
+            if c.abs() < tiny {
+                c = tiny;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        1.0 - (-x + a * x.ln() - ln_ga).exp() * h
+    }
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_5e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COEF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
 }
 
 #[cfg(test)]
@@ -252,5 +372,35 @@ mod tests {
         assert!(consistent_with_rate(0, 0, 0.99, 3.0));
         // Tiny samples are almost always consistent.
         assert!(consistent_with_rate(1, 1, 0.9, 3.0));
+    }
+
+    #[test]
+    fn chi_square_identical_samples_have_zero_stat() {
+        let (stat, dof) = chi_square_two_sample(&[100, 200, 300], &[100, 200, 300]);
+        assert!(stat.abs() < 1e-12);
+        assert_eq!(dof, 2);
+        assert!((chi_square_p_value(stat, dof) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_detects_gross_mismatch() {
+        let (stat, dof) = chi_square_two_sample(&[1000, 10], &[10, 1000]);
+        assert_eq!(dof, 1);
+        assert!(chi_square_p_value(stat, dof) < 1e-6, "stat {stat}");
+    }
+
+    #[test]
+    fn chi_square_drops_empty_categories() {
+        let (_, dof) = chi_square_two_sample(&[50, 0, 50], &[40, 0, 60]);
+        assert_eq!(dof, 1);
+    }
+
+    #[test]
+    fn chi_square_p_values_match_known_quantiles() {
+        // Standard table: P(X² ≥ 3.841 | dof 1) = 0.05,
+        // P(X² ≥ 5.991 | dof 2) = 0.05, P(X² ≥ 11.345 | dof 3) = 0.01.
+        assert!((chi_square_p_value(3.841, 1) - 0.05).abs() < 1e-3);
+        assert!((chi_square_p_value(5.991, 2) - 0.05).abs() < 1e-3);
+        assert!((chi_square_p_value(11.345, 3) - 0.01).abs() < 1e-3);
     }
 }

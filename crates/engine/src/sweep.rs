@@ -3,11 +3,26 @@
 //!
 //! Every experiment in the harness is of the form "for each (n, parameter,
 //! seed) run a simulation and extract a number". Tasks are embarrassingly
-//! parallel; this module distributes them over a crossbeam scope with a
-//! shared work queue, so stragglers don't serialize the sweep.
+//! parallel; this module distributes them over scoped threads pulling from an
+//! atomic ticket counter, so stragglers don't serialize the sweep. Each task
+//! writes its result directly into its own pre-allocated output slot — there
+//! is no shared lock, so short tasks never contend with long ones on result
+//! collection.
 
-use crossbeam::queue::SegQueue;
-use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-index output slots written concurrently, one writer per slot.
+///
+/// Safety contract: callers must ensure no two threads write the same index
+/// and that all writes happen-before the final drain (both are guaranteed by
+/// the ticket counter in [`run_indexed`] plus thread join).
+struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
+
+// SAFETY: slots are only accessed mutably through disjoint indices handed out
+// exactly once by an atomic fetch_add, and the vector is only drained after
+// every worker has been joined.
+unsafe impl<T: Send> Sync for Slots<T> {}
 
 /// Runs `tasks(i)` for every `i` in `0..count` across `workers` threads and
 /// returns the results in index order.
@@ -40,29 +55,35 @@ where
     };
     let workers = workers.min(count.max(1));
 
-    let queue = SegQueue::new();
-    for i in 0..count {
-        queue.push(i);
-    }
-    let results: Mutex<Vec<Option<T>>> =
-        Mutex::new(std::iter::repeat_with(|| None).take(count).collect());
+    let slots = Slots((0..count).map(|_| UnsafeCell::new(None)).collect());
+    let next = AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
+        // Capture a reference to the whole `Slots` wrapper (not its field) so
+        // the closure's Send bound goes through the wrapper's Sync impl.
+        let slots = &slots;
+        let next = &next;
+        let task = &task;
         for _ in 0..workers {
-            scope.spawn(|_| {
-                while let Some(i) = queue.pop() {
-                    let value = task(i);
-                    results.lock()[i] = Some(value);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let value = task(i);
+                // SAFETY: index `i` was claimed exactly once by fetch_add, so
+                // this thread is the unique writer of slot `i`.
+                unsafe {
+                    *slots.0[i].get() = Some(value);
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
-    results
-        .into_inner()
+    slots
+        .0
         .into_iter()
-        .map(|v| v.expect("task result missing"))
+        .map(|cell| cell.into_inner().expect("task result missing"))
         .collect()
 }
 
@@ -91,7 +112,6 @@ where
 mod tests {
     use super::*;
     use crate::rng::SimRng;
-    use rand::RngCore;
 
     #[test]
     fn results_in_input_order() {
@@ -131,5 +151,11 @@ mod tests {
         let configs = vec![(2u64, 3u64), (4, 5)];
         let out = map_configs(&configs, 2, |&(a, b)| a * b);
         assert_eq!(out, vec![6, 20]);
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let out = run_indexed(3, 16, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
     }
 }

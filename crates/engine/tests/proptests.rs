@@ -1,140 +1,213 @@
 //! Property-based tests for the engine's probabilistic and data-structure
-//! invariants.
+//! invariants, driven by seeded random case generation (no external
+//! property-testing dependency: cases are drawn from [`SimRng`], so every
+//! failure is reproducible from the printed case index).
 
 use pp_engine::fenwick::Fenwick;
 use pp_engine::meanfield;
 use pp_engine::protocol::{Protocol, ProtocolSpec, TableProtocol};
 use pp_engine::rng::SimRng;
 use pp_engine::stats::{fit_line, quantile_sorted, Summary};
-use proptest::prelude::*;
 
-proptest! {
-    /// Fenwick prefix sums always equal naive prefix sums.
-    #[test]
-    fn fenwick_matches_naive(weights in proptest::collection::vec(0u64..100, 1..64)) {
+const CASES: u64 = 256;
+
+/// Generates a random weight vector with entries in `0..bound`.
+fn random_weights(rng: &mut SimRng, max_len: usize, bound: u64) -> Vec<u64> {
+    let len = 1 + rng.index(max_len);
+    (0..len).map(|_| rng.below(bound)).collect()
+}
+
+/// Fenwick prefix sums always equal naive prefix sums.
+#[test]
+fn fenwick_matches_naive() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(100 + case);
+        let weights = random_weights(&mut rng, 64, 100);
         let f = Fenwick::from_weights(&weights);
         let mut acc = 0u64;
         for i in 0..=weights.len() {
-            prop_assert_eq!(f.prefix(i), acc);
+            assert_eq!(f.prefix(i), acc, "case {case}, prefix {i}");
             if i < weights.len() {
                 acc += weights[i];
             }
         }
-        prop_assert_eq!(f.total(), acc);
+        assert_eq!(f.total(), acc, "case {case}");
     }
+}
 
-    /// Fenwick find() returns the slot containing the rank.
-    #[test]
-    fn fenwick_find_is_consistent(weights in proptest::collection::vec(0u64..20, 1..64), rank_frac in 0.0f64..1.0) {
+/// Fenwick find() returns the slot containing the rank.
+#[test]
+fn fenwick_find_is_consistent() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(200 + case);
+        let weights = random_weights(&mut rng, 64, 20);
         let f = Fenwick::from_weights(&weights);
-        prop_assume!(f.total() > 0);
-        let r = ((f.total() as f64) * rank_frac) as u64;
-        let r = r.min(f.total() - 1);
+        if f.total() == 0 {
+            continue;
+        }
+        let r = rng.below(f.total());
         let slot = f.find(r);
-        prop_assert!(f.prefix(slot) <= r);
-        prop_assert!(r < f.prefix(slot + 1));
+        assert!(f.prefix(slot) <= r, "case {case}");
+        assert!(r < f.prefix(slot + 1), "case {case}");
     }
+}
 
-    /// Incremental add/remove keeps the tree equal to a rebuilt tree.
-    #[test]
-    fn fenwick_incremental_equals_rebuild(
-        weights in proptest::collection::vec(1u64..50, 2..32),
-        updates in proptest::collection::vec((0usize..31, -5i64..6), 0..32),
-    ) {
-        let mut w = weights.clone();
+/// Incremental add/remove keeps the tree equal to a rebuilt tree.
+#[test]
+fn fenwick_incremental_equals_rebuild() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(300 + case);
+        let len = 2 + rng.index(30);
+        let mut w: Vec<u64> = (0..len).map(|_| 1 + rng.below(49)).collect();
         let mut f = Fenwick::from_weights(&w);
-        for (slot, delta) in updates {
-            let slot = slot % w.len();
-            let delta = delta.max(-(w[slot] as i64));
+        let updates = rng.index(32);
+        for _ in 0..updates {
+            let slot = rng.index(w.len());
+            let delta = (rng.below(11) as i64 - 5).max(-(w[slot] as i64));
             w[slot] = (w[slot] as i64 + delta) as u64;
             f.add(slot, delta);
         }
-        prop_assert_eq!(f, Fenwick::from_weights(&w));
+        assert_eq!(f, Fenwick::from_weights(&w), "case {case}");
     }
+}
 
-    /// Binomial samples stay in range for arbitrary parameters.
-    #[test]
-    fn binomial_in_range(seed in 0u64..5000, count in 0u64..2_000_000, p in 0.0f64..=1.0) {
-        let mut rng = SimRng::seed_from(seed);
+/// Binomial samples stay in range for arbitrary parameters.
+#[test]
+fn binomial_in_range() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(400 + case);
+        let count = rng.below(2_000_000);
+        let p = rng.f64();
         let x = rng.binomial(count, p);
-        prop_assert!(x <= count);
+        assert!(x <= count, "case {case}: {x} > {count}");
     }
+}
 
-    /// Geometric samples are finite and non-negative for valid p.
-    #[test]
-    fn geometric_is_finite(seed in 0u64..5000, p in 0.001f64..=1.0) {
-        let mut rng = SimRng::seed_from(seed);
+/// Geometric samples are finite and non-negative for valid p.
+#[test]
+fn geometric_is_finite() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(500 + case);
+        let p = 0.001 + 0.999 * rng.f64();
         let _ = rng.geometric(p);
     }
+}
 
-    /// below(k) is always < k.
-    #[test]
-    fn below_in_range(seed in 0u64..5000, bound in 1u64..u64::MAX) {
-        let mut rng = SimRng::seed_from(seed);
-        prop_assert!(rng.below(bound) < bound);
+/// below(k) is always < k.
+#[test]
+fn below_in_range() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(600 + case);
+        let bound = 1 + (rng.next_u64() >> 1);
+        assert!(rng.below(bound) < bound, "case {case}");
     }
+}
 
-    /// The mean-field drift conserves total mass for conservative
-    /// protocols (population protocols never create or destroy agents).
-    #[test]
-    fn drift_conserves_mass(x0 in 0.0f64..1.0, x1 in 0.0f64..1.0) {
+/// The mean-field drift conserves total mass for conservative protocols
+/// (population protocols never create or destroy agents).
+#[test]
+fn drift_conserves_mass() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(700 + case);
+        let x0 = rng.f64();
+        let x1 = rng.f64();
         let total = x0 + x1;
-        prop_assume!(total > 0.0);
+        if total <= 0.0 {
+            continue;
+        }
         let p = TableProtocol::new(2, "e").rule(1, 0, 1, 1).rule(0, 1, 1, 1);
         let d = meanfield::drift(&p, &[x0 / total, x1 / total]);
-        prop_assert!(d.iter().sum::<f64>().abs() < 1e-12);
+        assert!(d.iter().sum::<f64>().abs() < 1e-12, "case {case}");
     }
+}
 
-    /// TableProtocol outcome distributions always sum to 1.
-    #[test]
-    fn outcomes_normalized(a in 0usize..3, b in 0usize..3, p1 in 0.01f64..0.5, p2 in 0.01f64..0.5) {
+/// TableProtocol outcome distributions always sum to 1.
+#[test]
+fn outcomes_normalized() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(800 + case);
+        let a = rng.index(3);
+        let b = rng.index(3);
+        let p1 = 0.01 + 0.49 * rng.f64();
+        let p2 = 0.01 + 0.49 * rng.f64();
         let proto = TableProtocol::new(3, "t")
             .rule_p(0, 1, 2, 2, p1)
             .rule_p(0, 1, 1, 0, p2)
             .rule(2, 2, 0, 0);
         let outs = proto.outcomes(a, b);
         let total: f64 = outs.iter().map(|&(_, q)| q).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9, "case {case}: total {total}");
     }
+}
 
-    /// interact() only returns states the outcome distribution supports.
-    #[test]
-    fn interact_supported_by_outcomes(seed in 0u64..2000, a in 0usize..3, b in 0usize..3) {
+/// interact() only returns states the outcome distribution supports.
+#[test]
+fn interact_supported_by_outcomes() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(900 + case);
+        let a = rng.index(3);
+        let b = rng.index(3);
         let proto = TableProtocol::new(3, "t")
             .rule_p(0, 1, 2, 2, 0.5)
             .rule(1, 2, 0, 0);
-        let mut rng = SimRng::seed_from(seed);
         let result = proto.interact(a, b, &mut rng);
         let outs = proto.outcomes(a, b);
-        prop_assert!(outs.iter().any(|&(o, q)| o == result && q > 0.0),
-            "result {:?} not in {:?}", result, outs);
+        assert!(
+            outs.iter().any(|&(o, q)| o == result && q > 0.0),
+            "case {case}: result {result:?} not in {outs:?}"
+        );
     }
+}
 
-    /// Summary quantiles are ordered and bounded by min/max.
-    #[test]
-    fn summary_is_ordered(data in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+/// Summary quantiles are ordered and bounded by min/max.
+#[test]
+fn summary_is_ordered() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(1000 + case);
+        let len = 1 + rng.index(99);
+        let data: Vec<f64> = (0..len).map(|_| (rng.f64() - 0.5) * 2e6).collect();
         let s = Summary::of(&data);
-        prop_assert!(s.min <= s.median && s.median <= s.p90 && s.p90 <= s.max);
-        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        assert!(
+            s.min <= s.median && s.median <= s.p90 && s.p90 <= s.max,
+            "case {case}"
+        );
+        assert!(s.min <= s.mean && s.mean <= s.max, "case {case}");
     }
+}
 
-    /// quantile_sorted is monotone in q.
-    #[test]
-    fn quantiles_monotone(mut data in proptest::collection::vec(-1e3f64..1e3, 2..50), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+/// quantile_sorted is monotone in q.
+#[test]
+fn quantiles_monotone() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(1100 + case);
+        let len = 2 + rng.index(48);
+        let mut data: Vec<f64> = (0..len).map(|_| (rng.f64() - 0.5) * 2e3).collect();
         data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q1 = rng.f64();
+        let q2 = rng.f64();
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-        prop_assert!(quantile_sorted(&data, lo) <= quantile_sorted(&data, hi) + 1e-9);
+        assert!(
+            quantile_sorted(&data, lo) <= quantile_sorted(&data, hi) + 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    /// Line fits recover exact affine relationships.
-    #[test]
-    fn fit_line_exact(slope in -100.0f64..100.0, intercept in -100.0f64..100.0) {
-        let pts: Vec<(f64, f64)> = (0..10).map(|i| {
-            let x = i as f64;
-            (x, slope * x + intercept)
-        }).collect();
+/// Line fits recover exact affine relationships.
+#[test]
+fn fit_line_exact() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(1200 + case);
+        let slope = (rng.f64() - 0.5) * 200.0;
+        let intercept = (rng.f64() - 0.5) * 200.0;
+        let pts: Vec<(f64, f64)> = (0..10)
+            .map(|i| {
+                let x = i as f64;
+                (x, slope * x + intercept)
+            })
+            .collect();
         let fit = fit_line(&pts);
-        prop_assert!((fit.slope - slope).abs() < 1e-6);
-        prop_assert!((fit.intercept - intercept).abs() < 1e-6);
+        assert!((fit.slope - slope).abs() < 1e-6, "case {case}");
+        assert!((fit.intercept - intercept).abs() < 1e-6, "case {case}");
     }
 }

@@ -416,39 +416,35 @@ def protocol Toy
     }
 
     #[test]
+    #[allow(clippy::single_element_loop)]
     fn render_parse_roundtrip_for_builtin_protocols() {
         // The renderer's output must re-parse to a semantically equal
         // program. We check structural equality of the re-render (a fixed
         // point), which implies instruction-level agreement.
-        for source_program in [
-            crate::ast::Program {
-                name: "RT".into(),
-                vars: {
-                    let mut v = pp_rules::VarSet::new();
-                    v.add("A");
-                    v.add("B");
-                    v
-                },
-                inputs: vec![],
-                outputs: vec![],
-                init: vec![],
-                derived_init: vec![],
-                threads: vec![Thread::Structured {
-                    name: "Main".into(),
-                    body: vec![
-                        build::repeat_log(
-                            2,
-                            vec![build::assign(pp_rules::Var::new(0), Guard::any())],
-                        ),
-                        build::if_else(
-                            Guard::var(pp_rules::Var::new(1)),
-                            vec![build::assign_coin(pp_rules::Var::new(0))],
-                            vec![build::assign(pp_rules::Var::new(1), Guard::any().not())],
-                        ),
-                    ],
-                }],
+        for source_program in [crate::ast::Program {
+            name: "RT".into(),
+            vars: {
+                let mut v = pp_rules::VarSet::new();
+                v.add("A");
+                v.add("B");
+                v
             },
-        ] {
+            inputs: vec![],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![Thread::Structured {
+                name: "Main".into(),
+                body: vec![
+                    build::repeat_log(2, vec![build::assign(pp_rules::Var::new(0), Guard::any())]),
+                    build::if_else(
+                        Guard::var(pp_rules::Var::new(1)),
+                        vec![build::assign_coin(pp_rules::Var::new(0))],
+                        vec![build::assign(pp_rules::Var::new(1), Guard::any().not())],
+                    ),
+                ],
+            }],
+        }] {
             let rendered = source_program.render();
             let reparsed = parse_program(&rendered)
                 .unwrap_or_else(|e| panic!("render output must re-parse: {e}\n{rendered}"));

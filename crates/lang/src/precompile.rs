@@ -238,7 +238,11 @@ impl Lowerer {
 /// Pads two lowered branch trees to isomorphic shape, then merges them
 /// node-wise, gating then-rules on `Z` and else-rules on `¬Z` (both
 /// agents).
-fn merge_branches(then_tree: Vec<TreeNode>, else_tree: Vec<TreeNode>, z: pp_rules::Var) -> Vec<TreeNode> {
+fn merge_branches(
+    then_tree: Vec<TreeNode>,
+    else_tree: Vec<TreeNode>,
+    z: pp_rules::Var,
+) -> Vec<TreeNode> {
     let depth = then_tree
         .iter()
         .chain(&else_tree)
@@ -277,12 +281,14 @@ fn gate_ruleset(ruleset: &Ruleset, guard_lit: Guard) -> Vec<Rule> {
         .collect()
 }
 
-fn merge_nodes(then_node: TreeNode, else_node: TreeNode, z: pp_rules::Var, depth: usize) -> TreeNode {
+fn merge_nodes(
+    then_node: TreeNode,
+    else_node: TreeNode,
+    z: pp_rules::Var,
+    depth: usize,
+) -> TreeNode {
     match (then_node, else_node) {
-        (
-            TreeNode::Leaf { c: ct, ruleset: rt },
-            TreeNode::Leaf { c: ce, ruleset: re },
-        ) => {
+        (TreeNode::Leaf { c: ct, ruleset: rt }, TreeNode::Leaf { c: ce, ruleset: re }) => {
             let mut rules = gate_ruleset(&rt, Guard::var(z));
             rules.extend(gate_ruleset(&re, Guard::not_var(z)));
             let leaf = TreeNode::Leaf {
@@ -375,7 +381,11 @@ fn pad_node(node: TreeNode, remaining_depth: usize, width: usize) -> TreeNode {
                 // Wrap in an artificial single-iteration-schedule loop.
                 TreeNode::Loop {
                     c: 1,
-                    children: pad_tree(vec![TreeNode::Leaf { c, ruleset }], remaining_depth - 1, width),
+                    children: pad_tree(
+                        vec![TreeNode::Leaf { c, ruleset }],
+                        remaining_depth - 1,
+                        width,
+                    ),
                 }
             }
         }
@@ -509,11 +519,7 @@ mod tests {
         let k = tree.vars.get("K_0").unwrap();
         let armed = k.mask();
         let mut rng = pp_engine::rng::SimRng::seed_from(1);
-        let outcomes: Vec<u32> = apply
-            .rules()
-            .iter()
-            .map(|r| r.apply(armed, 0).0)
-            .collect();
+        let outcomes: Vec<u32> = apply.rules().iter().map(|r| r.apply(armed, 0).0).collect();
         assert!(outcomes.contains(&f.mask()), "one rule sets F");
         assert!(outcomes.contains(&0), "one rule clears F");
         let _ = &mut rng;
@@ -553,8 +559,16 @@ mod tests {
         assert_eq!(merged.len(), 4, "2 then-rules + 2 else-rules");
         let then_state = z.mask() | k_then.mask();
         let else_state = k_else.mask();
-        let fires_then = merged.rules().iter().filter(|r| r.guard_a.eval(then_state)).count();
-        let fires_else = merged.rules().iter().filter(|r| r.guard_a.eval(else_state)).count();
+        let fires_then = merged
+            .rules()
+            .iter()
+            .filter(|r| r.guard_a.eval(then_state))
+            .count();
+        let fires_else = merged
+            .rules()
+            .iter()
+            .filter(|r| r.guard_a.eval(else_state))
+            .count();
         assert!(fires_then > 0, "some rules fire under Z");
         assert!(fires_else > 0, "some rules fire under ¬Z");
         // No rule fires in both branch contexts.
@@ -603,10 +617,7 @@ mod tests {
 
     #[test]
     fn empty_padding_leaves_are_nil() {
-        let p = simple_program(vec![build::assign(
-            pp_rules::Var::new(0),
-            Guard::any(),
-        )]);
+        let p = simple_program(vec![build::assign(pp_rules::Var::new(0), Guard::any())]);
         let tree = precompile(&p);
         // Assignment gives 2 leaves; no padding needed at width 2.
         assert_eq!(tree.num_leaves(), tree.leaves().len());

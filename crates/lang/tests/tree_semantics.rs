@@ -41,8 +41,7 @@ fn run_tree_pass(tree: &CompiledTree, counts: &mut Vec<u64>, rng: &mut SimRng) {
                     if ruleset.is_empty() {
                         continue;
                     }
-                    let protocol =
-                        FlagProtocol::new(vars.clone(), ruleset.clone(), "leaf");
+                    let protocol = FlagProtocol::new(vars.clone(), ruleset.clone(), "leaf");
                     let mut pop = SparseCountPopulation::from_dense(&protocol, counts);
                     run_rounds(&mut pop, f64::from(*c).max(16.0) * ln_n, rng, &mut []);
                     *counts = pop.counts();

@@ -59,7 +59,6 @@ impl Protocol for ApproxMajority {
 
     fn is_reactive(&self, a: usize, b: usize) -> bool {
         a != b
-
     }
 
     fn state_label(&self, state: usize) -> String {
@@ -417,8 +416,7 @@ mod tests {
         for seed in 0..10 {
             let p = FourStateMajority::new();
             // Gap 1: 51 A vs 50 B.
-            let mut pop =
-                CountPopulation::from_counts(p, &[51, 50, 0, 0]);
+            let mut pop = CountPopulation::from_counts(p, &[51, 50, 0, 0]);
             let mut rng = SimRng::seed_from(seed);
             let consensus = |s: &CountPopulation<FourStateMajority>| {
                 let a_votes: u64 = (0..4)

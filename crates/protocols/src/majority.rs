@@ -96,10 +96,7 @@ pub fn majority(c: u32) -> Program {
         build::assign(b_star, Guard::var(b)),
     ];
     body.extend(duel);
-    body.push(build::if_exists(
-        ga,
-        vec![build::assign(ya, Guard::any())],
-    ));
+    body.push(build::if_exists(ga, vec![build::assign(ya, Guard::any())]));
     body.push(build::if_exists(
         gb,
         vec![build::assign(ya, Guard::any().not())],
@@ -196,8 +193,7 @@ mod tests {
         let mut correct = 0;
         let runs = 6;
         for seed in 0..runs {
-            let mut exec =
-                Executor::new(&p, &[(vec![a], 101), (vec![b], 100), (vec![], 99)], seed);
+            let mut exec = Executor::new(&p, &[(vec![a], 101), (vec![b], 100), (vec![], 99)], seed);
             exec.run_iteration();
             let (on, _) = output_counts(&exec, &p);
             if on == 300 {

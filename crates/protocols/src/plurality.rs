@@ -55,7 +55,10 @@ pub const MAX_COLORS: usize = 8;
 /// ```
 #[must_use]
 pub fn plurality(l: usize, c: u32) -> Program {
-    assert!((2..=MAX_COLORS).contains(&l), "l must be in 2..={MAX_COLORS}");
+    assert!(
+        (2..=MAX_COLORS).contains(&l),
+        "l must be in 2..={MAX_COLORS}"
+    );
     let mut vars = VarSet::new();
     let colors: Vec<_> = (1..=l).map(|i| vars.add(&format!("C{i}"))).collect();
     let winners: Vec<_> = (1..=l).map(|i| vars.add(&format!("W{i}"))).collect();
@@ -76,7 +79,11 @@ pub fn plurality(l: usize, c: u32) -> Program {
     for (i, &w) in winners.iter().enumerate() {
         body.push(build::assign(
             w,
-            if i == 0 { Guard::any() } else { Guard::any().not() },
+            if i == 0 {
+                Guard::any()
+            } else {
+                Guard::any().not()
+            },
         ));
     }
     // Duel the champion against each remaining color in turn.
@@ -103,7 +110,11 @@ pub fn plurality(l: usize, c: u32) -> Program {
         for (i, &w) in winners.iter().enumerate() {
             crown.push(build::assign(
                 w,
-                if i == j { Guard::any() } else { Guard::any().not() },
+                if i == j {
+                    Guard::any()
+                } else {
+                    Guard::any().not()
+                },
             ));
         }
         body.push(build::if_exists(Guard::var(b_star), crown));
@@ -193,7 +204,11 @@ pub fn plurality_exact_three() -> Program {
             } else {
                 Guard::var(g).and(Guard::not_var(out))
             };
-            instr = build::if_else(cond, vec![instr], vec![build::assign(w, Guard::any().not())]);
+            instr = build::if_else(
+                cond,
+                vec![instr],
+                vec![build::assign(w, Guard::any().not())],
+            );
         }
         body.push(instr);
     }
@@ -303,11 +318,7 @@ mod tests {
     fn uncolored_agents_are_allowed() {
         let p = plurality(3, 2);
         let c = color_vars(&p, 3);
-        let mut exec = Executor::new(
-            &p,
-            &[(vec![c[0]], 10), (vec![c[1]], 25), (vec![], 65)],
-            4,
-        );
+        let mut exec = Executor::new(&p, &[(vec![c[0]], 10), (vec![c[1]], 25), (vec![], 65)], 4);
         exec.run_iteration();
         assert_eq!(winner_of(&exec, &p, 3), Some(2));
     }

@@ -88,11 +88,7 @@ impl Predicate {
 /// # Panics
 ///
 /// Panics if `t` is not 0 or 1.
-pub fn slow_threshold_ruleset(
-    vars: &mut VarSet,
-    pre: &str,
-    t: i64,
-) -> (Ruleset, pp_rules::Var) {
+pub fn slow_threshold_ruleset(vars: &mut VarSet, pre: &str, t: i64) -> (Ruleset, pp_rules::Var) {
     assert!(t == 0 || t == 1, "slow threshold supports t ∈ {{0, 1}}");
     let g = format!("{pre}G");
     let vp = format!("{pre}Vp");
@@ -127,7 +123,10 @@ pub fn slow_threshold_ruleset(
         "({g} & {vm}) + ({g} & {vm}) -> ({g} & {vm} & !{o}) + ({g} & {vm} & !{o})\n"
     ));
     // (0) + (v): initiator absorbs the partner's value; responder demoted.
-    for (pv, sv, w) in [(vp.clone(), vp.to_string(), 1i64), (vm.clone(), vm.to_string(), -1)] {
+    for (pv, sv, w) in [
+        (vp.clone(), vp.to_string(), 1i64),
+        (vm.clone(), vm.to_string(), -1),
+    ] {
         text.push_str(&format!(
             "({g} & !{vp} & !{vm}) + ({g} & {pv}) -> ({g} & {sv} & {sw}) + (!{g} & !{vp} & !{vm} & {sw})\n",
             sw = set_out(w)
@@ -188,12 +187,7 @@ pub fn slow_threshold_init(
 /// # Panics
 ///
 /// Panics if `m` is not 2, 3, or 4, or `r ≥ m`.
-pub fn slow_mod_ruleset(
-    vars: &mut VarSet,
-    pre: &str,
-    m: u32,
-    r: u32,
-) -> (Ruleset, pp_rules::Var) {
+pub fn slow_mod_ruleset(vars: &mut VarSet, pre: &str, m: u32, r: u32) -> (Ruleset, pp_rules::Var) {
     assert!((2..=4).contains(&m), "slow mod supports m ∈ {{2, 3, 4}}");
     assert!(r < m, "residue out of range");
     let g = format!("{pre}G");
@@ -205,7 +199,13 @@ pub fn slow_mod_ruleset(
         // guard and as a post-condition).
         let b0 = v & 1 != 0;
         let b1 = v & 2 != 0;
-        let lit = |name: &str, set: bool| if set { name.to_string() } else { format!("!{name}") };
+        let lit = |name: &str, set: bool| {
+            if set {
+                name.to_string()
+            } else {
+                format!("!{name}")
+            }
+        };
         format!("{} & {}", lit(&r0, b0), lit(&r1, b1))
     };
     let mut text = String::new();
@@ -275,7 +275,11 @@ pub fn parity_exact(r: u32) -> Program {
         (r0, Guard::var(a)),
         (
             o,
-            if r == 1 { Guard::var(a) } else { Guard::not_var(a) },
+            if r == 1 {
+                Guard::var(a)
+            } else {
+                Guard::not_var(a)
+            },
         ),
     ];
     Program {
@@ -332,7 +336,13 @@ pub fn mod_exact(m: u32, r: u32) -> Program {
         (r0, Guard::var(a)),
         (
             o,
-            if r == 1 { Guard::var(a) } else if r == 0 { Guard::not_var(a) } else { Guard::any().not() },
+            if r == 1 {
+                Guard::var(a)
+            } else if r == 0 {
+                Guard::not_var(a)
+            } else {
+                Guard::any().not()
+            },
         ),
     ];
     Program {
@@ -383,17 +393,15 @@ pub fn comparison_and_parity_exact(r: u32) -> Program {
 
     // P := (threshold leader says true) ∧ (mod leader says true), read via
     // two nested existential branches mirroring the Section 6.3 idiom.
-    let body = vec![
-        build::if_else(
-            Guard::var(tg).and(Guard::var(t_out)),
-            vec![build::if_else(
-                Guard::var(mg).and(Guard::var(m_out)),
-                vec![build::assign(p, Guard::any())],
-                vec![build::assign(p, Guard::any().not())],
-            )],
+    let body = vec![build::if_else(
+        Guard::var(tg).and(Guard::var(t_out)),
+        vec![build::if_else(
+            Guard::var(mg).and(Guard::var(m_out)),
+            vec![build::assign(p, Guard::any())],
             vec![build::assign(p, Guard::any().not())],
-        ),
-    ];
+        )],
+        vec![build::assign(p, Guard::any().not())],
+    )];
     let derived_init = vec![
         (tg, Guard::any()),
         (tvp, Guard::var(a)),
@@ -403,7 +411,11 @@ pub fn comparison_and_parity_exact(r: u32) -> Program {
         (mr0, Guard::var(a)),
         (
             m_out,
-            if r == 1 { Guard::var(a) } else { Guard::not_var(a) },
+            if r == 1 {
+                Guard::var(a)
+            } else {
+                Guard::not_var(a)
+            },
         ),
     ];
     Program {

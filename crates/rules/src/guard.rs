@@ -58,6 +58,7 @@ impl Guard {
 
     /// Negates this guard.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         Guard::Not(Box::new(self))
     }
@@ -78,7 +79,11 @@ impl Guard {
     #[must_use]
     pub fn all_of(literals: &[(Var, bool)]) -> Self {
         literals.iter().fold(Guard::True, |acc, &(v, pos)| {
-            let lit = if pos { Guard::var(v) } else { Guard::not_var(v) };
+            let lit = if pos {
+                Guard::var(v)
+            } else {
+                Guard::not_var(v)
+            };
             if acc == Guard::True {
                 lit
             } else {
@@ -168,16 +173,21 @@ impl Guard {
                 Guard::Var(v) => format!("!{}", vars.name(*v)),
                 inner => format!("!({})", inner.render(vars)),
             },
-            Guard::And(a, b) => format!("{} & {}", a.render_child(vars, true), b.render_child(vars, true)),
-            Guard::Or(a, b) => format!("{} | {}", a.render_child(vars, false), b.render_child(vars, false)),
+            Guard::And(a, b) => format!(
+                "{} & {}",
+                a.render_child(vars, true),
+                b.render_child(vars, true)
+            ),
+            Guard::Or(a, b) => format!(
+                "{} | {}",
+                a.render_child(vars, false),
+                b.render_child(vars, false)
+            ),
         }
     }
 
     fn render_child(&self, vars: &VarSet, in_and: bool) -> String {
-        let needs_parens = matches!(
-            (self, in_and),
-            (Guard::Or(_, _), true)
-        );
+        let needs_parens = matches!((self, in_and), (Guard::Or(_, _), true));
         if needs_parens {
             format!("({})", self.render(vars))
         } else {
@@ -276,7 +286,9 @@ mod tests {
     #[test]
     fn vars_are_collected_sorted_unique() {
         let (_, a, b, c) = three_vars();
-        let g = Guard::var(c).and(Guard::var(a)).or(Guard::var(a).and(Guard::var(b)));
+        let g = Guard::var(c)
+            .and(Guard::var(a))
+            .or(Guard::var(a).and(Guard::var(b)));
         assert_eq!(g.vars(), vec![a, b, c]);
     }
 

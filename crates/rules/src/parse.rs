@@ -256,8 +256,7 @@ impl<'a> Parser<'a> {
         let post_a = self.paren_guard()?;
         self.expect(&Tok::Plus)?;
         let post_b = self.paren_guard()?;
-        let mut rule =
-            Rule::new(guard_a, guard_b, &post_a, &post_b).map_err(|e| e.to_string())?;
+        let mut rule = Rule::new(guard_a, guard_b, &post_a, &post_b).map_err(|e| e.to_string())?;
         if self.current == Tok::At {
             self.advance()?;
             match self.current.clone() {
@@ -291,14 +290,11 @@ pub fn parse_rule(line: &str, vars: &mut VarSet) -> Result<Rule, ParseRuleError>
         .trim_start_matches('▷')
         .trim_start_matches('>')
         .trim();
-    let mut parser = Parser::new(trimmed, vars).map_err(|message| ParseRuleError {
-        line: 1,
-        message,
-    })?;
-    parser.rule().map_err(|message| ParseRuleError {
-        line: 1,
-        message,
-    })
+    let mut parser =
+        Parser::new(trimmed, vars).map_err(|message| ParseRuleError { line: 1, message })?;
+    parser
+        .rule()
+        .map_err(|message| ParseRuleError { line: 1, message })
 }
 
 /// Parses a multi-line ruleset. Blank lines and `#`-comments are skipped.

@@ -118,8 +118,7 @@ impl Protocol for FlagProtocol {
         match self.mode {
             ExecutionMode::UniformRule => {
                 let rule = &self.ruleset.rules()[rng.index(self.ruleset.len())];
-                if rule.matches(a, b) && (rule.probability >= 1.0 || rng.chance(rule.probability))
-                {
+                if rule.matches(a, b) && (rule.probability >= 1.0 || rng.chance(rule.probability)) {
                     let (a2, b2) = rule.apply(a, b);
                     (a2 as usize, b2 as usize)
                 } else {

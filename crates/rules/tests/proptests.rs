@@ -1,123 +1,163 @@
 //! Property tests for the rule DSL: parse/render round-trips, minimal
 //! update semantics, and guard algebra.
+//!
+//! Cases are drawn from seeded [`SimRng`] streams (one deterministic seed
+//! per case), so any failure reproduces from the printed case index.
 
+use pp_engine::rng::SimRng;
 use pp_rules::parse::parse_rule;
 use pp_rules::{Guard, Rule, Ruleset, Update, Var, VarSet};
-use proptest::prelude::*;
+
+const CASES: u64 = 256;
 
 fn vars3() -> VarSet {
     VarSet::from_names(&["A", "B", "C"])
 }
 
-/// Strategy: an arbitrary guard over 3 variables with bounded depth.
-fn guard_strategy() -> impl Strategy<Value = Guard> {
-    let leaf = prop_oneof![
-        Just(Guard::True),
-        (0usize..3).prop_map(|i| Guard::var(Var::new(i))),
-        (0usize..3).prop_map(|i| Guard::not_var(Var::new(i))),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.prop_map(|g| g.not()),
-        ]
-    })
+/// An arbitrary guard over 3 variables with bounded recursion depth.
+fn random_guard(rng: &mut SimRng, depth: u32) -> Guard {
+    let branch = if depth == 0 {
+        rng.below(3)
+    } else {
+        rng.below(6)
+    };
+    match branch {
+        0 => Guard::True,
+        1 => Guard::var(Var::new(rng.index(3))),
+        2 => Guard::not_var(Var::new(rng.index(3))),
+        3 => random_guard(rng, depth - 1).and(random_guard(rng, depth - 1)),
+        4 => random_guard(rng, depth - 1).or(random_guard(rng, depth - 1)),
+        _ => random_guard(rng, depth - 1).not(),
+    }
 }
 
-/// Strategy: a conjunction-of-literals guard (usable as post-condition).
-fn literal_conj_strategy() -> impl Strategy<Value = Guard> {
-    proptest::collection::vec((0usize..3, any::<bool>()), 0..3).prop_map(|lits| {
-        let unique: Vec<(Var, bool)> = {
-            let mut seen = std::collections::HashMap::new();
-            for (i, pos) in lits {
-                seen.insert(i, pos);
-            }
-            seen.into_iter().map(|(i, p)| (Var::new(i), p)).collect()
-        };
-        Guard::all_of(&unique)
-    })
+/// A conjunction-of-literals guard (usable as a post-condition): each of
+/// the 3 variables independently appears positively, negatively, or not
+/// at all.
+fn random_literal_conj(rng: &mut SimRng) -> Guard {
+    let mut lits = Vec::new();
+    for i in 0..3usize {
+        match rng.below(3) {
+            0 => lits.push((Var::new(i), true)),
+            1 => lits.push((Var::new(i), false)),
+            _ => {}
+        }
+    }
+    Guard::all_of(&lits)
 }
 
-proptest! {
-    /// Rendering a guard and re-parsing it (as part of a rule) preserves
-    /// semantics on every state.
-    #[test]
-    fn guard_render_roundtrip(g in guard_strategy()) {
+/// Rendering a guard and re-parsing it (as part of a rule) preserves
+/// semantics on every state.
+#[test]
+fn guard_render_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(2_100 + case);
+        let g = random_guard(&mut rng, 3);
         let vars = vars3();
         let rendered = g.render(&vars);
         let rule_text = format!("({rendered}) + (.) -> (.) + (.)");
         let mut vars2 = vars.clone();
         let rule = parse_rule(&rule_text, &mut vars2).expect("re-parses");
         for state in 0..8u32 {
-            prop_assert_eq!(g.eval(state), rule.guard_a.eval(state),
-                "state {:#b} disagrees for {}", state, rendered);
+            assert_eq!(
+                g.eval(state),
+                rule.guard_a.eval(state),
+                "case {case}: state {state:#b} disagrees for {rendered}"
+            );
         }
     }
+}
 
-    /// Full rule round-trip: render then parse gives the same matches and
-    /// applications everywhere.
-    #[test]
-    fn rule_render_roundtrip(g1 in guard_strategy(), g2 in guard_strategy(),
-                             p1 in literal_conj_strategy(), p2 in literal_conj_strategy()) {
+/// Full rule round-trip: render then parse gives the same matches and
+/// applications everywhere.
+#[test]
+fn rule_render_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(2_200 + case);
+        let g1 = random_guard(&mut rng, 3);
+        let g2 = random_guard(&mut rng, 3);
+        let p1 = random_literal_conj(&mut rng);
+        let p2 = random_literal_conj(&mut rng);
         let vars = vars3();
         let rule = match Rule::new(g1, g2, &p1, &p2) {
             Ok(r) => r,
-            Err(_) => return Ok(()), // contradictory post-condition: skip
+            Err(_) => continue, // contradictory post-condition: skip
         };
         let rendered = rule.render(&vars);
         let mut vars2 = vars.clone();
         let reparsed = parse_rule(&rendered, &mut vars2).expect("re-parses");
         for a in 0..8u32 {
             for b in 0..8u32 {
-                prop_assert_eq!(rule.matches(a, b), reparsed.matches(a, b));
+                assert_eq!(rule.matches(a, b), reparsed.matches(a, b), "case {case}");
                 if rule.matches(a, b) {
-                    prop_assert_eq!(rule.apply(a, b), reparsed.apply(a, b));
+                    assert_eq!(rule.apply(a, b), reparsed.apply(a, b), "case {case}");
                 }
             }
         }
     }
+}
 
-    /// Minimal update: applying an update twice equals applying it once
-    /// (idempotence), and untouched bits are preserved.
-    #[test]
-    fn updates_are_idempotent_and_minimal(p in literal_conj_strategy(), state in 0u32..8) {
+/// Minimal update: applying an update twice equals applying it once
+/// (idempotence), and untouched bits are preserved.
+#[test]
+fn updates_are_idempotent_and_minimal() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(2_300 + case);
+        let p = random_literal_conj(&mut rng);
+        let state = rng.next_u64() as u32 % 8;
         let u = Update::from_guard(&p).expect("literal conjunction");
         let once = u.apply(state);
-        prop_assert_eq!(u.apply(once), once, "idempotent");
+        assert_eq!(u.apply(once), once, "case {case}: idempotent");
         // The post-condition holds after the update.
-        prop_assert!(p.eval(once));
+        assert!(p.eval(once), "case {case}");
         // Bits not mentioned are untouched.
         let touched = u.set | u.clear;
-        prop_assert_eq!(state & !touched, once & !touched);
+        assert_eq!(state & !touched, once & !touched, "case {case}");
     }
+}
 
-    /// Guard evaluation respects boolean algebra: double negation.
-    #[test]
-    fn double_negation(g in guard_strategy(), state in 0u32..8) {
-        prop_assert_eq!(g.clone().not().not().eval(state), g.eval(state));
+/// Guard evaluation respects boolean algebra: double negation.
+#[test]
+fn double_negation() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(2_400 + case);
+        let g = random_guard(&mut rng, 3);
+        let state = rng.next_u64() as u32 % 8;
+        assert_eq!(
+            g.clone().not().not().eval(state),
+            g.eval(state),
+            "case {case}"
+        );
     }
+}
 
-    /// Composition preserves per-thread uniform selection: composing a
-    /// ruleset with itself doubles the length but keeps semantics.
-    #[test]
-    fn compose_self_preserves_rules(g in guard_strategy()) {
+/// Composition preserves per-thread uniform selection: composing a
+/// ruleset with itself doubles the length but keeps semantics.
+#[test]
+fn compose_self_preserves_rules() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(2_500 + case);
+        let g = random_guard(&mut rng, 3);
         let rule = Rule::new(g, Guard::True, &Guard::True, &Guard::True).unwrap();
         let rs = Ruleset::from_rules(vec![rule.clone()]);
         let composed = Ruleset::compose(&[rs.clone(), rs]);
-        prop_assert_eq!(composed.len(), 2);
+        assert_eq!(composed.len(), 2, "case {case}");
         for r in composed.rules() {
-            prop_assert_eq!(r, &rule);
+            assert_eq!(r, &rule, "case {case}");
         }
     }
+}
 
-    /// literals() and all_of() are mutually inverse on literal sets.
-    #[test]
-    fn literals_roundtrip(p in literal_conj_strategy()) {
+/// literals() and all_of() are mutually inverse on literal sets.
+#[test]
+fn literals_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(2_600 + case);
+        let p = random_literal_conj(&mut rng);
         if let Some(lits) = p.literals() {
             let rebuilt = Guard::all_of(&lits);
             for state in 0..8u32 {
-                prop_assert_eq!(p.eval(state), rebuilt.eval(state));
+                assert_eq!(p.eval(state), rebuilt.eval(state), "case {case}");
             }
         }
     }

@@ -36,8 +36,9 @@ fn main() {
     println!("time   [A1 | A2 | A3] concentration bars");
     let mut trace = Vec::new();
     while pop.time() < 300.0 {
-        for _ in 0..n {
-            pop.step(&mut rng);
+        let out = pop.step_batch(&mut rng, n);
+        if out.silent && out.executed == 0 {
+            break;
         }
         let counts = osc.species_counts(&pop.counts());
         trace.push((pop.time(), counts));

@@ -52,7 +52,9 @@ fn main() {
     println!("spreading a rumor among {n} agents ({sources} sources, {skeptics} skeptics)");
     for target_pct in [1u64, 10, 50, 90, 99] {
         let target = n * target_pct / 100;
-        let t = run_until(&mut pop, &mut rng, 500.0, 4096, |sim| informed(sim) >= target);
+        let t = run_until(&mut pop, &mut rng, 500.0, 4096, |sim| {
+            informed(sim) >= target
+        });
         match t {
             Some(t) => println!("{target_pct:>3}% informed after {t:>6.1} rounds"),
             None => println!("{target_pct:>3}% not reached within budget"),

@@ -58,7 +58,9 @@ fn main() {
         println!("\nfast path: unique leader after {it} iterations ≈ {rounds:.0} rounds (w.h.p. correct)");
     }
     if let Some((it, rounds)) = locked_at {
-        println!("certainty: #R = 1 after {it} iterations ≈ {rounds:.0} rounds — leader locked forever");
+        println!(
+            "certainty: #R = 1 after {it} iterations ≈ {rounds:.0} rounds — leader locked forever"
+        );
     } else {
         println!("backstop still converging (expected within polynomial time)");
     }

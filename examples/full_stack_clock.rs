@@ -66,7 +66,10 @@ fn main() {
 
     let want = pop.count_where(|ag| x.is_set(ag.flags));
     println!("\n{n} agents, {want} with X set; waiting for Y to mirror X everywhere…");
-    println!("{:>8}  {:>10}  {:>6}  {:>14}", "rounds", "correct", "#X", "level-0 phase");
+    println!(
+        "{:>8}  {:>10}  {:>6}  {:>14}",
+        "rounds", "correct", "#X", "level-0 phase"
+    );
     loop {
         pop.run_rounds(250.0, &mut rng);
         let correct = pop.count_where(|ag| y.is_set(ag.flags) == x.is_set(ag.flags));

@@ -27,7 +27,9 @@ fn main() {
     let b = program.vars.get("B").expect("input B");
     let y = program.vars.get("Y_A").expect("output");
 
-    println!("referendum: {votes_a} for A, {votes_b} for B, {abstain} abstaining (margin {margin})");
+    println!(
+        "referendum: {votes_a} for A, {votes_b} for B, {abstain} abstaining (margin {margin})"
+    );
 
     let mut correct = 0;
     let runs = 5;

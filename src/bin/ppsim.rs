@@ -158,12 +158,22 @@ fn main() -> ExitCode {
             let y = program.vars.get("Y_A").expect("Y_A");
             let mut exec = Executor::new(
                 &program,
-                &[(vec![a], a_count), (vec![b], b_count), (vec![], n - a_count - b_count)],
+                &[
+                    (vec![a], a_count),
+                    (vec![b], b_count),
+                    (vec![], n - a_count - b_count),
+                ],
                 seed,
             );
             exec.run_iteration();
             let on = exec.count_where(&Guard::var(y));
-            let answer = if on == exec.n() { "A" } else if on == 0 { "B" } else { "split (rerun)" };
+            let answer = if on == exec.n() {
+                "A"
+            } else if on == 0 {
+                "B"
+            } else {
+                "split (rerun)"
+            };
             let truth = if a_count > b_count { "A" } else { "B" };
             println!(
                 "majority says {answer} (truth {truth}) after {:.0} rounds; #A={a_count} #B={b_count} n={n}",
@@ -211,14 +221,18 @@ fn main() -> ExitCode {
             let a = program.vars.get("A").expect("A");
             let p = program.vars.get("P").expect("P");
             let truth = a_count % 2 == 1;
-            let mut exec = Executor::new(&program, &[(vec![a], a_count), (vec![], n - a_count)], seed);
+            let mut exec =
+                Executor::new(&program, &[(vec![a], a_count), (vec![], n - a_count)], seed);
             let done = exec.run_until(20_000, |e| {
                 let on = e.count_where(&Guard::var(p));
                 (on == e.n()) == truth && (on == 0) != truth
             });
             match done {
                 Some(iters) => {
-                    println!("#A = {a_count} is {}; decided after {iters} iterations", if truth { "odd" } else { "even" });
+                    println!(
+                        "#A = {a_count} is {}; decided after {iters} iterations",
+                        if truth { "odd" } else { "even" }
+                    );
                     ExitCode::SUCCESS
                 }
                 None => {
@@ -228,17 +242,20 @@ fn main() -> ExitCode {
             }
         }
         "oscillator" => {
-            let x = *flags.get("x").unwrap_or(&((n as f64).powf(0.3) as u64).max(1));
+            let x = *flags
+                .get("x")
+                .unwrap_or(&((n as f64).powf(0.3) as u64).max(1));
             let rounds = *flags.get("rounds").unwrap_or(&300);
             let osc = Dk18Oscillator::new();
             let mut pop = CountPopulation::from_counts(&osc, &central_init(&osc, n, x));
             let mut rng = SimRng::seed_from(seed);
             let mut trace = Vec::new();
             while pop.time() < rounds as f64 {
-                for _ in 0..n {
-                    pop.step(&mut rng);
-                }
+                let out = pop.step_batch(&mut rng, n);
                 trace.push((pop.time(), osc.species_counts(&pop.counts())));
+                if out.silent && out.executed == 0 {
+                    break;
+                }
             }
             let events = dominance_events(&trace, 0.8);
             let per = periods(&events);

@@ -1,16 +1,23 @@
-//! Property-based cross-backend tests: the agent-array, count-based, and
-//! accelerated simulators must realize the same stochastic process, and the
-//! rules formalism must agree with hand-coded protocols.
+//! Cross-backend equivalence tests: the agent-array, count-based, sparse,
+//! accelerated, and matching simulators must realize the same stochastic
+//! process, per-step `step()` and batched `step_batch()` must induce the
+//! same run distribution, and the rules formalism must agree with
+//! hand-coded protocols.
+//!
+//! Random cases are drawn from seeded [`SimRng`] streams, so every failure
+//! reproduces from the printed case index.
 
 use population_protocols::core::engine::accel::AcceleratedPopulation;
-use population_protocols::core::engine::counts::CountPopulation;
+use population_protocols::core::engine::counts::{CountPopulation, SparseCountPopulation};
+use population_protocols::core::engine::matching::MatchingPopulation;
 use population_protocols::core::engine::population::Population;
 use population_protocols::core::engine::protocol::TableProtocol;
 use population_protocols::core::engine::rng::SimRng;
-use population_protocols::core::engine::sim::{run_until, Simulator};
-use population_protocols::core::engine::stats::Summary;
+use population_protocols::core::engine::sim::{run_until, Simulator, StepOutcome};
+use population_protocols::core::engine::stats::{
+    chi_square_p_value, chi_square_two_sample, Summary,
+};
 use population_protocols::core::rules::{parse::parse_ruleset, FlagProtocol, VarSet};
-use proptest::prelude::*;
 
 /// Mean fratricide completion time for each backend over several seeds.
 fn fratricide_mean(backend: &str, leaders: u64, followers: u64, runs: u64) -> f64 {
@@ -54,67 +61,326 @@ fn all_backends_agree_on_fratricide_time() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// The 3-state cyclic protocol used by the statistical equivalence tests:
+/// it keeps all three states populated at moderate times, giving the
+/// chi-square tests nontrivial categories.
+fn cycle() -> TableProtocol {
+    TableProtocol::new(3, "cycle")
+        .rule(0, 1, 1, 1)
+        .rule(1, 2, 2, 2)
+        .rule(2, 0, 0, 0)
+}
 
-    /// Population size is conserved by every backend on a random cyclic
-    /// protocol.
-    #[test]
-    fn conservation_on_random_protocols(seed in 0u64..1000, c0 in 1u64..50, c1 in 1u64..50, c2 in 1u64..50) {
-        let protocol = TableProtocol::new(3, "cycle")
-            .rule(0, 1, 1, 1)
-            .rule(1, 2, 2, 2)
-            .rule(2, 0, 0, 0);
-        let n = c0 + c1 + c2;
-        prop_assume!(n >= 2);
-        let mut pop = CountPopulation::from_counts(&protocol, &[c0, c1, c2]);
-        let mut rng = SimRng::seed_from(seed);
-        for _ in 0..500 {
-            pop.step(&mut rng);
-            prop_assert_eq!(pop.counts().iter().sum::<u64>(), n);
+const EQUIV_N: [u64; 3] = [80, 80, 80];
+const EQUIV_RUNS: u64 = 120;
+const EQUIV_TARGET_STEPS: u64 = 240 * 4; // 4 parallel rounds at n = 240
+
+/// Advances `sim` to at least `target` steps using per-interaction `step()`.
+fn drive_stepwise(sim: &mut dyn Simulator, rng: &mut SimRng, target: u64) {
+    while sim.steps() < target {
+        if sim.step(rng) == StepOutcome::Silent {
+            break;
         }
     }
+}
 
-    /// A FlagProtocol epidemic behaves identically to the equivalent
-    /// TableProtocol epidemic (same state space, same dynamics).
-    #[test]
-    fn dsl_epidemic_matches_table_epidemic(seed in 0u64..500) {
-        // DSL version.
+/// Advances `sim` to at least `target` steps using `step_batch` in chunks
+/// (exercising batch-boundary truncation by using a chunk that does not
+/// divide the target).
+fn drive_batched(sim: &mut dyn Simulator, rng: &mut SimRng, target: u64) {
+    while sim.steps() < target {
+        let out = sim.step_batch(rng, (target - sim.steps()).min(97));
+        if out.silent || out.executed == 0 {
+            break;
+        }
+    }
+}
+
+/// One independent observation per run: the count of state 0 at the fixed
+/// parallel time. (Pooling all state counts across runs would violate the
+/// chi-square independence assumption — within a run the counts sum to n,
+/// so pooled cells carry run-to-run variance the test doesn't model.)
+fn per_run_observations<S: Simulator>(
+    make: impl Fn() -> S,
+    seed_base: u64,
+    batched: bool,
+) -> Vec<f64> {
+    (0..EQUIV_RUNS)
+        .map(|run| {
+            let mut sim = make();
+            let mut rng = SimRng::seed_from(seed_base + run);
+            if batched {
+                drive_batched(&mut sim, &mut rng, EQUIV_TARGET_STEPS);
+            } else {
+                drive_stepwise(&mut sim, &mut rng, EQUIV_TARGET_STEPS);
+            }
+            sim.count(0) as f64
+        })
+        .collect()
+}
+
+/// Bins two samples on a shared equal-width grid and chi-squares the
+/// histograms. Each sample element must be an independent observation.
+fn binned_chi_square(a: &[f64], b: &[f64], bins: usize) -> (f64, usize, f64) {
+    let max = a.iter().chain(b).fold(0.0f64, |m, &v| m.max(v));
+    let width = (max + 1e-9) / bins as f64;
+    let hist = |data: &[f64]| {
+        let mut h = vec![0u64; bins];
+        for &v in data {
+            h[((v / width) as usize).min(bins - 1)] += 1;
+        }
+        h
+    };
+    let (stat, dof) = chi_square_two_sample(&hist(a), &hist(b));
+    let p = chi_square_p_value(stat, dof);
+    (stat, dof, p)
+}
+
+/// Chi-square homogeneity of the per-run state-0 count under step vs
+/// step_batch driving; the null hypothesis (same distribution) must not be
+/// rejected at α = 0.001.
+fn assert_step_batch_equivalent<S: Simulator>(name: &str, make: impl Fn() -> S, seed: u64) {
+    let stepwise = per_run_observations(&make, seed, false);
+    let batched = per_run_observations(&make, seed + 50_000, true);
+    let (stat, dof, p) = binned_chi_square(&stepwise, &batched, 6);
+    assert!(
+        p > 0.001,
+        "{name}: step vs step_batch distributions differ \
+         (chi² = {stat:.2}, dof = {dof}, p = {p:.5})"
+    );
+}
+
+#[test]
+fn step_batch_matches_step_on_population() {
+    assert_step_batch_equivalent(
+        "Population",
+        || Population::from_counts(cycle(), &EQUIV_N),
+        100,
+    );
+}
+
+#[test]
+fn step_batch_matches_step_on_count_population() {
+    assert_step_batch_equivalent(
+        "CountPopulation",
+        || CountPopulation::from_counts(cycle(), &EQUIV_N),
+        200,
+    );
+}
+
+#[test]
+fn step_batch_matches_step_on_sparse_count_population() {
+    assert_step_batch_equivalent(
+        "SparseCountPopulation",
+        || SparseCountPopulation::from_dense(cycle(), &EQUIV_N),
+        300,
+    );
+}
+
+#[test]
+fn step_batch_matches_step_on_accelerated_population() {
+    assert_step_batch_equivalent(
+        "AcceleratedPopulation",
+        || AcceleratedPopulation::from_counts(cycle(), &EQUIV_N),
+        400,
+    );
+}
+
+#[test]
+fn step_batch_matches_step_on_matching_population() {
+    assert_step_batch_equivalent(
+        "MatchingPopulation",
+        || MatchingPopulation::from_counts(cycle(), &EQUIV_N),
+        500,
+    );
+}
+
+/// The leaping batch path must also agree: fratricide on the count backend
+/// is reactive-sparse, so `step_batch` spends most of its time in the
+/// geometric-skip branch. Compare hitting-time distributions coarsely
+/// (binned) between stepwise and batched driving.
+#[test]
+fn count_population_leaping_batch_matches_step_distribution() {
+    let protocol = TableProtocol::new(2, "fratricide").rule(1, 1, 1, 0);
+    let runs = 150u64;
+    let mut times = [Vec::new(), Vec::new()];
+    for (which, batched) in [(0usize, false), (1, true)] {
+        for run in 0..runs {
+            let mut pop = CountPopulation::from_counts(&protocol, &[112, 16]);
+            let mut rng = SimRng::seed_from(7_000 + which as u64 * 100_000 + run);
+            let t = if batched {
+                // Large batches: the whole run is a handful of step_batch
+                // calls dominated by geometric leaps.
+                loop {
+                    let out = pop.step_batch(&mut rng, 1 << 14);
+                    if pop.count(1) == 1 || out.silent {
+                        break pop.time();
+                    }
+                }
+            } else {
+                run_until(&mut pop, &mut rng, 1e7, 1, |s| s.count(1) == 1).unwrap()
+            };
+            times[which].push(t);
+        }
+    }
+    // Bin the hitting times on a common grid and chi-square the histograms.
+    let (stat, dof, p) = binned_chi_square(&times[0], &times[1], 6);
+    assert!(
+        p > 0.001,
+        "leaping batch hitting times diverge (chi² = {stat:.2}, dof = {dof}, p = {p:.5})"
+    );
+}
+
+/// `BatchOutcome::executed` accounting: the reported count must equal the
+/// change in `steps()` exactly, on every backend, for random batch sizes.
+#[test]
+fn batch_executed_matches_steps_delta_exactly() {
+    for case in 0..60u64 {
+        let mut rng = SimRng::seed_from(10_000 + case);
+        let max_steps = 1 + rng.below(2_000);
+        let seed = rng.next_u64();
+
+        let mut checks: Vec<(&str, Box<dyn Simulator>)> = vec![
+            (
+                "agents",
+                Box::new(Population::from_counts(cycle(), &EQUIV_N)),
+            ),
+            (
+                "counts",
+                Box::new(CountPopulation::from_counts(cycle(), &EQUIV_N)),
+            ),
+            (
+                "sparse",
+                Box::new(SparseCountPopulation::from_dense(cycle(), &EQUIV_N)),
+            ),
+            (
+                "accel",
+                Box::new(AcceleratedPopulation::from_counts(cycle(), &EQUIV_N)),
+            ),
+            (
+                "matching",
+                Box::new(MatchingPopulation::from_counts(cycle(), &EQUIV_N)),
+            ),
+        ];
+        for (name, sim) in checks.iter_mut() {
+            let mut rng = SimRng::seed_from(seed);
+            let before = sim.steps();
+            let out = sim.step_batch(&mut rng, max_steps);
+            let delta = sim.steps() - before;
+            assert_eq!(
+                out.executed, delta,
+                "case {case} {name}: executed {} but steps moved {delta}",
+                out.executed
+            );
+            assert!(
+                out.changed <= out.executed,
+                "case {case} {name}: more changes than steps"
+            );
+            if *name == "matching" {
+                // Whole rounds only: may overshoot by < ⌊n/2⌋.
+                let n = sim.n();
+                assert!(
+                    out.executed >= max_steps && out.executed < max_steps + n / 2,
+                    "case {case} matching: executed {} for request {max_steps}",
+                    out.executed
+                );
+            } else {
+                assert_eq!(
+                    out.executed, max_steps,
+                    "case {case} {name}: non-silent batch must execute exactly"
+                );
+            }
+        }
+    }
+}
+
+/// A silent configuration yields `executed == 0`, `silent == true`, and no
+/// `steps()` movement on the reactivity-tracking backends.
+#[test]
+fn silent_batches_consume_nothing() {
+    let protocol = TableProtocol::new(2, "fratricide").rule(1, 1, 1, 0);
+    let mut rng = SimRng::seed_from(42);
+    // One leader: no reactive pair exists.
+    let mut accel = AcceleratedPopulation::from_counts(&protocol, &[9, 1]);
+    let out = accel.step_batch(&mut rng, 1_000);
+    assert!(out.silent);
+    assert_eq!(out.executed, 0);
+    assert_eq!(accel.steps(), 0);
+
+    let mut counts = CountPopulation::from_counts(&protocol, &[9, 1]);
+    let out = counts.step_batch(&mut rng, 1_000);
+    assert!(out.silent);
+    assert_eq!(out.executed, 0);
+    assert_eq!(counts.steps(), 0);
+}
+
+/// Population size is conserved by every backend on a random cyclic
+/// protocol, under batched stepping.
+#[test]
+fn conservation_on_random_protocols() {
+    for case in 0..16u64 {
+        let mut rng = SimRng::seed_from(20_000 + case);
+        let c0 = 1 + rng.below(49);
+        let c1 = 1 + rng.below(49);
+        let c2 = 1 + rng.below(49);
+        let n = c0 + c1 + c2;
+        let mut pop = CountPopulation::from_counts(cycle(), &[c0, c1, c2]);
+        for chunk in 0..10 {
+            pop.step_batch(&mut rng, 50);
+            assert_eq!(
+                pop.counts().iter().sum::<u64>(),
+                n,
+                "case {case} chunk {chunk}"
+            );
+        }
+    }
+}
+
+/// A FlagProtocol epidemic behaves like the equivalent TableProtocol
+/// epidemic (same state space, same dynamics, loose per-seed envelope).
+#[test]
+fn dsl_epidemic_matches_table_epidemic() {
+    for case in 0..16u64 {
+        let seed = 30_000 + case * 17;
         let mut vars = VarSet::new();
-        let rules = parse_ruleset("(I) + (!I) -> (I) + (I)\n(!I) + (I) -> (I) + (I)", &mut vars).unwrap();
+        let rules = parse_ruleset(
+            "(I) + (!I) -> (I) + (I)\n(!I) + (I) -> (I) + (I)",
+            &mut vars,
+        )
+        .unwrap();
         let dsl = FlagProtocol::new(vars, rules, "epidemic");
         let mut pop_dsl = CountPopulation::from_counts(&dsl, &[127, 1]);
         let mut rng = SimRng::seed_from(seed);
         let t_dsl = run_until(&mut pop_dsl, &mut rng, 1e4, 1, |s| s.count(0) == 0).unwrap();
 
-        // Hand-coded version. Note: the DSL protocol has 2 rules picked
-        // uniformly and both fire on their orientation, so rates match the
-        // two-rule table protocol exactly when scaled identically. We only
-        // require both to complete within a factor-3 envelope per seed pair
-        // (they use different randomness).
-        let table = TableProtocol::new(2, "epidemic").rule(1, 0, 1, 1).rule(0, 1, 1, 1);
+        let table = TableProtocol::new(2, "epidemic")
+            .rule(1, 0, 1, 1)
+            .rule(0, 1, 1, 1);
         let mut pop_tab = CountPopulation::from_counts(&table, &[127, 1]);
         let mut rng = SimRng::seed_from(seed + 1);
         let t_tab = run_until(&mut pop_tab, &mut rng, 1e4, 1, |s| s.count(0) == 0).unwrap();
-        // Both are Θ(log n); sanity-bound the ratio loosely.
-        prop_assert!(t_dsl / t_tab < 8.0 && t_tab / t_dsl < 8.0,
-            "epidemic times diverge wildly: dsl {} vs table {}", t_dsl, t_tab);
+        assert!(
+            t_dsl / t_tab < 8.0 && t_tab / t_dsl < 8.0,
+            "case {case}: epidemic times diverge wildly: dsl {t_dsl} vs table {t_tab}"
+        );
     }
+}
 
-    /// The accelerated backend never reports Silent while a reactive pair
-    /// exists, and vice versa.
-    #[test]
-    fn accel_silence_is_sound(leaders in 0u64..6, followers in 2u64..40) {
-        let protocol = TableProtocol::new(2, "fratricide").rule(1, 1, 1, 0);
-        prop_assume!(leaders + followers >= 2);
-        let mut pop = AcceleratedPopulation::from_counts(&protocol, &[followers, leaders]);
-        let mut rng = SimRng::seed_from(leaders * 100 + followers);
-        use population_protocols::core::engine::sim::StepOutcome;
-        let outcome = pop.step(&mut rng);
-        if leaders >= 2 {
-            prop_assert_ne!(outcome, StepOutcome::Silent);
-        } else {
-            prop_assert_eq!(outcome, StepOutcome::Silent);
+/// The accelerated backend never reports Silent while a reactive pair
+/// exists, and vice versa.
+#[test]
+fn accel_silence_is_sound() {
+    let protocol = TableProtocol::new(2, "fratricide").rule(1, 1, 1, 0);
+    for leaders in 0u64..6 {
+        for followers in 2u64..40 {
+            let mut pop = AcceleratedPopulation::from_counts(&protocol, &[followers, leaders]);
+            let mut rng = SimRng::seed_from(leaders * 100 + followers);
+            let outcome = pop.step(&mut rng);
+            if leaders >= 2 {
+                assert_ne!(outcome, StepOutcome::Silent, "{leaders} leaders");
+            } else {
+                assert_eq!(outcome, StepOutcome::Silent, "{leaders} leaders");
+            }
         }
     }
 }

@@ -135,7 +135,10 @@ fn compiled_program_runs_on_real_clocks() {
     let done = pop.run_until(&mut rng, 40_000.0, 512 * n as u64, |p| {
         p.count_where(|ag| y.is_set(ag.flags) == x.is_set(ag.flags)) == n as u64
     });
-    assert!(done.is_some(), "compiled program completed under real clocks");
+    assert!(
+        done.is_some(),
+        "compiled program completed under real clocks"
+    );
 }
 
 #[test]

@@ -16,10 +16,9 @@ fn all_shipped_protocol_files_parse() {
         }
         found += 1;
         let source = fs::read_to_string(&path).expect("readable");
-        let program = parse_program(&source)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let program = parse_program(&source).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         assert!(!program.name.is_empty());
-        assert!(program.threads.len() >= 1);
+        assert!(!program.threads.is_empty());
     }
     assert!(found >= 2, "expected at least two shipped protocol files");
 }
@@ -51,11 +50,7 @@ fn shipped_rumor_file_completes() {
     let r = program.vars.get("R").expect("R");
     let s = program.vars.get("S").expect("S");
     let done = program.vars.get("Done").expect("Done");
-    let mut exec = Executor::new(
-        &program,
-        &[(vec![r], 5), (vec![s], 20), (vec![], 375)],
-        7,
-    );
+    let mut exec = Executor::new(&program, &[(vec![r], 5), (vec![s], 20), (vec![], 375)], 7);
     let it = exec
         .run_until(100, |e| e.count_where(&Guard::var(done)) == e.n())
         .expect("rumor reaches everyone and Done is raised");
