@@ -1,0 +1,158 @@
+//! Telemetry overhead micro-benchmark: `step_batch` throughput on
+//! `CountPopulation` with the global metrics registry disabled (the
+//! default) versus enabled, on the same workloads as the `BENCH_batch.json`
+//! baseline. Results are written to `BENCH_metrics.json` at the workspace
+//! root; when `BENCH_batch.json` exists, the disabled-path rate is compared
+//! against its recorded baseline (the design target is within 5% on the
+//! sparse regime at `n = 10⁶`).
+//!
+//! Run with: `cargo bench --bench metrics`
+
+use pp_bench::timing::throughput;
+use pp_engine::counts::CountPopulation;
+use pp_engine::json::Json;
+use pp_engine::metrics;
+use pp_engine::protocol::TableProtocol;
+use pp_engine::rng::SimRng;
+use pp_engine::sim::Simulator;
+use std::path::PathBuf;
+
+/// Token passing (count-invariant, reactive-sparse): the regime where the
+/// leap path dominates, i.e. where per-leap recording is most visible.
+fn token() -> TableProtocol {
+    TableProtocol::new(2, "token").rule(1, 0, 0, 1)
+}
+
+fn cycle3() -> TableProtocol {
+    TableProtocol::new(3, "cycle")
+        .rule(0, 1, 1, 1)
+        .rule(1, 2, 2, 2)
+        .rule(2, 0, 0, 0)
+}
+
+fn batch_rate(mut pop: CountPopulation<TableProtocol>, seed: u64, chunk: u64) -> f64 {
+    let mut rng = SimRng::seed_from(seed);
+    throughput(|| pop.step_batch(&mut rng, chunk).executed)
+}
+
+struct Row {
+    scenario: &'static str,
+    n: u64,
+    disabled_per_sec: f64,
+    enabled_per_sec: f64,
+}
+
+fn workspace_root() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+/// Reads the sparse-regime batch baseline at `n` from `BENCH_batch.json`
+/// (written by `cargo bench --bench engine`) via the in-repo JSON reader.
+fn batch_baseline(scenario: &str, n: u64) -> Option<f64> {
+    let text = std::fs::read_to_string(workspace_root().join("BENCH_batch.json")).ok()?;
+    let doc = Json::parse(&text).ok()?;
+    doc.get("rows")?.as_arr()?.iter().find_map(|row| {
+        (row.get("scenario")?.as_str()? == scenario && row.get("n")?.as_u64()? == n)
+            .then(|| row.get("batch_per_sec")?.as_f64())?
+    })
+}
+
+fn measure(
+    scenario: &'static str,
+    n: u64,
+    make: impl Fn() -> CountPopulation<TableProtocol>,
+    chunk: u64,
+) -> Row {
+    // Alternate disabled/enabled samples on fresh populations and keep the
+    // best of each, so state drift and scheduler noise within one ~300ms
+    // window don't masquerade as telemetry overhead.
+    let mut disabled = 0.0f64;
+    let mut enabled = 0.0f64;
+    for _ in 0..3 {
+        metrics::disable();
+        disabled = disabled.max(batch_rate(make(), 12, chunk));
+        metrics::reset();
+        metrics::enable();
+        enabled = enabled.max(batch_rate(make(), 12, chunk));
+    }
+    metrics::disable();
+    let overhead = (disabled - enabled) / disabled * 100.0;
+    println!(
+        "{scenario:<14} n={n:<11} disabled {disabled:>12.3e}/s   enabled {enabled:>12.3e}/s   overhead {overhead:>5.1}%"
+    );
+    if let Some(base) = batch_baseline(scenario, n) {
+        println!(
+            "{:<14} n={n:<11} BENCH_batch.json baseline {base:>12.3e}/s   delta {:>5.1}%",
+            "",
+            (disabled - base) / base * 100.0
+        );
+    }
+    Row {
+        scenario,
+        n,
+        disabled_per_sec: disabled,
+        enabled_per_sec: enabled,
+    }
+}
+
+fn write_metrics_json(rows: &[Row]) {
+    let json = Json::obj([
+        ("bench", Json::from("metrics_overhead")),
+        ("backend", Json::from("CountPopulation")),
+        ("unit", Json::from("interactions_per_second")),
+        (
+            "rows",
+            Json::arr(rows.iter().map(|r| {
+                Json::obj([
+                    ("scenario", Json::from(r.scenario)),
+                    ("n", Json::from(r.n)),
+                    ("disabled_per_sec", Json::from(r.disabled_per_sec)),
+                    ("enabled_per_sec", Json::from(r.enabled_per_sec)),
+                    (
+                        "overhead_pct",
+                        Json::from(
+                            (r.disabled_per_sec - r.enabled_per_sec) / r.disabled_per_sec * 100.0,
+                        ),
+                    ),
+                ])
+            })),
+        ),
+    ]);
+    let path = workspace_root().join("BENCH_metrics.json");
+    let mut text = json.render();
+    text.push('\n');
+    std::fs::write(&path, text).expect("write BENCH_metrics.json");
+    println!("\nwrote {}", path.display());
+}
+
+fn main() {
+    println!("metrics overhead micro-benchmark (disabled vs enabled registry)");
+    let mut rows = Vec::new();
+    for n in [10_000u64, 1_000_000] {
+        rows.push(measure(
+            "sparse_token",
+            n,
+            || CountPopulation::from_counts(token(), &[n - 10, 10]),
+            1 << 26,
+        ));
+        rows.push(measure(
+            "dense_cycle3",
+            n,
+            || CountPopulation::from_counts(cycle3(), &[n / 3, n / 3, n - 2 * (n / 3)]),
+            1 << 20,
+        ));
+    }
+    // Sanity: the enabled run above recorded real counts.
+    metrics::reset();
+    metrics::enable();
+    let mut pop = CountPopulation::from_counts(token(), &[990, 10]);
+    let mut rng = SimRng::seed_from(5);
+    let _ = pop.step_batch(&mut rng, 100_000);
+    let snap = metrics::snapshot();
+    metrics::disable();
+    assert_eq!(snap.counter("interactions_executed"), 100_000);
+    assert!(snap.counter("noop_leaps") > 0, "leap path exercised");
+    write_metrics_json(&rows);
+}

@@ -10,6 +10,7 @@
 
 pub mod timing;
 
+use pp_engine::metrics;
 use pp_engine::report::Table;
 use std::path::PathBuf;
 
@@ -26,9 +27,20 @@ pub enum Scale {
 
 impl Scale {
     /// Parses the scale from `std::env::args` (`--quick` / `--full`).
+    ///
+    /// Also arms the engine's global [`metrics`] registry (unless
+    /// `--no-metrics` is given), so every experiment binary emits a
+    /// telemetry snapshot next to its CSV via [`emit`]. The counters cost a
+    /// few relaxed atomics per batch/leap — negligible against the
+    /// simulations the experiments time, and the dedicated overhead
+    /// micro-benchmark (`benches/metrics.rs`) runs without this path.
     #[must_use]
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        if !args.iter().any(|a| a == "--no-metrics") {
+            metrics::reset();
+            metrics::enable();
+        }
         if args.iter().any(|a| a == "--quick") {
             Scale::Quick
         } else if args.iter().any(|a| a == "--full") {
@@ -50,12 +62,23 @@ impl Scale {
 }
 
 /// Prints the table and writes it to `target/experiments/<name>.csv`.
+///
+/// When the engine metrics registry is enabled (the default via
+/// [`Scale::from_args`]), also writes a telemetry snapshot to
+/// `target/experiments/<name>_metrics.json`.
 pub fn emit(name: &str, table: &Table) {
     println!("{}", table.render());
     let path = output_path(name);
     match table.write_csv(&path) {
         Ok(()) => println!("(csv written to {})", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    if metrics::enabled() {
+        let mpath = PathBuf::from("target/experiments").join(format!("{name}_metrics.json"));
+        match metrics::snapshot().write_json(&mpath) {
+            Ok(()) => println!("(metrics written to {})", mpath.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", mpath.display()),
+        }
     }
 }
 

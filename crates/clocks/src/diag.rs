@@ -1,0 +1,468 @@
+//! Paper-facing diagnostic observers: dominance-rotation recording, per-level
+//! tick tracing, and good-iteration estimation.
+//!
+//! Where [`crate::detect`] provides pure functions over already-recorded
+//! traces, this module provides the *recorders* that hook into live runs:
+//!
+//! * [`DominanceRecorder`] — an [`Observer`] that samples species counts on
+//!   a parallel-time grid and summarizes the oscillator's rotation as
+//!   dominance events, period lists, and a log₂ period histogram. Theorem
+//!   5.1 predicts a rotation period of `Θ(log n)`; the recorded median
+//!   period makes that measurable per run.
+//! * [`TickTracer`] — tracks the majority phase of every level of a
+//!   [`ClockHierarchy`] population and records each majority-phase change
+//!   ("tick") with its parallel time. Adjacent levels should tick at rates
+//!   separated by `Θ(log n)` (Section 5.3); the per-level tick lists expose
+//!   exactly that. Ticks can be re-emitted as [`pp_engine::trace`] events.
+//! * [`GoodIterationEstimator`] — accumulates per-iteration good/bad
+//!   verdicts for compiled-program runs and reports the good fraction. The
+//!   paper's simulation argument needs most gated windows to be "good"
+//!   (every agent participates, clocks in phase); this estimator quantifies
+//!   how often that holds empirically.
+
+use crate::detect::{dominance_events, periods, Dominance};
+use crate::hierarchy::HierAgent;
+use crate::oscillator::{Oscillator, NUM_SPECIES};
+use pp_engine::obj::{ObjPopulation, ObjProtocol};
+use pp_engine::observe::Observer;
+use pp_engine::sim::Simulator;
+use pp_engine::trace::Tracer;
+
+/// Records species counts of an oscillator run on a parallel-time grid and
+/// summarizes the dominance rotation.
+///
+/// Attach to any dense-backend run of an [`Oscillator`] protocol via
+/// [`pp_engine::sim::run_rounds`]; afterwards query [`DominanceRecorder::events`],
+/// [`DominanceRecorder::periods`], [`DominanceRecorder::median_period`], or
+/// [`DominanceRecorder::period_histogram`].
+///
+/// # Examples
+///
+/// ```
+/// use pp_clocks::diag::DominanceRecorder;
+/// use pp_clocks::oscillator::{central_init, Dk18Oscillator};
+/// use pp_engine::counts::CountPopulation;
+/// use pp_engine::rng::SimRng;
+/// use pp_engine::sim::run_rounds;
+///
+/// let osc = Dk18Oscillator::new();
+/// let mut pop = CountPopulation::from_counts(&osc, &central_init(&osc, 2000, 5));
+/// let mut rec = DominanceRecorder::new(osc, 0.8, 0.5);
+/// let mut rng = SimRng::seed_from(1);
+/// run_rounds(&mut pop, 150.0, &mut rng, &mut [&mut rec]);
+/// assert!(rec.events().len() > 3, "the oscillator rotates");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DominanceRecorder<O> {
+    oscillator: O,
+    threshold: f64,
+    /// Sampling interval in rounds.
+    every_rounds: f64,
+    next_step: u64,
+    rows: Vec<(f64, [u64; NUM_SPECIES])>,
+}
+
+impl<O: Oscillator> DominanceRecorder<O> {
+    /// Creates a recorder sampling every `every_rounds` rounds and calling
+    /// a species dominant when its share exceeds `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_rounds <= 0` or `threshold` is not in `(0.5, 1.0)`.
+    #[must_use]
+    pub fn new(oscillator: O, threshold: f64, every_rounds: f64) -> Self {
+        assert!(every_rounds > 0.0);
+        assert!(
+            threshold > 0.5 && threshold < 1.0,
+            "threshold must be in (0.5, 1.0)"
+        );
+        Self {
+            oscillator,
+            threshold,
+            every_rounds,
+            next_step: 0,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The sampled `(time, [#A₁, #A₂, #A₃])` rows.
+    #[must_use]
+    pub fn rows(&self) -> &[(f64, [u64; NUM_SPECIES])] {
+        &self.rows
+    }
+
+    /// Dominance events extracted from the recorded rows.
+    #[must_use]
+    pub fn events(&self) -> Vec<Dominance> {
+        dominance_events(&self.rows, self.threshold)
+    }
+
+    /// Full-cycle periods (same-species return times) in rounds.
+    #[must_use]
+    pub fn periods(&self) -> Vec<f64> {
+        periods(&self.events())
+    }
+
+    /// Median rotation period in rounds, or `None` before the first
+    /// completed cycle. Theorem 5.1 predicts `Θ(log n)`.
+    #[must_use]
+    pub fn median_period(&self) -> Option<f64> {
+        let mut p = self.periods();
+        if p.is_empty() {
+            return None;
+        }
+        p.sort_by(|a, b| a.partial_cmp(b).expect("periods are finite"));
+        Some(p[p.len() / 2])
+    }
+
+    /// Log₂-bucketed histogram of rotation periods: bucket `i` counts
+    /// periods `p` with `⌈p⌉ ∈ [2^{i−1}+1 .. 2^i]` (bucket 0 counts `p ≤ 1`).
+    /// Trailing empty buckets are trimmed.
+    #[must_use]
+    pub fn period_histogram(&self) -> Vec<u64> {
+        let mut hist = Vec::new();
+        for p in self.periods() {
+            let v = p.ceil().max(0.0) as u64;
+            let bucket = if v <= 1 {
+                0
+            } else {
+                (64 - (v - 1).leading_zeros()) as usize
+            };
+            if hist.len() <= bucket {
+                hist.resize(bucket + 1, 0);
+            }
+            hist[bucket] += 1;
+        }
+        hist
+    }
+}
+
+impl<O: Oscillator> Observer for DominanceRecorder<O> {
+    fn observe(&mut self, steps: u64, sim: &dyn Simulator) {
+        if steps < self.next_step {
+            return;
+        }
+        // Accumulate species counts state-by-state: no intermediate
+        // count-vector allocation per checkpoint.
+        let mut counts = [0u64; NUM_SPECIES];
+        for state in 0..self.oscillator.num_states() {
+            if let Some(s) = self.oscillator.species_of(state) {
+                counts[s] += sim.count(state);
+            }
+        }
+        self.rows.push((sim.time(), counts));
+        let stride = (self.every_rounds * sim.n() as f64).max(1.0) as u64;
+        self.next_step = steps + stride;
+    }
+
+    fn stride(&self, steps: u64, _sim: &dyn Simulator) -> u64 {
+        self.next_step.saturating_sub(steps).max(1)
+    }
+}
+
+/// One recorded tick: a level's majority phase changed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tick {
+    /// Parallel time of the snapshot that first showed the new phase.
+    pub time: f64,
+    /// The new majority phase.
+    pub phase: u8,
+}
+
+/// Tracks the majority phase of every level of a clock-hierarchy population
+/// and records each change as a [`Tick`].
+///
+/// Call [`TickTracer::observe`] on a schedule of your choosing (e.g. every
+/// few rounds between `run_rounds` calls); each call scans the population
+/// once, `O(n · levels)`.
+#[derive(Debug, Clone)]
+pub struct TickTracer {
+    modulus: usize,
+    last: Vec<Option<u8>>,
+    ticks: Vec<Vec<Tick>>,
+    /// Parallel time spanned by observations, for rate estimates.
+    first_time: Option<f64>,
+    last_time: f64,
+}
+
+impl TickTracer {
+    /// Creates a tracer for `levels` clock levels with phase modulus `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0` or `m == 0`.
+    #[must_use]
+    pub fn new(levels: usize, m: u8) -> Self {
+        assert!(levels > 0 && m > 0);
+        Self {
+            modulus: m as usize,
+            last: vec![None; levels],
+            ticks: vec![Vec::new(); levels],
+            first_time: None,
+            last_time: 0.0,
+        }
+    }
+
+    /// Snapshots the population: computes each level's majority phase and
+    /// records a [`Tick`] for every level whose majority changed. Accepts
+    /// any structured-state protocol over [`HierAgent`] (by value or
+    /// reference), i.e. any [`crate::hierarchy::ClockHierarchy`] run.
+    pub fn observe<P: ObjProtocol<State = HierAgent>>(&mut self, pop: &ObjPopulation<P>) {
+        let time = pop.time();
+        self.first_time.get_or_insert(time);
+        self.last_time = time;
+        for level in 0..self.last.len() {
+            let mut hist = vec![0u64; self.modulus];
+            for agent in pop.iter() {
+                hist[agent.cur[level].phase as usize % self.modulus] += 1;
+            }
+            let maj = (0..self.modulus)
+                .max_by_key(|&p| hist[p])
+                .expect("modulus > 0") as u8;
+            if self.last[level] != Some(maj) {
+                if self.last[level].is_some() {
+                    self.ticks[level].push(Tick { time, phase: maj });
+                }
+                self.last[level] = Some(maj);
+            }
+        }
+    }
+
+    /// The recorded ticks of `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    #[must_use]
+    pub fn ticks(&self, level: usize) -> &[Tick] {
+        &self.ticks[level]
+    }
+
+    /// Number of ticks recorded at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    #[must_use]
+    pub fn tick_count(&self, level: usize) -> usize {
+        self.ticks[level].len()
+    }
+
+    /// Ticks per round at `level` over the observed window, or `None` if
+    /// no time has elapsed. Adjacent levels should differ by `Θ(log n)`.
+    #[must_use]
+    pub fn rate(&self, level: usize) -> Option<f64> {
+        let start = self.first_time?;
+        let span = self.last_time - start;
+        if span <= 0.0 {
+            return None;
+        }
+        Some(self.ticks[level].len() as f64 / span)
+    }
+
+    /// Emits every recorded tick as a `"tick"` event on `tracer`, with
+    /// `level`, `phase`, and simulation-`time` fields.
+    pub fn write_events(&self, tracer: &mut Tracer) {
+        use pp_engine::json::Json;
+        for (level, ticks) in self.ticks.iter().enumerate() {
+            for t in ticks {
+                tracer.event(
+                    "tick",
+                    &[
+                        ("level", Json::from(level)),
+                        ("phase", Json::from(u64::from(t.phase))),
+                        ("time", Json::from(t.time)),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+/// Estimates the fraction of "good" iterations of a compiled program run.
+///
+/// The hierarchy's simulation argument requires that in most gated windows
+/// every agent performs its one inner interaction and commits (a *good
+/// iteration*); program-level correctness then follows w.h.p. Callers decide
+/// what "good" means for their program and feed verdicts via
+/// [`GoodIterationEstimator::record`].
+///
+/// # Examples
+///
+/// ```
+/// use pp_clocks::diag::GoodIterationEstimator;
+///
+/// let mut est = GoodIterationEstimator::new();
+/// for i in 0..100u32 {
+///     est.record(i % 10 != 0);
+/// }
+/// assert_eq!(est.total(), 100);
+/// assert!((est.fraction().unwrap() - 0.9).abs() < 1e-12);
+/// assert!(est.meets(0.8));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GoodIterationEstimator {
+    good: u64,
+    total: u64,
+}
+
+impl GoodIterationEstimator {
+    /// Creates an empty estimator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one iteration's verdict.
+    pub fn record(&mut self, good: bool) {
+        self.total += 1;
+        if good {
+            self.good += 1;
+        }
+    }
+
+    /// Number of good iterations recorded.
+    #[must_use]
+    pub fn good(&self) -> u64 {
+        self.good
+    }
+
+    /// Total iterations recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Good fraction, or `None` before any iteration.
+    #[must_use]
+    pub fn fraction(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.good as f64 / self.total as f64)
+    }
+
+    /// Whether the good fraction is known and at least `threshold`.
+    #[must_use]
+    pub fn meets(&self, threshold: f64) -> bool {
+        self.fraction().is_some_and(|f| f >= threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::ClockHierarchy;
+    use crate::junta::PairwiseElimination;
+    use crate::oscillator::{central_init, Dk18Oscillator};
+    use pp_engine::counts::CountPopulation;
+    use pp_engine::json::parse_jsonl;
+    use pp_engine::rng::SimRng;
+    use pp_engine::sim::run_rounds;
+
+    fn median_period_at(n: u64, seed: u64, rounds: f64) -> f64 {
+        let osc = Dk18Oscillator::new();
+        let mut pop = CountPopulation::from_counts(&osc, &central_init(&osc, n, 5));
+        let mut rec = DominanceRecorder::new(osc, 0.8, 0.5);
+        let mut rng = SimRng::seed_from(seed);
+        run_rounds(&mut pop, rounds, &mut rng, &mut [&mut rec]);
+        rec.median_period()
+            .unwrap_or_else(|| panic!("no completed cycle at n={n}"))
+    }
+
+    #[test]
+    fn dominance_recorder_measures_rotation() {
+        let osc = Dk18Oscillator::new();
+        let mut pop = CountPopulation::from_counts(&osc, &central_init(&osc, 2_000, 5));
+        let mut rec = DominanceRecorder::new(osc, 0.8, 0.5);
+        let mut rng = SimRng::seed_from(3);
+        run_rounds(&mut pop, 200.0, &mut rng, &mut [&mut rec]);
+        assert!(rec.rows().len() > 100, "grid sampled: {}", rec.rows().len());
+        let events = rec.events();
+        assert!(events.len() > 3, "rotation events: {}", events.len());
+        let hist = rec.period_histogram();
+        assert_eq!(
+            hist.iter().sum::<u64>() as usize,
+            rec.periods().len(),
+            "histogram covers every period"
+        );
+        assert!(rec.median_period().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn median_dominance_period_grows_with_log_n() {
+        // Theorem 5.1: rotation period Θ(log n). The median period over a
+        // long seeded run must grow between well-separated sizes.
+        let small = median_period_at(2_000, 11, 300.0);
+        let large = median_period_at(50_000, 11, 300.0);
+        assert!(
+            large > small,
+            "period should grow with n: small={small} large={large}"
+        );
+    }
+
+    #[test]
+    fn tick_tracer_records_base_level_ticks() {
+        let h = ClockHierarchy::new(Dk18Oscillator::new(), PairwiseElimination::new(), 1, 6, 12);
+        let n = 400usize;
+        let mut pop = ObjPopulation::from_fn(&h, n, |_| h.initial_agent());
+        let mut rng = SimRng::seed_from(42);
+        let mut tracer = TickTracer::new(1, 12);
+        while pop.time() < 600.0 {
+            pop.run_rounds(5.0, &mut rng);
+            tracer.observe(&pop);
+        }
+        assert!(
+            tracer.tick_count(0) > 3,
+            "base clock ticks: {}",
+            tracer.tick_count(0)
+        );
+        for t in tracer.ticks(0) {
+            assert!(t.phase < 12);
+            assert!(t.time > 0.0);
+        }
+        assert!(tracer.rate(0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn tick_tracer_events_roundtrip_through_jsonl() {
+        let mut tt = TickTracer::new(2, 4);
+        tt.last = vec![Some(0), Some(0)];
+        tt.first_time = Some(0.0);
+        tt.ticks[0].push(Tick {
+            time: 1.5,
+            phase: 1,
+        });
+        tt.ticks[1].push(Tick {
+            time: 9.0,
+            phase: 3,
+        });
+        let mut tr = Tracer::new();
+        tt.write_events(&mut tr);
+        let records = parse_jsonl(&tr.to_jsonl()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(
+            records[1]
+                .get("level")
+                .and_then(pp_engine::json::Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            records[1]
+                .get("time")
+                .and_then(pp_engine::json::Json::as_f64),
+            Some(9.0)
+        );
+    }
+
+    #[test]
+    fn good_iteration_estimator_counts() {
+        let mut est = GoodIterationEstimator::new();
+        assert_eq!(est.fraction(), None);
+        assert!(!est.meets(0.0));
+        est.record(true);
+        est.record(false);
+        est.record(true);
+        assert_eq!(est.good(), 2);
+        assert_eq!(est.total(), 3);
+        assert!(est.meets(0.6));
+        assert!(!est.meets(0.7));
+    }
+}

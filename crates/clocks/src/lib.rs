@@ -27,6 +27,9 @@
 //!   levels' tick rates by `Θ(log n)`.
 //! * [`detect`] — measurement utilities: dominance events, rotation order,
 //!   periods, escape times.
+//! * [`diag`] — live diagnostic recorders built on the engine's telemetry:
+//!   dominance-rotation periods, per-level tick rates, good-iteration
+//!   fractions.
 //!
 //! # Examples
 //!
@@ -57,12 +60,14 @@
 
 pub mod controlled;
 pub mod detect;
+pub mod diag;
 pub mod hierarchy;
 pub mod junta;
 pub mod oscillator;
 pub mod phase_clock;
 
 pub use controlled::{ControlledClock, FixedX};
+pub use diag::{DominanceRecorder, GoodIterationEstimator, TickTracer};
 pub use hierarchy::{ClockHierarchy, HierAgent};
 pub use junta::{GsJunta, KLevelDecay, PairwiseElimination, XControl};
 pub use oscillator::{Dk18Oscillator, Oscillator, RpsOscillator};

@@ -16,6 +16,7 @@
 //! probabilistic rule may resolve to identity); only pairs that can never
 //! react are skipped, which is what keeps the acceleration exact.
 
+use crate::metrics::{self, record_batch, record_leap};
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
 use crate::sim::{BatchOutcome, Simulator, StepOutcome};
@@ -227,6 +228,8 @@ impl<P: Protocol> Simulator for AcceleratedPopulation<P> {
     /// provably no-ops) or the configuration goes silent. The reactive-pair
     /// consistency recount runs once per batch instead of per change.
     fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
+        // One relaxed load per batch; the leap loop branches on the bool.
+        let rec = metrics::enabled();
         let mut out = BatchOutcome::default();
         let total_pairs = self.n * (self.n - 1);
         while out.executed < max_steps {
@@ -238,8 +241,14 @@ impl<P: Protocol> Simulator for AcceleratedPopulation<P> {
             let p = self.reactive_pairs as f64 / total_pairs as f64;
             let skip = if p < 1.0 { rng.geometric(p) } else { 0 };
             if skip >= remaining {
+                if rec {
+                    record_leap(remaining);
+                }
                 out.executed = max_steps;
                 break;
+            }
+            if rec {
+                record_leap(skip);
             }
             out.executed += skip + 1;
             let (a, b) = self.sample_reactive_pair(rng);
@@ -254,6 +263,9 @@ impl<P: Protocol> Simulator for AcceleratedPopulation<P> {
         }
         debug_assert_eq!(self.reactive_pairs, self.recount_reactive_pairs());
         self.steps += out.executed;
+        if rec {
+            record_batch(&out);
+        }
         out
     }
 }

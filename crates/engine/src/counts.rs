@@ -14,6 +14,7 @@
 //! statistical equivalence.
 
 use crate::fenwick::Fenwick;
+use crate::metrics::{self, record_batch, record_leap, Counter};
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
 use crate::sim::{BatchOutcome, Simulator, StepOutcome};
@@ -234,6 +235,7 @@ impl<P: Protocol> CountPopulation<P> {
             return false;
         }
         if self.batch.is_none() {
+            metrics::add(Counter::BatchCacheRebuilds, 1);
             let dense = self.counts.to_weights();
             let mut reactive = vec![false; k * k];
             for a in 0..k {
@@ -295,9 +297,14 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
     /// takes plain `O(log k)` Fenwick-sampled steps instead. Reports silence
     /// when no reactive pair remains.
     fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
+        // One relaxed load per batch; inner loops branch on the cached bool.
+        let rec = metrics::enabled();
         let mut out = BatchOutcome::default();
         if !self.ensure_batch_cache() {
             // Huge state space: no reactivity cache, just a tight loop.
+            if rec {
+                metrics::add(Counter::DenseFallbackEntries, 1);
+            }
             while out.executed < max_steps {
                 let (a, b) = self.sample_pair(rng);
                 out.executed += 1;
@@ -308,6 +315,9 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
                 }
             }
             self.steps += out.executed;
+            if rec {
+                record_batch(&out);
+            }
             return out;
         }
         let total_pairs = self.n * (self.n - 1);
@@ -327,6 +337,9 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
                     out.changed += 1;
                     self.apply_change(a, b, a2, b2);
                 }
+                if rec {
+                    metrics::add(Counter::ReactiveDenseSteps, 1);
+                }
                 continue;
             }
             let remaining = max_steps - out.executed;
@@ -335,8 +348,14 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
             if skip >= remaining {
                 // The whole rest of the batch is provably no-ops; truncating
                 // the geometric at the boundary is exact by memorylessness.
+                if rec {
+                    record_leap(remaining);
+                }
                 out.executed = max_steps;
                 break;
+            }
+            if rec {
+                record_leap(skip);
             }
             out.executed += skip + 1;
             let (a, b) = self
@@ -351,6 +370,9 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
             }
         }
         self.steps += out.executed;
+        if rec {
+            record_batch(&out);
+        }
         out
     }
 }
@@ -653,11 +675,15 @@ impl<P: Protocol> Simulator for SparseCountPopulation<P> {
             }
         }
         self.steps += max_steps;
-        BatchOutcome {
+        let out = BatchOutcome {
             executed: max_steps,
             changed,
             silent: false,
+        };
+        if metrics::enabled() {
+            record_batch(&out);
         }
+        out
     }
 }
 

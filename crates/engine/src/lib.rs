@@ -33,6 +33,13 @@
 //! leaping backends are exact because they only skip interactions that
 //! provably cannot change state (see `DESIGN.md` for the argument).
 //!
+//! ## Telemetry
+//!
+//! Every backend hot path carries capture points for the global [`metrics`]
+//! registry (counters + log₂ histograms; near-zero cost while disabled,
+//! which is the default), and [`trace`] records span/event timelines as
+//! JSON Lines via the in-repo [`json`] writer/reader. See `DESIGN.md` §10.
+//!
 //! ## Example
 //!
 //! ```
@@ -56,8 +63,10 @@
 pub mod accel;
 pub mod counts;
 pub mod fenwick;
+pub mod json;
 pub mod matching;
 pub mod meanfield;
+pub mod metrics;
 pub mod obj;
 pub mod observe;
 pub mod population;
@@ -67,6 +76,7 @@ pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod sweep;
+pub mod trace;
 
 pub use protocol::{Protocol, ProtocolSpec};
 pub use rng::SimRng;

@@ -10,6 +10,7 @@
 //! hierarchy, is claimed to hold under both the asynchronous and the
 //! random-matching scheduler; experiment E12 checks this empirically.
 
+use crate::metrics::{self, record_batch, Counter};
 use crate::population::Population;
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
@@ -161,15 +162,21 @@ impl<P: Protocol> Simulator for MatchingPopulation<P> {
     /// delta. Never reports silence.
     fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
         let start = self.inner.steps();
+        let start_rounds = self.rounds;
         let mut changed = 0u64;
         while self.inner.steps() - start < max_steps {
             changed += self.round(rng);
         }
-        BatchOutcome {
+        let out = BatchOutcome {
             executed: self.inner.steps() - start,
             changed,
             silent: false,
+        };
+        if metrics::enabled() {
+            metrics::add(Counter::MatchingRounds, self.rounds - start_rounds);
+            record_batch(&out);
         }
+        out
     }
 }
 
@@ -230,6 +237,36 @@ mod tests {
         let mut rng = SimRng::seed_from(4);
         let r = pop.run_until(&mut rng, 10_000, |p| p.count(0) == 0);
         assert!(r.is_some(), "one-way epidemic still completes");
+    }
+
+    #[test]
+    fn run_rounds_overshoot_is_below_half_n() {
+        // `run_rounds` asks for a step budget, but this backend only runs
+        // whole matching rounds, so it may overshoot — by strictly less than
+        // one round, i.e. < ⌊n/2⌋ interactions. Use a count-invariant swap
+        // protocol (never silent) and fractional round targets so the step
+        // target never aligns with a round boundary.
+        let swap = TableProtocol::new(2, "swap")
+            .rule(0, 1, 1, 0)
+            .rule(1, 0, 0, 1);
+        let n: u64 = 101;
+        for (seed, rounds) in [(7u64, 0.3f64), (8, 1.7), (9, 5.5), (10, 12.9)] {
+            let mut pop = MatchingPopulation::from_counts(swap.clone(), &[n - 1, 1]);
+            let mut rng = SimRng::seed_from(seed);
+            crate::sim::run_rounds(&mut pop, rounds, &mut rng, &mut []);
+            let target = (rounds * n as f64).ceil() as u64;
+            assert!(
+                pop.steps() >= target,
+                "undershoot: {} < {target}",
+                pop.steps()
+            );
+            assert!(
+                pop.steps() - target < n / 2,
+                "overshoot {} must be < ⌊n/2⌋ = {} (target {target})",
+                pop.steps() - target,
+                n / 2
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! Engine-wide telemetry: hot-path counters and log₂-bucketed histograms.
+//!
+//! The simulation backends are fast because they do almost nothing per
+//! interaction; a measurement layer must not change that. This module keeps
+//! one process-global registry of relaxed atomic counters behind a single
+//! `enabled` flag:
+//!
+//! * **Disabled (default):** every capture point is one relaxed atomic load
+//!   and a predicted-not-taken branch, hoisted out of inner loops — each
+//!   `step_batch` call pays the check once, not per step. No allocation, no
+//!   locks, no timestamps.
+//! * **Enabled:** capture points add to shared atomics with relaxed
+//!   ordering. Sweep worker threads aggregate into the same registry, so a
+//!   snapshot reflects the whole process.
+//!
+//! Capture points live on the hot paths of all five backends: interactions
+//! executed/changed, no-op leap counts and leap-length distribution
+//! ([`Hist::LeapLen`]), `CountPopulation` dense-fallback entries, Fenwick
+//! (re)builds, batch-cache rebuilds, batch sizes, observer callbacks,
+//! matching rounds, silence detections, and sweep task timings.
+//!
+//! [`snapshot`] freezes the registry into a [`MetricsReport`] that renders
+//! to JSON via [`crate::json`]; `ppsim --metrics <path>` and the bench
+//! binaries write these reports next to their other outputs.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_engine::counts::CountPopulation;
+//! use pp_engine::metrics;
+//! use pp_engine::protocol::TableProtocol;
+//! use pp_engine::rng::SimRng;
+//! use pp_engine::sim::Simulator;
+//!
+//! metrics::reset();
+//! metrics::enable();
+//! let p = TableProtocol::new(2, "token").rule(1, 0, 0, 1);
+//! let mut pop = CountPopulation::from_counts(&p, &[9_990, 10]);
+//! pop.step_batch(&mut SimRng::seed_from(1), 100_000);
+//! let report = metrics::snapshot();
+//! metrics::disable();
+//! assert_eq!(report.counter("interactions_executed"), 100_000);
+//! assert!(report.counter("noop_leaps") > 0, "sparse run must leap");
+//! ```
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Number of log₂ buckets per histogram: bucket `i` holds values in
+/// `[2^(i−1), 2^i)` (bucket 0 holds the value 0).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Plain event counters maintained by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Scheduler activations executed (including leaped-over no-ops).
+    InteractionsExecuted,
+    /// Activations that changed at least one agent's state.
+    InteractionsChanged,
+    /// Geometric no-op leaps taken (each skips ≥ 0 activations in `O(1)`).
+    NoopLeaps,
+    /// Total activations skipped by no-op leaps.
+    NoopStepsLeaped,
+    /// `step_batch` calls that ran without a reactivity cache because the
+    /// state space exceeds the `CountPopulation` batch-cache limit.
+    DenseFallbackEntries,
+    /// Plain Fenwick-sampled steps taken in the reactive-dense regime,
+    /// where a geometric draw would cost more than it skips.
+    ReactiveDenseSteps,
+    /// Fenwick trees built from a full weight vector.
+    FenwickRebuilds,
+    /// `CountPopulation` batch caches built (first batch, or after an
+    /// out-of-band count edit invalidated the cache).
+    BatchCacheRebuilds,
+    /// `step_batch` calls across all backends.
+    Batches,
+    /// Observer checkpoint callbacks delivered by the run loops.
+    ObserverCallbacks,
+    /// Batches that ended with the configuration known silent.
+    SilenceDetections,
+    /// Random-matching rounds executed.
+    MatchingRounds,
+    /// Sweep tasks completed.
+    SweepTasks,
+}
+
+impl Counter {
+    /// All counters, in report order.
+    pub const ALL: [Counter; 13] = [
+        Counter::InteractionsExecuted,
+        Counter::InteractionsChanged,
+        Counter::NoopLeaps,
+        Counter::NoopStepsLeaped,
+        Counter::DenseFallbackEntries,
+        Counter::ReactiveDenseSteps,
+        Counter::FenwickRebuilds,
+        Counter::BatchCacheRebuilds,
+        Counter::Batches,
+        Counter::ObserverCallbacks,
+        Counter::SilenceDetections,
+        Counter::MatchingRounds,
+        Counter::SweepTasks,
+    ];
+
+    /// Stable snake_case name used in reports.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::InteractionsExecuted => "interactions_executed",
+            Counter::InteractionsChanged => "interactions_changed",
+            Counter::NoopLeaps => "noop_leaps",
+            Counter::NoopStepsLeaped => "noop_steps_leaped",
+            Counter::DenseFallbackEntries => "dense_fallback_entries",
+            Counter::ReactiveDenseSteps => "reactive_dense_steps",
+            Counter::FenwickRebuilds => "fenwick_rebuilds",
+            Counter::BatchCacheRebuilds => "batch_cache_rebuilds",
+            Counter::Batches => "batches",
+            Counter::ObserverCallbacks => "observer_callbacks",
+            Counter::SilenceDetections => "silence_detections",
+            Counter::MatchingRounds => "matching_rounds",
+            Counter::SweepTasks => "sweep_tasks",
+        }
+    }
+}
+
+/// Log₂-bucketed histograms maintained by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Lengths of geometric no-op leaps (skipped activations per leap).
+    LeapLen,
+    /// Activations executed per `step_batch` call.
+    BatchSize,
+    /// Wall-clock microseconds per sweep task.
+    SweepTaskMicros,
+}
+
+impl Hist {
+    /// All histograms, in report order.
+    pub const ALL: [Hist; 3] = [Hist::LeapLen, Hist::BatchSize, Hist::SweepTaskMicros];
+
+    /// Stable snake_case name used in reports.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Hist::LeapLen => "leap_len",
+            Hist::BatchSize => "batch_size",
+            Hist::SweepTaskMicros => "sweep_task_micros",
+        }
+    }
+}
+
+const NUM_COUNTERS: usize = Counter::ALL.len();
+const NUM_HISTS: usize = Hist::ALL.len();
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static COUNTERS: [AtomicU64; NUM_COUNTERS] = [const { AtomicU64::new(0) }; NUM_COUNTERS];
+static HISTS: [AtomicU64; NUM_HISTS * HIST_BUCKETS] =
+    [const { AtomicU64::new(0) }; NUM_HISTS * HIST_BUCKETS];
+
+/// Whether the registry is currently recording. Hot loops load this once
+/// per batch and branch on the cached result.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on (all capture points start counting).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns recording off. Counts accumulated so far are kept.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Zeroes every counter and histogram (recording state is unchanged).
+pub fn reset() {
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+    for b in &HISTS {
+        b.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Adds `delta` to a counter. No-op while disabled; callers on per-step
+/// paths should hoist [`enabled`] out of their loop instead of relying on
+/// this check.
+#[inline]
+pub fn add(counter: Counter, delta: u64) {
+    if enabled() {
+        COUNTERS[counter as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+/// The log₂ bucket index for `value` (0 → bucket 0, else `⌊log₂ v⌋ + 1`).
+#[inline]
+#[must_use]
+pub fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Records `value` into a histogram. No-op while disabled.
+#[inline]
+pub fn observe(hist: Hist, value: u64) {
+    if enabled() {
+        let idx = hist as usize * HIST_BUCKETS + bucket_of(value);
+        HISTS[idx].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Records the aggregate of one `step_batch` call: executed/changed
+/// interactions, the batch counter, the batch-size histogram, and silence
+/// detection. Backends call this once per batch after checking [`enabled`].
+#[inline]
+pub fn record_batch(out: &crate::sim::BatchOutcome) {
+    add(Counter::InteractionsExecuted, out.executed);
+    add(Counter::InteractionsChanged, out.changed);
+    add(Counter::Batches, 1);
+    observe(Hist::BatchSize, out.executed);
+    if out.silent {
+        add(Counter::SilenceDetections, 1);
+    }
+}
+
+/// Records one geometric no-op leap that skipped `skip` activations.
+#[inline]
+pub fn record_leap(skip: u64) {
+    add(Counter::NoopLeaps, 1);
+    add(Counter::NoopStepsLeaped, skip);
+    observe(Hist::LeapLen, skip);
+}
+
+/// A frozen snapshot of the registry, suitable for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsReport {
+    counters: Vec<(&'static str, u64)>,
+    hists: Vec<(&'static str, Vec<u64>)>,
+}
+
+/// Freezes the current registry contents into a [`MetricsReport`].
+///
+/// Individual counters are read with relaxed ordering, so a snapshot taken
+/// while workers are recording is approximate (each counter is internally
+/// consistent).
+#[must_use]
+pub fn snapshot() -> MetricsReport {
+    let counters = Counter::ALL
+        .iter()
+        .map(|&c| (c.name(), COUNTERS[c as usize].load(Ordering::Relaxed)))
+        .collect();
+    let hists = Hist::ALL
+        .iter()
+        .map(|&h| {
+            let base = h as usize * HIST_BUCKETS;
+            let mut buckets: Vec<u64> = (0..HIST_BUCKETS)
+                .map(|i| HISTS[base + i].load(Ordering::Relaxed))
+                .collect();
+            while buckets.last() == Some(&0) && buckets.len() > 1 {
+                buckets.pop();
+            }
+            (h.name(), buckets)
+        })
+        .collect();
+    MetricsReport { counters, hists }
+}
+
+impl MetricsReport {
+    /// The value of a counter by report name (0 if unknown).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The bucket vector of a histogram by report name (trailing zero
+    /// buckets trimmed), if present.
+    #[must_use]
+    pub fn hist(&self, name: &str) -> Option<&[u64]> {
+        self.hists
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, b)| b.as_slice())
+    }
+
+    /// Total number of observations in a histogram.
+    #[must_use]
+    pub fn hist_count(&self, name: &str) -> u64 {
+        self.hist(name).map_or(0, |b| b.iter().sum())
+    }
+
+    /// Renders the report as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let counters = Json::obj(self.counters.iter().map(|&(name, v)| (name, Json::from(v))));
+        let hists = Json::obj(self.hists.iter().map(|(name, buckets)| {
+            (
+                *name,
+                Json::obj([
+                    ("count", Json::from(buckets.iter().sum::<u64>())),
+                    (
+                        "log2_buckets",
+                        Json::arr(buckets.iter().map(|&b| Json::from(b))),
+                    ),
+                ]),
+            )
+        }));
+        Json::obj([
+            ("kind", Json::from("metrics_report")),
+            ("counters", counters),
+            ("histograms", hists),
+        ])
+    }
+
+    /// Writes the JSON rendering to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory creation or the write.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut text = self.to_json().render();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Parses a report previously written by [`MetricsReport::write_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::json::JsonError`] on malformed input or a
+    /// document that is not a metrics report.
+    pub fn parse(text: &str) -> Result<Self, crate::json::JsonError> {
+        let doc = Json::parse(text)?;
+        let bad = |msg: &str| crate::json::JsonError {
+            pos: 0,
+            msg: msg.to_string(),
+        };
+        if doc.get("kind").and_then(Json::as_str) != Some("metrics_report") {
+            return Err(bad("not a metrics_report document"));
+        }
+        let mut counters = Vec::new();
+        for &known in &Counter::ALL {
+            let v = doc
+                .get("counters")
+                .and_then(|c| c.get(known.name()))
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("missing counter"))?;
+            counters.push((known.name(), v));
+        }
+        let mut hists = Vec::new();
+        for &known in &Hist::ALL {
+            let buckets = doc
+                .get("histograms")
+                .and_then(|h| h.get(known.name()))
+                .and_then(|h| h.get("log2_buckets"))
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("missing histogram"))?
+                .iter()
+                .map(|b| b.as_u64().ok_or_else(|| bad("non-integer bucket")))
+                .collect::<Result<Vec<u64>, _>>()?;
+            hists.push((known.name(), buckets));
+        }
+        Ok(MetricsReport { counters, hists })
+    }
+}
+
+/// Serializes tests (across modules of this crate) that flip the global
+/// `enabled` flag, so concurrently running tests don't observe each other's
+/// recording windows.
+#[cfg(test)]
+pub(crate) static TEST_MUTEX: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so tests that enable/disable it hold
+    // TEST_MUTEX for their whole recording window.
+
+    #[test]
+    fn bucket_of_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn disabled_capture_points_do_not_record() {
+        let _guard = TEST_MUTEX.lock().unwrap_or_else(|e| e.into_inner());
+        disable();
+        let before = snapshot().counter("matching_rounds");
+        add(Counter::MatchingRounds, 17);
+        observe(Hist::SweepTaskMicros, 5);
+        assert_eq!(snapshot().counter("matching_rounds"), before);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = MetricsReport {
+            counters: Counter::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c.name(), i as u64 * 1000))
+                .collect(),
+            hists: Hist::ALL
+                .iter()
+                .map(|&h| (h.name(), vec![1, 0, 3]))
+                .collect(),
+        };
+        let text = report.to_json().render();
+        let back = MetricsReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.hist_count("leap_len"), 4);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_documents() {
+        assert!(MetricsReport::parse("{\"kind\":\"other\"}").is_err());
+        assert!(MetricsReport::parse("[1,2]").is_err());
+    }
+
+    #[test]
+    fn enabled_capture_points_record() {
+        let _guard = TEST_MUTEX.lock().unwrap_or_else(|e| e.into_inner());
+        let before = snapshot();
+        enable();
+        add(Counter::SweepTasks, 3);
+        observe(Hist::LeapLen, 6);
+        disable();
+        // Other tests may record concurrently inside our window, so the
+        // deltas are lower bounds.
+        let after = snapshot();
+        assert!(after.counter("sweep_tasks") >= before.counter("sweep_tasks") + 3);
+        assert!(after.hist_count("leap_len") > before.hist_count("leap_len"));
+    }
+}

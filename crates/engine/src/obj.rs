@@ -8,6 +8,7 @@
 //! stores each agent's state as a plain Rust value and never enumerates the
 //! space.
 
+use crate::metrics::{self, Counter, Hist};
 use crate::rng::SimRng;
 
 /// A population protocol over structured states.
@@ -167,6 +168,12 @@ impl<P: ObjProtocol> ObjPopulation<P> {
             self.agents[j] = b2;
         }
         self.steps += max_steps;
+        if metrics::enabled() {
+            metrics::add(Counter::InteractionsExecuted, max_steps);
+            metrics::add(Counter::InteractionsChanged, changed);
+            metrics::add(Counter::Batches, 1);
+            metrics::observe(Hist::BatchSize, max_steps);
+        }
         changed
     }
 

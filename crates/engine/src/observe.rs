@@ -224,13 +224,30 @@ impl LastChangeTracker {
 }
 
 impl Observer for LastChangeTracker {
+    /// Compares the current counts against the previous snapshot in place,
+    /// reusing the snapshot buffer — no allocation after the first call, so
+    /// fine strides stay cheap even with large state spaces.
     fn observe(&mut self, _steps: u64, sim: &dyn Simulator) {
-        let counts = sim.counts();
-        match &self.last_counts {
-            Some(prev) if *prev == counts => {}
+        let k = sim.num_states();
+        match &mut self.last_counts {
+            Some(prev) if prev.len() == k => {
+                let mut changed = false;
+                for (s, slot) in prev.iter_mut().enumerate() {
+                    let c = sim.count(s);
+                    if *slot != c {
+                        *slot = c;
+                        changed = true;
+                    }
+                }
+                if changed {
+                    self.last_change_time = sim.time();
+                }
+            }
             _ => {
+                let prev = self.last_counts.get_or_insert_with(Vec::new);
+                prev.clear();
+                prev.extend((0..k).map(|s| sim.count(s)));
                 self.last_change_time = sim.time();
-                self.last_counts = Some(counts);
             }
         }
     }

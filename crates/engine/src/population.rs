@@ -6,6 +6,7 @@
 //! which the count-based backends cannot, and is the backend the
 //! random-matching scheduler ([`crate::matching`]) builds on.
 
+use crate::metrics::{self, record_batch};
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
 use crate::sim::{BatchOutcome, Simulator, StepOutcome};
@@ -198,11 +199,15 @@ impl<P: Protocol> Simulator for Population<P> {
             }
         }
         self.steps += max_steps;
-        BatchOutcome {
+        let out = BatchOutcome {
             executed: max_steps,
             changed,
             silent: false,
+        };
+        if metrics::enabled() {
+            record_batch(&out);
         }
+        out
     }
 }
 

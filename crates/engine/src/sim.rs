@@ -20,6 +20,7 @@
 //! size batches from observer checkpoint strides, so measurement granularity
 //! — not per-step callbacks — bounds the batch length.
 
+use crate::metrics::{self, record_batch, Counter};
 use crate::observe::Observer;
 use crate::rng::SimRng;
 
@@ -119,6 +120,9 @@ pub trait Simulator {
             }
         }
         out.executed = self.steps() - start;
+        if metrics::enabled() {
+            record_batch(&out);
+        }
         out
     }
 
@@ -150,6 +154,12 @@ fn checkpoint_batch(sim: &dyn Simulator, observers: &[&mut dyn Observer], remain
 /// smallest pending stride and invokes every observer at each batch
 /// boundary. Returns early if the simulation becomes silent, returning the
 /// number of rounds actually simulated.
+///
+/// Backends whose scheduler granularity is coarser than one interaction can
+/// overshoot the round target: [`crate::matching::MatchingPopulation`] runs
+/// whole matching rounds, so each batch (and hence the whole run) may exceed
+/// its step budget by up to `⌊n/2⌋ − 1` interactions. The returned round
+/// count always reflects the true step delta.
 pub fn run_rounds<S: Simulator>(
     sim: &mut S,
     rounds: f64,
@@ -162,6 +172,7 @@ pub fn run_rounds<S: Simulator>(
         let remaining = target - sim.steps();
         let batch = checkpoint_batch(sim, observers, remaining);
         let outcome = sim.step_batch(rng, batch);
+        metrics::add(Counter::ObserverCallbacks, observers.len() as u64);
         for obs in observers.iter_mut() {
             obs.observe(sim.steps(), sim);
         }

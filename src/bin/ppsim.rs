@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ppsim list
+//! ppsim run-file      protocol.pp --n 500 --iters 30
 //! ppsim leader        --n 10000 --seed 7
 //! ppsim leader-exact  --n 1000
 //! ppsim majority      --n 10000 --a 5001 --b 4999
@@ -9,12 +10,19 @@
 //! ppsim parity        --n 200 --a 7
 //! ppsim oscillator    --n 50000 --rounds 300
 //! ```
+//!
+//! Every command additionally accepts `--metrics <path>` (write an engine
+//! metrics snapshot as JSON) and `--trace <path>` (write a span/event run
+//! trace as JSON Lines). Unknown flags are errors.
 
 use population_protocols::core::clocks::detect::{dominance_events, periods, rotation_violations};
 use population_protocols::core::clocks::oscillator::{central_init, Dk18Oscillator, Oscillator};
 use population_protocols::core::engine::counts::CountPopulation;
+use population_protocols::core::engine::json::Json;
+use population_protocols::core::engine::metrics;
 use population_protocols::core::engine::rng::SimRng;
 use population_protocols::core::engine::sim::Simulator;
+use population_protocols::core::engine::trace::Tracer;
 use population_protocols::core::lang::interp::Executor;
 use population_protocols::core::lang::parse::parse_program;
 use population_protocols::core::protocols::leader::{leader_election, leader_election_exact};
@@ -25,83 +33,118 @@ use population_protocols::core::rules::Guard;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-fn parse_flags(args: &[String]) -> HashMap<String, u64> {
-    let mut out = HashMap::new();
+/// Integer-valued flags any command may take (`in-*` is also allowed for
+/// `run-file` input groups).
+const NUM_FLAGS: &[&str] = &["n", "seed", "a", "b", "colors", "rounds", "x", "iters"];
+/// String-valued (path) flags.
+const STR_FLAGS: &[&str] = &["metrics", "trace"];
+
+#[derive(Default)]
+struct Flags {
+    nums: HashMap<String, u64>,
+    strs: HashMap<String, String>,
+}
+
+impl Flags {
+    fn num(&self, key: &str, default: u64) -> u64 {
+        *self.nums.get(key).unwrap_or(&default)
+    }
+}
+
+/// Parses `--key value` pairs. Unknown flags, missing values, and
+/// non-integer values for numeric flags are hard errors — a typo must not
+/// silently run the default configuration.
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::default();
     let mut i = 0;
     while i < args.len() {
-        if let Some(key) = args[i].strip_prefix("--") {
-            if let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) {
-                out.insert(key.to_string(), value);
-                i += 2;
-                continue;
-            }
+        let Some(key) = args[i].strip_prefix("--") else {
+            return Err(format!(
+                "unexpected argument {:?} (flags are --key value)",
+                args[i]
+            ));
+        };
+        let Some(value) = args.get(i + 1) else {
+            return Err(format!("flag --{key} is missing a value"));
+        };
+        if NUM_FLAGS.contains(&key) || key.starts_with("in-") {
+            let parsed = value
+                .parse()
+                .map_err(|_| format!("flag --{key} needs an integer value, got {value:?}"))?;
+            flags.nums.insert(key.to_string(), parsed);
+        } else if STR_FLAGS.contains(&key) {
+            flags.strs.insert(key.to_string(), value.clone());
+        } else {
+            return Err(format!("unknown flag --{key}"));
         }
-        eprintln!("warning: ignoring argument {:?}", args[i]);
-        i += 1;
+        i += 2;
     }
-    out
+    Ok(flags)
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ppsim <command> [--n N] [--seed S] [...]\n\
+        "usage: ppsim <command> [--n N] [--seed S] [--metrics FILE] [--trace FILE] [...]\n\
          commands:\n\
          \tlist                         list available protocols\n\
+         \trun-file <protocol.pp> [--n --seed --iters --in-NAME C]  run a .pp program\n\
          \tleader       [--n --seed]    w.h.p. leader election (Thm 3.1)\n\
          \tleader-exact [--n --seed]    always-correct leader election (Thm 6.1)\n\
          \tmajority     [--n --a --b --seed]  exact majority (Thm 3.2)\n\
          \tplurality    [--n --colors --seed] plurality consensus\n\
          \tparity       [--n --a --seed]      #A odd? (slow blackbox)\n\
-         \toscillator   [--n --x --rounds --seed]  the DK18-style oscillator"
+         \toscillator   [--n --x --rounds --seed]  the DK18-style oscillator\n\
+         global flags:\n\
+         \t--metrics FILE   write an engine metrics snapshot (JSON) on exit\n\
+         \t--trace FILE     write a span/event run trace (JSON Lines) on exit"
     );
     ExitCode::FAILURE
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first() else {
-        return usage();
-    };
-    let flags = parse_flags(&args[1..]);
-    let n = *flags.get("n").unwrap_or(&1_000);
-    let seed = *flags.get("seed").unwrap_or(&42);
-
-    match command.as_str() {
+#[allow(clippy::too_many_lines)]
+fn run_command(
+    command: &str,
+    path: Option<&str>,
+    flags: &Flags,
+    tracer: &mut Option<Tracer>,
+) -> u8 {
+    let n = flags.num("n", 1_000);
+    let seed = flags.num("seed", 42);
+    match command {
         "list" => {
             println!("leader leader-exact majority plurality parity oscillator run-file");
-            ExitCode::SUCCESS
+            0
         }
         "run-file" => {
-            // ppsim run-file <path> [--n N] [--seed S] [--iters I]
-            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+            let Some(path) = path else {
                 eprintln!("usage: ppsim run-file <protocol.pp> [--n N] [--seed S] [--iters I]");
-                return ExitCode::FAILURE;
+                return 1;
             };
             let source = match std::fs::read_to_string(path) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return 1;
                 }
             };
             let program = match parse_program(&source) {
                 Ok(p) => p,
                 Err(e) => {
                     eprintln!("{path}:{e}");
-                    return ExitCode::FAILURE;
+                    return 1;
                 }
             };
-            let iters = *flags.get("iters").unwrap_or(&20);
+            let iters = flags.num("iters", 20);
             println!("{}", program.render());
             // Input groups: `--in-NAME count` puts `count` agents with the
             // input flag NAME set; the rest start blank.
             let mut groups: Vec<(Vec<population_protocols::core::rules::Var>, u64)> = Vec::new();
             let mut assigned = 0u64;
-            for (key, &count) in &flags {
+            for (key, &count) in &flags.nums {
                 if let Some(name) = key.strip_prefix("in-") {
                     let Some(var) = program.vars.get(name) else {
                         eprintln!("unknown input variable {name:?}");
-                        return ExitCode::FAILURE;
+                        return 1;
                     };
                     groups.push((vec![var], count));
                     assigned += count;
@@ -109,19 +152,27 @@ fn main() -> ExitCode {
             }
             if assigned > n {
                 eprintln!("input groups exceed n");
-                return ExitCode::FAILURE;
+                return 1;
             }
             groups.push((vec![], n - assigned));
             let mut exec = Executor::new(&program, &groups, seed);
-            for _ in 0..iters {
+            for i in 0..iters {
                 exec.run_iteration();
+                if let Some(tr) = tracer.as_mut() {
+                    tr.event(
+                        "iteration",
+                        &[
+                            ("iter", Json::from(i + 1)),
+                            ("rounds", Json::from(exec.rounds())),
+                        ],
+                    );
+                }
             }
             println!("after {iters} iterations ≈ {:.0} rounds:", exec.rounds());
             for (v, name) in program.vars.iter() {
-                use population_protocols::core::rules::Guard;
                 println!("  #{name} = {}", exec.count_where(&Guard::var(v)));
             }
-            ExitCode::SUCCESS
+            0
         }
         "leader" | "leader-exact" => {
             let program = if command == "leader" {
@@ -133,24 +184,33 @@ fn main() -> ExitCode {
             let mut exec = Executor::new(&program, &[(vec![], n)], seed);
             match exec.run_until(5_000, |e| e.count_where(&Guard::var(l)) == 1) {
                 Some(iters) => {
+                    if let Some(tr) = tracer.as_mut() {
+                        tr.event(
+                            "converged",
+                            &[
+                                ("iterations", Json::from(iters)),
+                                ("rounds", Json::from(exec.rounds())),
+                            ],
+                        );
+                    }
                     println!(
                         "unique leader after {iters} iterations ≈ {:.0} parallel rounds (n = {n})",
                         exec.rounds()
                     );
-                    ExitCode::SUCCESS
+                    0
                 }
                 None => {
                     eprintln!("did not converge within the iteration budget");
-                    ExitCode::FAILURE
+                    1
                 }
             }
         }
         "majority" => {
-            let a_count = *flags.get("a").unwrap_or(&(n / 2 + 1));
-            let b_count = *flags.get("b").unwrap_or(&(n / 2 - 1));
+            let a_count = flags.num("a", n / 2 + 1);
+            let b_count = flags.num("b", n / 2 - 1);
             if a_count + b_count > n || a_count == b_count {
                 eprintln!("need a + b <= n and a != b");
-                return ExitCode::FAILURE;
+                return 1;
             }
             let program = majority(3);
             let a = program.vars.get("A").expect("A");
@@ -179,10 +239,10 @@ fn main() -> ExitCode {
                 "majority says {answer} (truth {truth}) after {:.0} rounds; #A={a_count} #B={b_count} n={n}",
                 exec.rounds()
             );
-            ExitCode::from(u8::from(answer != truth))
+            u8::from(answer != truth)
         }
         "plurality" => {
-            let colors = (*flags.get("colors").unwrap_or(&3)).clamp(2, 8) as usize;
+            let colors = flags.num("colors", 3).clamp(2, 8) as usize;
             let program = plurality(colors, 2);
             // Deterministic skewed shares: color i gets weight i+1.
             let weight_total: u64 = (1..=colors as u64).sum();
@@ -205,17 +265,17 @@ fn main() -> ExitCode {
                         "plurality winner: color {i} (expected {colors}) after {:.0} rounds",
                         exec.rounds()
                     );
-                    return ExitCode::from(u8::from(i != colors));
+                    return u8::from(i != colors);
                 }
             }
             eprintln!("no unanimous winner (rerun with another seed)");
-            ExitCode::FAILURE
+            1
         }
         "parity" => {
-            let a_count = *flags.get("a").unwrap_or(&7);
+            let a_count = flags.num("a", 7);
             if a_count > n {
                 eprintln!("need a <= n");
-                return ExitCode::FAILURE;
+                return 1;
             }
             let program = parity_exact(1);
             let a = program.vars.get("A").expect("A");
@@ -233,26 +293,36 @@ fn main() -> ExitCode {
                         "#A = {a_count} is {}; decided after {iters} iterations",
                         if truth { "odd" } else { "even" }
                     );
-                    ExitCode::SUCCESS
+                    0
                 }
                 None => {
                     eprintln!("did not converge (parity is exact but polynomial-time)");
-                    ExitCode::FAILURE
+                    1
                 }
             }
         }
         "oscillator" => {
-            let x = *flags
-                .get("x")
-                .unwrap_or(&((n as f64).powf(0.3) as u64).max(1));
-            let rounds = *flags.get("rounds").unwrap_or(&300);
+            let x = flags.num("x", ((n as f64).powf(0.3) as u64).max(1));
+            let rounds = flags.num("rounds", 300);
             let osc = Dk18Oscillator::new();
             let mut pop = CountPopulation::from_counts(&osc, &central_init(&osc, n, x));
             let mut rng = SimRng::seed_from(seed);
             let mut trace = Vec::new();
             while pop.time() < rounds as f64 {
                 let out = pop.step_batch(&mut rng, n);
-                trace.push((pop.time(), osc.species_counts(&pop.counts())));
+                let sp = osc.species_counts(&pop.counts());
+                trace.push((pop.time(), sp));
+                if let Some(tr) = tracer.as_mut() {
+                    tr.event(
+                        "batch",
+                        &[
+                            ("time", Json::from(pop.time())),
+                            ("a1", Json::from(sp[0])),
+                            ("a2", Json::from(sp[1])),
+                            ("a3", Json::from(sp[2])),
+                        ],
+                    );
+                }
                 if out.silent && out.executed == 0 {
                     break;
                 }
@@ -267,8 +337,73 @@ fn main() -> ExitCode {
                 mean,
                 (n as f64).log2()
             );
-            ExitCode::SUCCESS
+            0
         }
-        _ => usage(),
+        _ => {
+            let _ = usage();
+            1
+        }
     }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    // `run-file` takes a positional path before the flags.
+    let (path, flag_args) = if command == "run-file" {
+        match args.get(1) {
+            Some(p) if !p.starts_with("--") => (Some(p.as_str()), &args[2..]),
+            _ => (None, &args[1..]),
+        }
+    } else {
+        (None, &args[1..])
+    };
+    let flags = match parse_flags(flag_args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+
+    let metrics_path = flags.strs.get("metrics").cloned();
+    let trace_path = flags.strs.get("trace").cloned();
+    if metrics_path.is_some() {
+        metrics::reset();
+        metrics::enable();
+    }
+    let mut tracer = trace_path.is_some().then(Tracer::new);
+    let root = tracer.as_mut().map(|tr| {
+        tr.begin_span(
+            "run",
+            &[
+                ("command", Json::from(command)),
+                ("n", Json::from(flags.num("n", 1_000))),
+                ("seed", Json::from(flags.num("seed", 42))),
+            ],
+        )
+    });
+
+    let code = run_command(command, path, &flags, &mut tracer);
+
+    if let (Some(tr), Some(span)) = (tracer.as_mut(), root) {
+        tr.end_span(span, &[("exit_code", Json::from(u64::from(code)))]);
+    }
+    if let (Some(tr), Some(path)) = (tracer.as_mut(), trace_path) {
+        if let Err(e) = tr.write_jsonl(&path) {
+            eprintln!("cannot write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = metrics_path {
+        let snapshot = metrics::snapshot();
+        metrics::disable();
+        if let Err(e) = snapshot.write_json(&path) {
+            eprintln!("cannot write metrics {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::from(code)
 }

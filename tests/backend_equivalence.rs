@@ -34,6 +34,11 @@ fn fratricide_mean(backend: &str, leaders: u64, followers: u64, runs: u64) -> f6
                     let mut pop = CountPopulation::from_counts(&protocol, &[followers, leaders]);
                     run_until(&mut pop, &mut rng, 1e7, 1, |s| s.count(1) == 1).unwrap()
                 }
+                "sparse" => {
+                    let mut pop =
+                        SparseCountPopulation::from_dense(&protocol, &[followers, leaders]);
+                    run_until(&mut pop, &mut rng, 1e7, 1, |s| s.count(1) == 1).unwrap()
+                }
                 "accel" => {
                     let mut pop =
                         AcceleratedPopulation::from_counts(&protocol, &[followers, leaders]);
@@ -50,9 +55,10 @@ fn fratricide_mean(backend: &str, leaders: u64, followers: u64, runs: u64) -> f6
 fn all_backends_agree_on_fratricide_time() {
     let agents = fratricide_mean("agents", 16, 112, 40);
     let counts = fratricide_mean("counts", 16, 112, 40);
+    let sparse = fratricide_mean("sparse", 16, 112, 40);
     let accel = fratricide_mean("accel", 16, 112, 40);
     let reference = agents;
-    for (name, value) in [("counts", counts), ("accel", accel)] {
+    for (name, value) in [("counts", counts), ("sparse", sparse), ("accel", accel)] {
         let rel = (value - reference).abs() / reference;
         assert!(
             rel < 0.25,
