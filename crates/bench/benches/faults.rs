@@ -1,0 +1,162 @@
+//! Fault-wrapper overhead micro-benchmark: `step_batch` throughput on a raw
+//! `CountPopulation` versus the same backend wrapped in `FaultyPopulation`
+//! with an *empty* fault plan, on the same workloads as the
+//! `BENCH_batch.json` baseline. The wrapper's no-faults path is a trigger
+//! check per batch and must stay within noise of the unwrapped backend.
+//! Results are written to `BENCH_faults.json` at the workspace root; when
+//! `BENCH_batch.json` exists, the raw rate is also compared against its
+//! recorded baseline.
+//!
+//! Run with: `cargo bench --bench faults`
+
+use pp_bench::timing::throughput;
+use pp_engine::counts::CountPopulation;
+use pp_engine::faults::{FaultSpec, FaultyPopulation};
+use pp_engine::json::Json;
+use pp_engine::protocol::TableProtocol;
+use pp_engine::rng::SimRng;
+use pp_engine::sim::Simulator;
+use std::path::PathBuf;
+
+fn token() -> TableProtocol {
+    TableProtocol::new(2, "token").rule(1, 0, 0, 1)
+}
+
+fn cycle3() -> TableProtocol {
+    TableProtocol::new(3, "cycle")
+        .rule(0, 1, 1, 1)
+        .rule(1, 2, 2, 2)
+        .rule(2, 0, 0, 0)
+}
+
+fn raw_rate(mut pop: CountPopulation<TableProtocol>, seed: u64, chunk: u64) -> f64 {
+    let mut rng = SimRng::seed_from(seed);
+    throughput(|| pop.step_batch(&mut rng, chunk).executed)
+}
+
+fn faulty_rate(inner: CountPopulation<TableProtocol>, seed: u64, chunk: u64) -> f64 {
+    let mut pop = FaultyPopulation::new(inner, &FaultSpec::new(0)).expect("empty spec is valid");
+    let mut rng = SimRng::seed_from(seed);
+    throughput(|| pop.step_batch(&mut rng, chunk).executed)
+}
+
+struct Row {
+    scenario: &'static str,
+    n: u64,
+    raw_per_sec: f64,
+    faulty_per_sec: f64,
+}
+
+fn workspace_root() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+/// Reads the batch baseline at `(scenario, n)` from `BENCH_batch.json`.
+fn batch_baseline(scenario: &str, n: u64) -> Option<f64> {
+    let text = std::fs::read_to_string(workspace_root().join("BENCH_batch.json")).ok()?;
+    let doc = Json::parse(&text).ok()?;
+    doc.get("rows")?.as_arr()?.iter().find_map(|row| {
+        (row.get("scenario")?.as_str()? == scenario && row.get("n")?.as_u64()? == n)
+            .then(|| row.get("batch_per_sec")?.as_f64())?
+    })
+}
+
+fn measure(
+    scenario: &'static str,
+    n: u64,
+    make: impl Fn() -> CountPopulation<TableProtocol>,
+    chunk: u64,
+) -> Row {
+    // Alternate raw/wrapped samples on fresh populations and keep the best
+    // of each, so state drift within one timing window doesn't masquerade
+    // as wrapper overhead.
+    let mut raw = 0.0f64;
+    let mut faulty = 0.0f64;
+    for _ in 0..3 {
+        raw = raw.max(raw_rate(make(), 12, chunk));
+        faulty = faulty.max(faulty_rate(make(), 12, chunk));
+    }
+    let overhead = (raw - faulty) / raw * 100.0;
+    println!(
+        "{scenario:<14} n={n:<11} raw {raw:>12.3e}/s   wrapped {faulty:>12.3e}/s   overhead {overhead:>5.1}%"
+    );
+    if let Some(base) = batch_baseline(scenario, n) {
+        println!(
+            "{:<14} n={n:<11} BENCH_batch.json baseline {base:>12.3e}/s   delta {:>5.1}%",
+            "",
+            (raw - base) / base * 100.0
+        );
+    }
+    Row {
+        scenario,
+        n,
+        raw_per_sec: raw,
+        faulty_per_sec: faulty,
+    }
+}
+
+fn write_faults_json(rows: &[Row]) {
+    let json = Json::obj([
+        ("bench", Json::from("faulty_population_overhead")),
+        ("backend", Json::from("CountPopulation")),
+        ("unit", Json::from("interactions_per_second")),
+        (
+            "rows",
+            Json::arr(rows.iter().map(|r| {
+                Json::obj([
+                    ("scenario", Json::from(r.scenario)),
+                    ("n", Json::from(r.n)),
+                    ("raw_per_sec", Json::from(r.raw_per_sec)),
+                    ("faulty_per_sec", Json::from(r.faulty_per_sec)),
+                    (
+                        "overhead_pct",
+                        Json::from((r.raw_per_sec - r.faulty_per_sec) / r.raw_per_sec * 100.0),
+                    ),
+                ])
+            })),
+        ),
+    ]);
+    let path = workspace_root().join("BENCH_faults.json");
+    let mut text = json.render();
+    text.push('\n');
+    std::fs::write(&path, text).expect("write BENCH_faults.json");
+    println!("\nwrote {}", path.display());
+}
+
+fn main() {
+    println!("fault-wrapper overhead micro-benchmark (raw vs empty-plan FaultyPopulation)");
+    let mut rows = Vec::new();
+    for n in [10_000u64, 1_000_000] {
+        rows.push(measure(
+            "sparse_token",
+            n,
+            || CountPopulation::from_counts(token(), &[n - 10, 10]),
+            1 << 26,
+        ));
+        rows.push(measure(
+            "dense_cycle3",
+            n,
+            || CountPopulation::from_counts(cycle3(), &[n / 3, n / 3, n - 2 * (n / 3)]),
+            1 << 20,
+        ));
+    }
+    // Sanity: the wrapped run with an empty plan replays the raw run.
+    let mut a = CountPopulation::from_counts(token(), &[990, 10]);
+    let mut b = FaultyPopulation::new(
+        CountPopulation::from_counts(token(), &[990, 10]),
+        &FaultSpec::new(0),
+    )
+    .expect("empty spec is valid");
+    let mut rng_a = SimRng::seed_from(5);
+    let mut rng_b = SimRng::seed_from(5);
+    let _ = a.step_batch(&mut rng_a, 100_000);
+    let _ = b.step_batch(&mut rng_b, 100_000);
+    assert_eq!(
+        a.counts(),
+        b.counts(),
+        "empty plan must not perturb the run"
+    );
+    write_faults_json(&rows);
+}

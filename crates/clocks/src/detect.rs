@@ -85,6 +85,19 @@ pub fn a_min(counts: &[u64; NUM_SPECIES]) -> u64 {
     *counts.iter().min().expect("3 species")
 }
 
+/// Share of the largest species in a row, in `[0, 1]` (`0` for an all-zero
+/// row). Healthy rotation spends most of its time near 1; corruption
+/// flattens the distribution and pushes this toward `1/3`.
+#[must_use]
+pub fn majority_share(counts: &[u64; NUM_SPECIES]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let max = *counts.iter().max().expect("3 species");
+    max as f64 / total as f64
+}
+
 /// First time in the trace at which `a_min` drops below `bound`
 /// (Theorem 5.1(i) "escape from the central region"), or `None`.
 #[must_use]
@@ -168,6 +181,14 @@ mod tests {
         ];
         let p = periods(&ev);
         assert_eq!(p, vec![3.5, 3.5]);
+    }
+
+    #[test]
+    fn majority_share_handles_edge_rows() {
+        assert_eq!(majority_share(&[0, 0, 0]), 0.0);
+        assert_eq!(majority_share(&[10, 0, 0]), 1.0);
+        let flat = majority_share(&[33, 33, 34]);
+        assert!((flat - 0.34).abs() < 1e-12);
     }
 
     #[test]

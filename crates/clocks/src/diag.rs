@@ -19,6 +19,14 @@
 //!   paper's simulation argument needs most gated windows to be "good"
 //!   (every agent participates, clocks in phase); this estimator quantifies
 //!   how often that holds empirically.
+//! * [`RecoveryProbe`] and [`rotation_recovery`] — fault-recovery
+//!   measurement. The probe timestamps when an arbitrary scalar health
+//!   statistic (majority share, tick rate, `a_min`, …) returns to a
+//!   pre-fault band and stays there; `rotation_recovery` applies the same
+//!   idea to a [`DominanceRecorder`] trace, declaring recovery when the
+//!   post-fault rotation period comes back within tolerance of the
+//!   pre-fault median. Together they quantify the self-stabilization the
+//!   clock constructions are claimed to have.
 
 use crate::detect::{dominance_events, periods, Dominance};
 use crate::hierarchy::HierAgent;
@@ -346,6 +354,212 @@ impl GoodIterationEstimator {
     }
 }
 
+/// Timestamps when a scalar health statistic returns to a pre-fault band
+/// and stays there.
+///
+/// The probe is statistic-agnostic: feed it majority share
+/// ([`crate::detect::majority_share`]), per-level tick rate, `a_min`, or any
+/// other per-sample number. Recovery is declared at the *first* sample of a
+/// run of `required` consecutive in-band samples after the marked fault —
+/// requiring a streak filters out single lucky samples mid-turbulence.
+///
+/// # Examples
+///
+/// ```
+/// use pp_clocks::diag::RecoveryProbe;
+///
+/// // Healthy share ≥ 0.75; require 3 consecutive good samples.
+/// let mut probe = RecoveryProbe::new(0.75, 1.0, 3);
+/// probe.mark_fault(10.0);
+/// for (t, share) in [(11.0, 0.4), (12.0, 0.8), (13.0, 0.5), // relapse
+///                    (14.0, 0.8), (15.0, 0.9), (16.0, 0.85)] {
+///     probe.sample(t, share);
+/// }
+/// assert_eq!(probe.recovered_at(), Some(14.0));
+/// assert_eq!(probe.recovery_time(), Some(4.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecoveryProbe {
+    lo: f64,
+    hi: f64,
+    required: usize,
+    fault_time: Option<f64>,
+    streak: usize,
+    streak_start: f64,
+    recovered_at: Option<f64>,
+}
+
+impl RecoveryProbe {
+    /// Creates a probe with healthy band `[lo, hi]`, declaring recovery
+    /// after `required` consecutive in-band samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `required == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, required: usize) -> Self {
+        assert!(lo <= hi, "band must satisfy lo <= hi");
+        assert!(required > 0, "at least one confirming sample is required");
+        Self {
+            lo,
+            hi,
+            required,
+            fault_time: None,
+            streak: 0,
+            streak_start: 0.0,
+            recovered_at: None,
+        }
+    }
+
+    /// Creates a probe whose band is the pre-fault baseline: the median of
+    /// `baseline` samples widened by `tolerance` on each side (relative,
+    /// e.g. `0.25` for ±25%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` is empty, contains non-finite values, or
+    /// `tolerance < 0`; also under the same conditions as
+    /// [`RecoveryProbe::new`].
+    #[must_use]
+    pub fn from_baseline(baseline: &[f64], tolerance: f64, required: usize) -> Self {
+        assert!(!baseline.is_empty(), "baseline needs at least one sample");
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        let mut sorted = baseline.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("baseline samples are finite"));
+        let median = sorted[sorted.len() / 2];
+        let spread = median.abs() * tolerance;
+        Self::new(median - spread, median + spread, required)
+    }
+
+    /// The healthy band `[lo, hi]`.
+    #[must_use]
+    pub fn band(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Marks the fault instant; resets any in-progress streak and a prior
+    /// recovery verdict (re-marking measures recovery from the newest
+    /// fault).
+    pub fn mark_fault(&mut self, time: f64) {
+        self.fault_time = Some(time);
+        self.streak = 0;
+        self.recovered_at = None;
+    }
+
+    /// Feeds one `(time, value)` sample. Samples before the marked fault
+    /// are ignored (the baseline is the band, not the samples). Returns
+    /// `true` exactly once: on the sample completing the confirming streak.
+    pub fn sample(&mut self, time: f64, value: f64) -> bool {
+        let Some(fault) = self.fault_time else {
+            return false;
+        };
+        if time < fault || self.recovered_at.is_some() {
+            return false;
+        }
+        if (self.lo..=self.hi).contains(&value) {
+            if self.streak == 0 {
+                self.streak_start = time;
+            }
+            self.streak += 1;
+            if self.streak >= self.required {
+                self.recovered_at = Some(self.streak_start);
+                return true;
+            }
+        } else {
+            self.streak = 0;
+        }
+        false
+    }
+
+    /// Parallel time of the first sample of the confirming streak, or
+    /// `None` while not (yet) recovered.
+    #[must_use]
+    pub fn recovered_at(&self) -> Option<f64> {
+        self.recovered_at
+    }
+
+    /// Rounds from the marked fault to recovery, or `None` while not (yet)
+    /// recovered.
+    #[must_use]
+    pub fn recovery_time(&self) -> Option<f64> {
+        Some(self.recovered_at? - self.fault_time?)
+    }
+}
+
+/// Verdict of [`rotation_recovery`]: when the oscillator's dominance
+/// rotation returned to its pre-fault period statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RotationRecovery {
+    /// Median full-cycle period before the fault, in rounds.
+    pub pre_median: f64,
+    /// Parallel time at which the first in-band post-fault cycle completed.
+    pub recovered_at: f64,
+    /// Rounds from the fault to [`RotationRecovery::recovered_at`].
+    pub recovery_time: f64,
+}
+
+/// Measures when dominance rotation recovers after a fault at `fault_time`,
+/// from a [`DominanceRecorder`]-style trace of `(time, counts)` rows.
+///
+/// The pre-fault rows establish a baseline median full-cycle period;
+/// recovery is the completion time of the first *entirely post-fault* cycle
+/// whose period is within `tolerance` (relative, e.g. `0.75` for ±75%) of
+/// that baseline. Cycles spanning the fault instant are excluded — an
+/// inflated straddling period would otherwise delay the verdict
+/// artificially. Returns `None` if the pre-fault trace completes no cycle
+/// (no baseline) or no post-fault cycle ever lands in band (no recovery
+/// within the trace).
+///
+/// # Panics
+///
+/// Panics if `threshold` is not in `(0.5, 1.0)` or `tolerance < 0`.
+#[must_use]
+pub fn rotation_recovery(
+    rows: &[(f64, [u64; NUM_SPECIES])],
+    threshold: f64,
+    fault_time: f64,
+    tolerance: f64,
+) -> Option<RotationRecovery> {
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    let pre: Vec<_> = rows
+        .iter()
+        .filter(|&&(t, _)| t <= fault_time)
+        .copied()
+        .collect();
+    let post: Vec<_> = rows
+        .iter()
+        .filter(|&&(t, _)| t > fault_time)
+        .copied()
+        .collect();
+    let mut pre_periods = periods(&dominance_events(&pre, threshold));
+    if pre_periods.is_empty() {
+        return None;
+    }
+    pre_periods.sort_by(|a, b| a.partial_cmp(b).expect("periods are finite"));
+    let pre_median = pre_periods[pre_periods.len() / 2];
+    let (lo, hi) = (
+        pre_median * (1.0 - tolerance).max(0.0),
+        pre_median * (1.0 + tolerance),
+    );
+    // Walk post-fault events by hand (rather than through `periods`) to
+    // keep each cycle's completion timestamp.
+    let mut last_seen: [Option<f64>; NUM_SPECIES] = [None; NUM_SPECIES];
+    for e in dominance_events(&post, threshold) {
+        if let Some(prev) = last_seen[e.species] {
+            let period = e.time - prev;
+            if (lo..=hi).contains(&period) {
+                return Some(RotationRecovery {
+                    pre_median,
+                    recovered_at: e.time,
+                    recovery_time: e.time - fault_time,
+                });
+            }
+        }
+        last_seen[e.species] = Some(e.time);
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +663,157 @@ mod tests {
                 .get("time")
                 .and_then(pp_engine::json::Json::as_f64),
             Some(9.0)
+        );
+    }
+
+    #[test]
+    fn recovery_probe_requires_a_streak() {
+        let mut probe = RecoveryProbe::new(0.5, 1.0, 2);
+        assert!(!probe.sample(0.0, 0.9), "samples before mark_fault ignored");
+        probe.mark_fault(5.0);
+        assert!(!probe.sample(4.0, 0.9), "pre-fault samples ignored");
+        assert!(!probe.sample(6.0, 0.9), "streak of 1 < required 2");
+        assert!(!probe.sample(7.0, 0.2), "relapse resets the streak");
+        assert!(!probe.sample(8.0, 0.8));
+        assert!(probe.sample(9.0, 0.7), "second consecutive confirms");
+        assert_eq!(probe.recovered_at(), Some(8.0), "streak start, not end");
+        assert_eq!(probe.recovery_time(), Some(3.0));
+        assert!(!probe.sample(10.0, 0.9), "fires only once");
+    }
+
+    #[test]
+    fn recovery_probe_baseline_band() {
+        let probe = RecoveryProbe::from_baseline(&[10.0, 12.0, 8.0, 11.0, 9.0], 0.5, 1);
+        let (lo, hi) = probe.band();
+        assert!((lo - 5.0).abs() < 1e-12, "median 10 widened to [5, 15]");
+        assert!((hi - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_recovery_excludes_straddling_cycles() {
+        // Synthetic rotation with period 3; fault at t=10 followed by noise
+        // rows, then clean rotation again from t=20.
+        let mut rows = Vec::new();
+        let push_cycle = |rows: &mut Vec<(f64, [u64; NUM_SPECIES])>, t0: f64| {
+            rows.push((t0, [90, 5, 5]));
+            rows.push((t0 + 1.0, [5, 90, 5]));
+            rows.push((t0 + 2.0, [5, 5, 90]));
+        };
+        for i in 0..3 {
+            push_cycle(&mut rows, f64::from(i) * 3.0);
+        }
+        for i in 0..10 {
+            rows.push((10.0 + f64::from(i), [33, 33, 34])); // flattened
+        }
+        for i in 0..3 {
+            push_cycle(&mut rows, 20.0 + f64::from(i) * 3.0);
+        }
+        let rec = rotation_recovery(&rows, 0.8, 10.0, 0.25).expect("recovers");
+        assert!((rec.pre_median - 3.0).abs() < 1e-12);
+        // First fully post-fault cycle completes at t = 23.
+        assert!((rec.recovered_at - 23.0).abs() < 1e-12);
+        assert!((rec.recovery_time - 13.0).abs() < 1e-12);
+        // A trace with no pre-fault cycle yields no baseline.
+        assert_eq!(rotation_recovery(&rows, 0.8, 0.5, 0.25), None);
+    }
+
+    /// Dents the oscillator three times mid-run — each injection pins 40%
+    /// of the population into one species state, a heavy corruption of
+    /// agent states that skews the rotation without flooding the source
+    /// state `X` — and measures, per injection, the time until a full
+    /// rotation cycle with a pre-fault-consistent period completes.
+    ///
+    /// (A `Randomize` corruption is deliberately *not* used here: it sends
+    /// `frac/k` of the population into `X`, and the raw oscillator has no
+    /// mechanism to shed source agents, so heavy randomization permanently
+    /// damps the amplitude instead of testing recovery. The controlled
+    /// clock's junta-elimination layer is what heals `X` pollution; see
+    /// `elimination_invariant_survives_churn` below.)
+    fn dent_recovery_times(n: u64, seed: u64) -> Vec<f64> {
+        use crate::oscillator::Oscillator;
+        use pp_engine::faults::{FaultSpec, FaultyPopulation};
+
+        let fault_times = [120.0, 240.0, 360.0];
+        let osc = Dk18Oscillator::new();
+        let inner = CountPopulation::from_counts(&osc, &central_init(&osc, n, 5));
+        let pin = osc.species_state(0);
+        let spec = FaultSpec::new(seed ^ 0xfa17).byzantine((n * 2) / 5, pin, 120.0);
+        let mut pop = FaultyPopulation::new(inner, &spec).expect("valid spec");
+        let mut rec = DominanceRecorder::new(osc, 0.8, 0.25);
+        let mut rng = SimRng::seed_from(seed);
+        run_rounds(&mut pop, 470.0, &mut rng, &mut [&mut rec]);
+        assert_eq!(pop.events().len(), 3, "all injections fired");
+        fault_times
+            .iter()
+            .filter_map(|&ft| {
+                // Window each measurement so the next injection cannot
+                // contaminate it.
+                let window: Vec<_> = rec
+                    .rows()
+                    .iter()
+                    .copied()
+                    .filter(|(t, _)| *t <= ft + 110.0)
+                    .collect();
+                rotation_recovery(&window, 0.8, ft, 0.35).map(|r| r.recovery_time)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corruption_recovery_grows_with_log_n() {
+        // Re-establishing a pre-fault-consistent rotation cycle takes at
+        // least one full rotation period, and the period is Θ(log n)
+        // (Theorem 5.1), so mean recovery time over several injections and
+        // seeds must grow between well-separated sizes. Empirically the two
+        // samples are pointwise disjoint (~26–35 rounds at n=10³ vs ~45–59
+        // at n=64·10³), so the mean comparison has a wide safety margin.
+        let mean_recovery = |n: u64| {
+            let times: Vec<f64> = (0..2)
+                .flat_map(|s| dent_recovery_times(n, 31 + s))
+                .collect();
+            assert!(
+                times.len() >= 4,
+                "most injections at n={n} must recover in-window ({} did)",
+                times.len()
+            );
+            times.iter().sum::<f64>() / times.len() as f64
+        };
+        let small = mean_recovery(1_000);
+        let large = mean_recovery(64_000);
+        assert!(small > 0.0);
+        assert!(
+            large > small,
+            "recovery should grow with n: small={small} large={large}"
+        );
+    }
+
+    #[test]
+    fn elimination_invariant_survives_churn() {
+        use crate::junta::XControl;
+        use pp_engine::faults::{FaultSpec, FaultyPopulation};
+
+        let elim = PairwiseElimination::new();
+        let n = 1_000u64;
+        let mut counts = vec![0u64; 2];
+        counts[elim.initial_state()] = n;
+        let inner = CountPopulation::from_counts(elim, &counts);
+        // 1% of agents churn every round; replacements join in the
+        // protocol's initial state (X), exactly like real late joiners.
+        let spec = FaultSpec::new(77).churn(1.0, 0.01, elim.initial_state());
+        let mut pop = FaultyPopulation::new(inner, &spec).expect("valid spec");
+        let mut rng = SimRng::seed_from(78);
+        for _ in 0..200 {
+            run_rounds(&mut pop, 1.0, &mut rng, &mut []);
+            let x = elim.count_x(&pop.counts());
+            assert!(x >= 1, "#X >= 1 must survive churn (got {x})");
+        }
+        assert!(!pop.events().is_empty(), "churn actually fired");
+        // Elimination keeps re-absorbing joined X agents: #X settles at the
+        // churn/elimination equilibrium, far below n but never 0.
+        let x = elim.count_x(&pop.counts());
+        assert!(
+            (1..=300).contains(&x),
+            "#X should settle low under churn, got {x}"
         );
     }
 

@@ -194,6 +194,22 @@ impl<P: Protocol> Simulator for AcceleratedPopulation<P> {
         self.counts.clone()
     }
 
+    /// Applies both count deltas through the incremental reactive-pair
+    /// maintenance, so silence detection stays exact after the edit. `O(k)`.
+    fn migrate(&mut self, from: usize, to: usize, k: u64) -> u64 {
+        let states = self.counts.len();
+        assert!(from < states, "migrate source state out of range");
+        assert!(to < states, "migrate target state out of range");
+        let moved = k.min(self.counts[from]);
+        if from == to || moved == 0 {
+            return 0;
+        }
+        self.apply_count_change(from, -(moved as i64));
+        self.apply_count_change(to, moved as i64);
+        debug_assert_eq!(self.reactive_pairs, self.recount_reactive_pairs());
+        moved
+    }
+
     /// One *logical* activation: leaps over the geometric number of
     /// non-reactive activations (adding them to `steps`), then performs one
     /// reactive interaction. Returns [`StepOutcome::Silent`] if no reactive
@@ -303,6 +319,19 @@ mod tests {
         }
         assert_eq!(pop.count(1), 1);
         assert_eq!(pop.count(0), 99);
+    }
+
+    #[test]
+    fn migrate_keeps_reactive_pairs_consistent() {
+        let mut pop = AcceleratedPopulation::from_counts(fratricide(), &[9, 1]);
+        let mut rng = SimRng::seed_from(7);
+        // One leader: silent. Migrating a second agent into state 1 must
+        // revive reactivity through the incremental pair maintenance.
+        assert_eq!(pop.step(&mut rng), StepOutcome::Silent);
+        assert_eq!(pop.migrate(0, 1, 1), 1);
+        assert_eq!(pop.step(&mut rng), StepOutcome::Changed);
+        assert_eq!(pop.count(1), 1);
+        assert_eq!(pop.migrate(1, 0, 100), 1, "capped at the source count");
     }
 
     #[test]

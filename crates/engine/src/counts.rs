@@ -276,6 +276,20 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
         self.counts.to_weights()
     }
 
+    /// Delegates to [`CountPopulation::reassign`], which invalidates the
+    /// batch cache (the dense mirror and reactive-pair count go stale).
+    fn migrate(&mut self, from: usize, to: usize, k: u64) -> u64 {
+        let states = self.protocol.num_states();
+        assert!(from < states, "migrate source state out of range");
+        assert!(to < states, "migrate target state out of range");
+        let moved = k.min(self.counts.get(from));
+        if from == to || moved == 0 {
+            return 0;
+        }
+        self.reassign(from, to, moved);
+        moved
+    }
+
     fn step(&mut self, rng: &mut SimRng) -> StepOutcome {
         let (a, b) = self.sample_pair(rng);
         self.steps += 1;
@@ -473,6 +487,17 @@ mod tests {
         let mut pop = CountPopulation::from_counts(epidemic(), &[2, 0]);
         pop.reassign(0, 1, 3);
     }
+
+    #[test]
+    fn migrate_caps_at_source_count() {
+        let mut pop = CountPopulation::from_counts(epidemic(), &[7, 3]);
+        assert_eq!(pop.migrate(0, 1, 100), 7);
+        assert_eq!(pop.count(0), 0);
+        assert_eq!(pop.count(1), 10);
+        assert_eq!(pop.migrate(1, 1, 5), 0, "self-moves are no-ops");
+        assert_eq!(pop.migrate(0, 1, 5), 0, "empty source moves nothing");
+        assert_eq!(pop.steps(), 0, "migrate consumes no steps");
+    }
 }
 
 /// A population represented by a *sparse* map of per-state agent counts.
@@ -641,6 +666,21 @@ impl<P: Protocol> Simulator for SparseCountPopulation<P> {
         self.to_dense()
     }
 
+    /// Adjusts the occupied-state list directly; vacated states are
+    /// swap-removed and new states appended, as for interactions.
+    fn migrate(&mut self, from: usize, to: usize, k: u64) -> u64 {
+        let states = self.protocol.num_states();
+        assert!(from < states, "migrate source state out of range");
+        assert!(to < states, "migrate target state out of range");
+        let moved = k.min(self.count(from));
+        if from == to || moved == 0 {
+            return 0;
+        }
+        self.add(from, -(moved as i64));
+        self.add(to, moved as i64);
+        moved
+    }
+
     fn step(&mut self, rng: &mut SimRng) -> StepOutcome {
         let a = self.sample(rng.below(self.n), usize::MAX);
         let b = self.sample(rng.below(self.n - 1), a);
@@ -777,5 +817,18 @@ mod sparse_tests {
             pop.step(&mut rng);
             assert_eq!(pop.count(1), 1);
         }
+    }
+
+    #[test]
+    fn migrate_updates_occupied_list() {
+        let p = epidemic();
+        let mut pop = SparseCountPopulation::from_pairs(&p, &[(0, 6), (1, 2)]);
+        assert_eq!(pop.migrate(0, 1, 6), 6, "vacating a state is allowed");
+        assert_eq!(pop.occupied_states(), 1);
+        assert_eq!(pop.count(1), 8);
+        assert_eq!(pop.migrate(1, 0, 3), 3, "repopulating a state re-adds it");
+        assert_eq!(pop.occupied_states(), 2);
+        assert_eq!(pop.migrate(0, 0, 2), 0);
+        assert_eq!(pop.steps(), 0);
     }
 }

@@ -62,6 +62,7 @@
 
 pub mod accel;
 pub mod counts;
+pub mod faults;
 pub mod fenwick;
 pub mod json;
 pub mod matching;

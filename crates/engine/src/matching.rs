@@ -146,6 +146,12 @@ impl<P: Protocol> Simulator for MatchingPopulation<P> {
         self.inner.counts()
     }
 
+    /// Delegates to the underlying agent array; migrated agents take part
+    /// in the next matching round under their new state.
+    fn migrate(&mut self, from: usize, to: usize, k: u64) -> u64 {
+        self.inner.migrate(from, to, k)
+    }
+
     /// A single scheduler activation is a whole matching round.
     fn step(&mut self, rng: &mut SimRng) -> StepOutcome {
         if self.round(rng) > 0 {
@@ -267,6 +273,15 @@ mod tests {
                 n / 2
             );
         }
+    }
+
+    #[test]
+    fn migrate_delegates_to_inner_population() {
+        let mut pop = MatchingPopulation::from_counts(epidemic(), &[6, 2]);
+        assert_eq!(pop.migrate(1, 0, 2), 2);
+        assert_eq!(pop.count(0), 8);
+        assert_eq!(pop.count(1), 0);
+        assert_eq!(pop.steps(), 0);
     }
 
     #[test]

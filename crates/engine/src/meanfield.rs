@@ -85,7 +85,9 @@ impl Trajectory {
     /// Panics if the trajectory is empty.
     #[must_use]
     pub fn last(&self) -> &[f64] {
-        self.states.last().expect("empty trajectory")
+        self.states
+            .last()
+            .expect("integrate always records the initial state")
     }
 }
 

@@ -83,11 +83,21 @@ pub enum Counter {
     MatchingRounds,
     /// Sweep tasks completed.
     SweepTasks,
+    /// Fault injections applied by [`crate::faults::FaultyPopulation`].
+    FaultInjections,
+    /// Agents whose state a fault injection actually changed.
+    FaultAgentsMoved,
+    /// Resilient-sweep task attempts retried after a panic or timeout.
+    SweepRetries,
+    /// Resilient-sweep task attempts that panicked.
+    SweepPanics,
+    /// Resilient-sweep task attempts that exceeded their deadline.
+    SweepTimeouts,
 }
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 18] = [
         Counter::InteractionsExecuted,
         Counter::InteractionsChanged,
         Counter::NoopLeaps,
@@ -101,6 +111,11 @@ impl Counter {
         Counter::SilenceDetections,
         Counter::MatchingRounds,
         Counter::SweepTasks,
+        Counter::FaultInjections,
+        Counter::FaultAgentsMoved,
+        Counter::SweepRetries,
+        Counter::SweepPanics,
+        Counter::SweepTimeouts,
     ];
 
     /// Stable snake_case name used in reports.
@@ -120,6 +135,11 @@ impl Counter {
             Counter::SilenceDetections => "silence_detections",
             Counter::MatchingRounds => "matching_rounds",
             Counter::SweepTasks => "sweep_tasks",
+            Counter::FaultInjections => "fault_injections",
+            Counter::FaultAgentsMoved => "fault_agents_moved",
+            Counter::SweepRetries => "sweep_retries",
+            Counter::SweepPanics => "sweep_panics",
+            Counter::SweepTimeouts => "sweep_timeouts",
         }
     }
 }

@@ -162,6 +162,30 @@ impl<P: Protocol> Simulator for Population<P> {
         self.counts.clone()
     }
 
+    /// Moves the first `k` agents found in state `from` (agents are
+    /// exchangeable, so the choice does not bias count dynamics). `O(n)`.
+    fn migrate(&mut self, from: usize, to: usize, k: u64) -> u64 {
+        let states = self.protocol.num_states();
+        assert!(from < states, "migrate source state out of range");
+        assert!(to < states, "migrate target state out of range");
+        if from == to || k == 0 {
+            return 0;
+        }
+        let mut moved = 0u64;
+        for a in &mut self.agents {
+            if moved >= k {
+                break;
+            }
+            if *a as usize == from {
+                *a = to as u32;
+                moved += 1;
+            }
+        }
+        self.counts[from] -= moved;
+        self.counts[to] += moved;
+        moved
+    }
+
     fn step(&mut self, rng: &mut SimRng) -> StepOutcome {
         let n = self.agents.len();
         let i = rng.index(n);
@@ -303,6 +327,22 @@ mod tests {
         assert_eq!(pop.count(0), 1);
         assert_eq!(pop.count(1), 1);
         assert_eq!(pop.agent(0), 1);
+    }
+
+    #[test]
+    fn migrate_moves_first_k_agents() {
+        let mut pop = Population::from_counts(epidemic(), &[5, 3]);
+        assert_eq!(pop.migrate(0, 1, 2), 2);
+        assert_eq!(pop.count(0), 3);
+        assert_eq!(pop.count(1), 5);
+        assert_eq!(pop.migrate(0, 1, 100), 3, "capped at the source count");
+        assert_eq!(pop.migrate(1, 1, 4), 0, "self-moves are no-ops");
+        assert_eq!(pop.steps(), 0, "migrate consumes no steps");
+        let mut recount = vec![0u64; 2];
+        for s in pop.iter() {
+            recount[s] += 1;
+        }
+        assert_eq!(recount, pop.counts());
     }
 
     #[test]

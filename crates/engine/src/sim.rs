@@ -93,6 +93,21 @@ pub trait Simulator {
         (0..self.num_states()).map(|s| self.count(s)).collect()
     }
 
+    /// Moves up to `k` agents from state `from` to state `to` *out of band*
+    /// — no scheduler steps are consumed and no transition is applied.
+    ///
+    /// Returns how many agents actually moved, which is `min(k, count(from))`
+    /// (`from == to` moves nothing). This is the mutation primitive the
+    /// fault-injection layer ([`crate::faults`]) composes corruption, churn,
+    /// and Byzantine pinning from; it is also useful for test setups.
+    /// Backends that cache reactivity or pair structure must invalidate or
+    /// repair those caches here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `to` is out of range.
+    fn migrate(&mut self, from: usize, to: usize, k: u64) -> u64;
+
     /// Executes one scheduler activation.
     fn step(&mut self, rng: &mut SimRng) -> StepOutcome;
 

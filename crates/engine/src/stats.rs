@@ -42,7 +42,7 @@ impl Summary {
             0.0
         };
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("summary inputs must be NaN-free"));
         Self {
             count,
             mean,

@@ -12,18 +12,24 @@
 use crate::json::Json;
 use crate::metrics::{self, Counter, Hist};
 use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Resolves a requested worker count: 0 selects the OS-reported available
-/// parallelism, and the result never exceeds the task count.
+/// parallelism, and the result never exceeds the task count (in particular,
+/// zero tasks spawn zero workers).
 fn resolve_workers(workers: usize, count: usize) -> usize {
+    if count == 0 {
+        return 0;
+    }
     let workers = if workers == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     } else {
         workers
     };
-    workers.min(count.max(1))
+    workers.min(count)
 }
 
 /// Per-index output slots written concurrently, one writer per slot.
@@ -92,7 +98,10 @@ where
     slots
         .0
         .into_iter()
-        .map(|cell| cell.into_inner().expect("task result missing"))
+        .map(|cell| {
+            cell.into_inner()
+                .expect("every slot is written before workers join")
+        })
         .collect()
 }
 
@@ -225,6 +234,268 @@ where
     run_indexed(configs.len(), workers, |i| task(&configs[i]))
 }
 
+/// Outcome of one task slot in a resilient sweep ([`run_indexed_resilient`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskResult<T> {
+    /// The task produced a value (possibly after retries).
+    Ok(T),
+    /// Every attempt panicked; carries the last panic payload rendered as
+    /// text.
+    Panicked(String),
+    /// Every attempt overran its deadline.
+    TimedOut,
+}
+
+impl<T> TaskResult<T> {
+    /// Whether this slot holds a value.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TaskResult::Ok(_))
+    }
+
+    /// The value, if this slot holds one.
+    #[must_use]
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            TaskResult::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Consumes the result, returning the value if this slot holds one.
+    #[must_use]
+    pub fn into_value(self) -> Option<T> {
+        match self {
+            TaskResult::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One captured failure (a panic or a deadline overrun) during a resilient
+/// sweep. Retried-and-recovered attempts leave incidents too, so the log
+/// shows flakiness even when every slot ends up `Ok`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// Task index the failure belongs to.
+    pub index: usize,
+    /// Zero-based attempt number that failed.
+    pub attempt: u32,
+    /// `"panic"` or `"timeout"`.
+    pub cause: &'static str,
+    /// The panic message, or a description of the deadline overrun.
+    pub detail: String,
+    /// Wall-clock seconds the attempt ran before failing.
+    pub elapsed_s: f64,
+}
+
+impl Incident {
+    /// Renders the incident as a JSON object (one JSONL row).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::from("sweep_incident")),
+            ("index", Json::from(self.index)),
+            ("attempt", Json::from(u64::from(self.attempt))),
+            ("cause", Json::from(self.cause)),
+            ("detail", Json::from(self.detail.as_str())),
+            ("elapsed_s", Json::from(self.elapsed_s)),
+        ])
+    }
+}
+
+/// Renders an incident log as JSON Lines (empty string for no incidents).
+#[must_use]
+pub fn incidents_to_jsonl(incidents: &[Incident]) -> String {
+    let rows: Vec<Json> = incidents.iter().map(Incident::to_json).collect();
+    crate::json::to_jsonl(&rows)
+}
+
+/// Failure-handling policy for [`run_indexed_resilient`].
+#[derive(Debug, Clone, Copy)]
+pub struct ResiliencePolicy {
+    /// Wall-clock budget per attempt; an attempt still running at the
+    /// deadline is abandoned and counted as a timeout.
+    pub deadline: Duration,
+    /// How many times a failed (panicked or timed-out) task is retried. The
+    /// total attempt count is `1 + retries`.
+    pub retries: u32,
+}
+
+impl Default for ResiliencePolicy {
+    /// 60-second deadline, one retry.
+    fn default() -> Self {
+        Self {
+            deadline: Duration::from_secs(60),
+            retries: 1,
+        }
+    }
+}
+
+/// Renders a panic payload (as produced by [`catch_unwind`]) as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Like [`run_indexed`], but failures are contained instead of propagated:
+/// a panicking task is caught, a hanging task is abandoned at its deadline,
+/// and both are retried under `policy` with the attempt number passed to the
+/// closure (so tasks can reseed). Slots whose every attempt failed come back
+/// as [`TaskResult::Panicked`] / [`TaskResult::TimedOut`] while all other
+/// slots hold their values; the incident log records every failed attempt.
+///
+/// Each attempt runs on its own *detached* thread so the sweep can walk away
+/// from a hang; an abandoned attempt's thread keeps running to completion in
+/// the background (it cannot be killed safely), which is why `task` must be
+/// `'static` and is shared by `Arc` rather than borrowed. Abandoned attempts
+/// still burn a CPU until they finish — acceptable for a harness whose
+/// alternative is deadlocking the whole sweep.
+///
+/// When the global [`crate::metrics`] registry is enabled, failures bump the
+/// `sweep_panics` / `sweep_timeouts` counters and every extra attempt bumps
+/// `sweep_retries`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_engine::sweep::{run_indexed_resilient, ResiliencePolicy, TaskResult};
+///
+/// let policy = ResiliencePolicy { retries: 0, ..ResiliencePolicy::default() };
+/// let (results, incidents) = run_indexed_resilient(4, 2, policy, |i, _attempt| {
+///     assert!(i != 2, "task 2 is broken");
+///     i * 10
+/// });
+/// assert_eq!(results[0], TaskResult::Ok(0));
+/// assert!(matches!(results[2], TaskResult::Panicked(_)));
+/// assert_eq!(incidents.len(), 1);
+/// assert_eq!(incidents[0].index, 2);
+/// ```
+pub fn run_indexed_resilient<T, F>(
+    count: usize,
+    workers: usize,
+    policy: ResiliencePolicy,
+    task: F,
+) -> (Vec<TaskResult<T>>, Vec<Incident>)
+where
+    T: Send + 'static,
+    F: Fn(usize, u32) -> T + Send + Sync + 'static,
+{
+    let workers = resolve_workers(workers, count);
+    let task = Arc::new(task);
+    let slots = Slots((0..count).map(|_| UnsafeCell::new(None)).collect());
+    let next = AtomicUsize::new(0);
+    let incidents = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        let slots = &slots;
+        let next = &next;
+        let incidents = &incidents;
+        let task = &task;
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = attempt_with_policy(task, i, policy, incidents);
+                // SAFETY: index `i` was claimed exactly once by fetch_add, so
+                // this thread is the unique writer of slot `i`.
+                unsafe {
+                    *slots.0[i].get() = Some(result);
+                }
+            });
+        }
+    });
+
+    let results = slots
+        .0
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .expect("every claimed slot is written before workers join")
+        })
+        .collect();
+    (
+        results,
+        incidents.into_inner().unwrap_or_else(|e| e.into_inner()),
+    )
+}
+
+/// Runs all attempts of task `i` under `policy`; records failed attempts.
+fn attempt_with_policy<T, F>(
+    task: &Arc<F>,
+    i: usize,
+    policy: ResiliencePolicy,
+    incidents: &Mutex<Vec<Incident>>,
+) -> TaskResult<T>
+where
+    T: Send + 'static,
+    F: Fn(usize, u32) -> T + Send + Sync + 'static,
+{
+    // Panic payload of the most recent attempt; `None` means it timed out.
+    let mut last_failure: Option<String> = None;
+    for attempt in 0..=policy.retries {
+        if attempt > 0 {
+            metrics::add(Counter::SweepRetries, 1);
+        }
+        let (tx, rx) = mpsc::channel();
+        let task = Arc::clone(task);
+        let t0 = Instant::now();
+        // Detached on purpose: a hung attempt must not block the sweep, and
+        // scoped threads cannot be abandoned. The channel send fails
+        // harmlessly if the receiver has already given up.
+        std::thread::spawn(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| task(i, attempt)));
+            let _ = tx.send(outcome);
+        });
+        match rx.recv_timeout(policy.deadline) {
+            Ok(Ok(value)) => return TaskResult::Ok(value),
+            Ok(Err(payload)) => {
+                let detail = panic_message(payload.as_ref());
+                metrics::add(Counter::SweepPanics, 1);
+                incidents
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(Incident {
+                        index: i,
+                        attempt,
+                        cause: "panic",
+                        detail: detail.clone(),
+                        elapsed_s: t0.elapsed().as_secs_f64(),
+                    });
+                last_failure = Some(detail);
+            }
+            Err(_) => {
+                last_failure = None;
+                metrics::add(Counter::SweepTimeouts, 1);
+                incidents
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(Incident {
+                        index: i,
+                        attempt,
+                        cause: "timeout",
+                        detail: format!(
+                            "attempt exceeded {:.3}s deadline",
+                            policy.deadline.as_secs_f64()
+                        ),
+                        elapsed_s: t0.elapsed().as_secs_f64(),
+                    });
+            }
+        }
+    }
+    match last_failure {
+        Some(detail) => TaskResult::Panicked(detail),
+        None => TaskResult::TimedOut,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +565,116 @@ mod tests {
         let j = profile.to_json();
         assert_eq!(j.get("tasks").and_then(crate::json::Json::as_u64), Some(6));
         assert!(j.get("utilization").is_some());
+    }
+
+    #[test]
+    fn zero_tasks_resolve_to_zero_workers() {
+        assert_eq!(resolve_workers(4, 0), 0, "no tasks, no workers");
+        assert_eq!(resolve_workers(0, 0), 0, "auto workers over no tasks");
+        assert_eq!(resolve_workers(4, 2), 2);
+        assert_eq!(resolve_workers(2, 4), 2);
+        assert!(resolve_workers(0, 100) >= 1, "auto resolves to at least 1");
+    }
+
+    fn fast_policy(retries: u32) -> ResiliencePolicy {
+        ResiliencePolicy {
+            deadline: Duration::from_millis(200),
+            retries,
+        }
+    }
+
+    #[test]
+    fn resilient_sweep_contains_panics() {
+        let (results, incidents) = run_indexed_resilient(6, 3, fast_policy(0), |i, _| {
+            assert!(i % 3 != 1, "synthetic failure at index {i}");
+            i * 2
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i % 3 == 1 {
+                match r {
+                    TaskResult::Panicked(msg) => {
+                        assert!(msg.contains("synthetic failure"), "{msg}");
+                    }
+                    other => panic!("expected panic slot, got {other:?}"),
+                }
+            } else {
+                assert_eq!(r, &TaskResult::Ok(i * 2), "healthy slot {i}");
+            }
+        }
+        assert_eq!(incidents.len(), 2);
+        assert!(incidents.iter().all(|inc| inc.cause == "panic"));
+    }
+
+    #[test]
+    fn resilient_sweep_abandons_hung_tasks() {
+        let (results, incidents) = run_indexed_resilient(4, 2, fast_policy(0), |i, _| {
+            if i == 2 {
+                // Hang far past the deadline; the sweep must walk away.
+                std::thread::sleep(Duration::from_secs(30));
+            }
+            i
+        });
+        assert_eq!(results[0], TaskResult::Ok(0));
+        assert_eq!(results[1], TaskResult::Ok(1));
+        assert_eq!(results[2], TaskResult::TimedOut);
+        assert_eq!(results[3], TaskResult::Ok(3));
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].cause, "timeout");
+        assert_eq!(incidents[0].index, 2);
+    }
+
+    #[test]
+    fn resilient_sweep_retries_with_fresh_attempt_number() {
+        // Fails on attempt 0, succeeds on attempt 1 — the retry-and-reseed
+        // path. The incident log still shows the first failure.
+        let (results, incidents) = run_indexed_resilient(3, 2, fast_policy(1), |i, attempt| {
+            assert!(!(i == 1 && attempt == 0), "flaky first attempt");
+            (i, attempt)
+        });
+        assert_eq!(results[0], TaskResult::Ok((0, 0)));
+        assert_eq!(results[1], TaskResult::Ok((1, 1)), "recovered on retry");
+        assert_eq!(results[2], TaskResult::Ok((2, 0)));
+        assert_eq!(incidents.len(), 1);
+        assert_eq!((incidents[0].index, incidents[0].attempt), (1, 0));
+    }
+
+    #[test]
+    fn resilient_incidents_render_as_jsonl() {
+        let (_, incidents) =
+            run_indexed_resilient(2, 1, fast_policy(0), |i, _| -> u32 { panic!("boom {i}") });
+        assert_eq!(incidents.len(), 2);
+        let text = incidents_to_jsonl(&incidents);
+        let rows = crate::json::parse_jsonl(&text).unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(
+                row.get("kind").and_then(Json::as_str),
+                Some("sweep_incident")
+            );
+            assert_eq!(row.get("cause").and_then(Json::as_str), Some("panic"));
+            assert!(row
+                .get("detail")
+                .and_then(Json::as_str)
+                .is_some_and(|d| d.contains("boom")));
+        }
+    }
+
+    #[test]
+    fn resilient_sweep_feeds_failure_counters() {
+        let _guard = crate::metrics::TEST_MUTEX
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::metrics::reset();
+        crate::metrics::enable();
+        let (_, _) = run_indexed_resilient(2, 1, fast_policy(1), |i, attempt| {
+            assert!(!(i == 0 && attempt == 0), "first attempt fails");
+            i
+        });
+        crate::metrics::disable();
+        let snap = crate::metrics::snapshot();
+        assert_eq!(snap.counter("sweep_panics"), 1);
+        assert_eq!(snap.counter("sweep_retries"), 1);
+        assert_eq!(snap.counter("sweep_timeouts"), 0);
     }
 
     #[test]

@@ -113,7 +113,7 @@ impl Tracer {
         );
         while let Some(top) = self.open.last() {
             let is_target = top.id == span.0;
-            let top = self.open.pop().expect("non-empty");
+            let top = self.open.pop().expect("while-let guard saw an open span");
             let end_s = self.now_s();
             let mut pairs = vec![
                 ("kind".to_string(), Json::from("span")),

@@ -9,15 +9,24 @@
 //! ppsim plurality     --n 3000 --colors 3
 //! ppsim parity        --n 200 --a 7
 //! ppsim oscillator    --n 50000 --rounds 300
+//! ppsim faults        --n 4000 --byz-count 1600 --byz-every 120
 //! ```
 //!
 //! Every command additionally accepts `--metrics <path>` (write an engine
 //! metrics snapshot as JSON) and `--trace <path>` (write a span/event run
 //! trace as JSON Lines). Unknown flags are errors.
+//!
+//! `faults` runs the oscillator under an injection schedule (a JSON spec
+//! file via `--spec`, or composed from `--corrupt-*` / `--churn-*` /
+//! `--byz-*` flags) and reports, per injection, whether dominance rotation
+//! recovered its pre-fault period statistics. Fractions are given as
+//! integer percents (`--corrupt-pct 10` = 10%).
 
 use population_protocols::core::clocks::detect::{dominance_events, periods, rotation_violations};
+use population_protocols::core::clocks::diag::rotation_recovery;
 use population_protocols::core::clocks::oscillator::{central_init, Dk18Oscillator, Oscillator};
 use population_protocols::core::engine::counts::CountPopulation;
+use population_protocols::core::engine::faults::{CorruptMode, FaultSpec, FaultyPopulation};
 use population_protocols::core::engine::json::Json;
 use population_protocols::core::engine::metrics;
 use population_protocols::core::engine::rng::SimRng;
@@ -34,10 +43,28 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 /// Integer-valued flags any command may take (`in-*` is also allowed for
-/// `run-file` input groups).
-const NUM_FLAGS: &[&str] = &["n", "seed", "a", "b", "colors", "rounds", "x", "iters"];
-/// String-valued (path) flags.
-const STR_FLAGS: &[&str] = &["metrics", "trace"];
+/// `run-file` input groups). Fractions are integer percents.
+const NUM_FLAGS: &[&str] = &[
+    "n",
+    "seed",
+    "a",
+    "b",
+    "colors",
+    "rounds",
+    "x",
+    "iters",
+    "corrupt-at",
+    "corrupt-pct",
+    "churn-every",
+    "churn-pct",
+    "churn-state",
+    "byz-count",
+    "byz-state",
+    "byz-every",
+    "window",
+];
+/// String-valued flags (paths plus `--corrupt-mode randomize|zero`).
+const STR_FLAGS: &[&str] = &["metrics", "trace", "spec", "faults-log", "corrupt-mode"];
 
 #[derive(Default)]
 struct Flags {
@@ -94,6 +121,11 @@ fn usage() -> ExitCode {
          \tplurality    [--n --colors --seed] plurality consensus\n\
          \tparity       [--n --a --seed]      #A odd? (slow blackbox)\n\
          \toscillator   [--n --x --rounds --seed]  the DK18-style oscillator\n\
+         \tfaults       [--n --x --rounds --seed --spec FILE --faults-log FILE\n\
+         \t              --corrupt-at R --corrupt-pct P --corrupt-mode randomize|zero\n\
+         \t              --churn-every R --churn-pct P --churn-state S\n\
+         \t              --byz-count K --byz-state S --byz-every R --window R]\n\
+         \t             oscillator under fault injection + recovery report\n\
          global flags:\n\
          \t--metrics FILE   write an engine metrics snapshot (JSON) on exit\n\
          \t--trace FILE     write a span/event run trace (JSON Lines) on exit"
@@ -112,7 +144,7 @@ fn run_command(
     let seed = flags.num("seed", 42);
     match command {
         "list" => {
-            println!("leader leader-exact majority plurality parity oscillator run-file");
+            println!("leader leader-exact majority plurality parity oscillator faults run-file");
             0
         }
         "run-file" => {
@@ -180,7 +212,7 @@ fn run_command(
             } else {
                 leader_election_exact()
             };
-            let l = program.vars.get("L").expect("L");
+            let l = program.vars.get("L").expect("leader programs define L");
             let mut exec = Executor::new(&program, &[(vec![], n)], seed);
             match exec.run_until(5_000, |e| e.count_where(&Guard::var(l)) == 1) {
                 Some(iters) => {
@@ -213,9 +245,9 @@ fn run_command(
                 return 1;
             }
             let program = majority(3);
-            let a = program.vars.get("A").expect("A");
-            let b = program.vars.get("B").expect("B");
-            let y = program.vars.get("Y_A").expect("Y_A");
+            let a = program.vars.get("A").expect("majority defines A");
+            let b = program.vars.get("B").expect("majority defines B");
+            let y = program.vars.get("Y_A").expect("majority defines Y_A");
             let mut exec = Executor::new(
                 &program,
                 &[
@@ -249,7 +281,10 @@ fn run_command(
             let mut groups = Vec::new();
             let mut assigned = 0;
             for i in 1..=colors {
-                let c = program.vars.get(&format!("C{i}")).expect("color");
+                let c = program
+                    .vars
+                    .get(&format!("C{i}"))
+                    .expect("plurality defines C1..=colors");
                 let share = n * i as u64 / weight_total;
                 groups.push((vec![c], share));
                 assigned += share;
@@ -258,7 +293,10 @@ fn run_command(
             let mut exec = Executor::new(&program, &groups, seed);
             exec.run_iteration();
             for i in 1..=colors {
-                let w = program.vars.get(&format!("W{i}")).expect("winner flag");
+                let w = program
+                    .vars
+                    .get(&format!("W{i}"))
+                    .expect("plurality defines W1..=colors");
                 let count = exec.count_where(&Guard::var(w));
                 if count == exec.n() {
                     println!(
@@ -278,7 +316,7 @@ fn run_command(
                 return 1;
             }
             let program = parity_exact(1);
-            let a = program.vars.get("A").expect("A");
+            let a = program.vars.get("A").expect("majority defines A");
             let p = program.vars.get("P").expect("P");
             let truth = a_count % 2 == 1;
             let mut exec =
@@ -339,11 +377,140 @@ fn run_command(
             );
             0
         }
+        "faults" => run_faults(flags, tracer),
         _ => {
             let _ = usage();
             1
         }
     }
+}
+
+/// Builds a [`FaultSpec`] from the CLI flags: an explicit `--spec` file
+/// wins; otherwise `--corrupt-*` / `--churn-*` / `--byz-*` flags compose
+/// injectors, defaulting to one recurring byzantine dent (40% of the
+/// population pinned into a species state every 120 rounds) when no fault
+/// flag is given at all.
+fn fault_spec_from_flags(flags: &Flags, n: u64, seed: u64) -> Result<FaultSpec, String> {
+    if let Some(path) = flags.strs.get("spec") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return FaultSpec::parse(&text).map_err(|e| format!("{path}: invalid fault spec: {e}"));
+    }
+    let osc = Dk18Oscillator::new();
+    let mut spec = FaultSpec::new(seed ^ 0xfa17);
+    let mut any = false;
+    if let Some(&at) = flags.nums.get("corrupt-at") {
+        let frac = flags.num("corrupt-pct", 10) as f64 / 100.0;
+        let mode = match flags.strs.get("corrupt-mode").map(String::as_str) {
+            None | Some("randomize") => CorruptMode::Randomize,
+            Some("zero") => CorruptMode::Zero,
+            Some(other) => {
+                return Err(format!(
+                    "unknown --corrupt-mode {other:?} (randomize or zero)"
+                ))
+            }
+        };
+        spec = spec.corrupt(at as f64, frac, mode);
+        any = true;
+    }
+    if let Some(&every) = flags.nums.get("churn-every") {
+        let frac = flags.num("churn-pct", 1) as f64 / 100.0;
+        // Default churned agents to rejoining in a species state, not the
+        // source state X (the raw oscillator cannot shed excess X).
+        let reset = flags.num("churn-state", osc.species_state(0) as u64) as usize;
+        spec = spec.churn(every as f64, frac, reset);
+        any = true;
+    }
+    if flags.nums.contains_key("byz-count") || flags.nums.contains_key("byz-every") || !any {
+        let count = flags.num("byz-count", n * 2 / 5);
+        let pin = flags.num("byz-state", osc.species_state(0) as u64) as usize;
+        spec = spec.byzantine(count, pin, flags.num("byz-every", 120) as f64);
+    }
+    Ok(spec)
+}
+
+/// `ppsim faults`: run the oscillator under an injection schedule and
+/// report, per injection, whether dominance rotation returned to its
+/// pre-fault period statistics. Exit code 1 if any injection failed to
+/// recover within the measurement window.
+fn run_faults(flags: &Flags, tracer: &mut Option<Tracer>) -> u8 {
+    let n = flags.num("n", 4_000);
+    let seed = flags.num("seed", 42);
+    let rounds = flags.num("rounds", 470);
+    let x = flags.num("x", ((n as f64).powf(0.3) as u64).max(1));
+    let spec = match fault_spec_from_flags(flags, n, seed) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let osc = Dk18Oscillator::new();
+    let inner = CountPopulation::from_counts(&osc, &central_init(&osc, n, x));
+    let mut pop = match FaultyPopulation::new(inner, &spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: invalid fault spec: {e}");
+            return 1;
+        }
+    };
+    let mut rng = SimRng::seed_from(seed);
+    let mut trace = Vec::new();
+    while pop.time() < rounds as f64 {
+        let out = pop.step_batch(&mut rng, n);
+        trace.push((pop.time(), osc.species_counts(&pop.counts())));
+        if out.silent && out.executed == 0 {
+            break;
+        }
+    }
+    if let Some(tr) = tracer.as_mut() {
+        for e in pop.events() {
+            tr.event(
+                "fault",
+                &[
+                    ("fault", Json::from(e.kind)),
+                    ("time", Json::from(e.time)),
+                    ("hit", Json::from(e.hit)),
+                    ("moved", Json::from(e.moved)),
+                ],
+            );
+        }
+    }
+    if let Some(path) = flags.strs.get("faults-log") {
+        if let Err(e) = pop.write_events_jsonl(path) {
+            eprintln!("cannot write faults log {path}: {e}");
+            return 1;
+        }
+    }
+    let window = flags.num("window", 110) as f64;
+    println!(
+        "faults n={n} #X={x} seed={seed}: {} injections over {rounds} rounds ({})",
+        pop.events().len(),
+        spec.to_json().render(),
+    );
+    let mut failed = 0usize;
+    for e in pop.events() {
+        // Window each measurement so the next injection cannot contaminate
+        // it; rotation_recovery builds its baseline from pre-fault rows.
+        let rows: Vec<_> = trace
+            .iter()
+            .copied()
+            .filter(|(t, _)| *t <= e.time + window)
+            .collect();
+        match rotation_recovery(&rows, 0.8, e.time, 0.35) {
+            Some(r) => println!(
+                "  t={:7.1} {:<9} hit={:<6} moved={:<6} recovered in {:.1} rounds (pre-fault period {:.1})",
+                e.time, e.kind, e.hit, e.moved, r.recovery_time, r.pre_median
+            ),
+            None => {
+                failed += 1;
+                println!(
+                    "  t={:7.1} {:<9} hit={:<6} moved={:<6} NOT recovered within {window} rounds",
+                    e.time, e.kind, e.hit, e.moved
+                );
+            }
+        }
+    }
+    u8::from(failed > 0)
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,147 @@
+//! End-to-end fault-injection tests: the acceptance scenarios for the
+//! robustness subsystem.
+//!
+//! 1. A seeded run corrupts ≥10% of all agents mid-run and the oscillator's
+//!    dominance rotation, measured through [`RecoveryProbe`], returns to its
+//!    pre-fault period statistics.
+//! 2. A sweep containing a deliberately panicking and a deliberately
+//!    hanging task completes, with both incidents captured in
+//!    [`TaskResult`]s and the incident JSONL, while every other task slot
+//!    holds its correct value.
+
+use population_protocols::core::clocks::detect::{dominance_events, Dominance};
+use population_protocols::core::clocks::diag::RecoveryProbe;
+use population_protocols::core::clocks::oscillator::{
+    central_init, Dk18Oscillator, Oscillator, NUM_SPECIES,
+};
+use population_protocols::core::engine::counts::CountPopulation;
+use population_protocols::core::engine::faults::{CorruptMode, FaultSpec, FaultyPopulation};
+use population_protocols::core::engine::json::{parse_jsonl, Json};
+use population_protocols::core::engine::rng::SimRng;
+use population_protocols::core::engine::sim::Simulator;
+use population_protocols::core::engine::sweep::{
+    incidents_to_jsonl, run_indexed_resilient, ResiliencePolicy, TaskResult,
+};
+use std::time::Duration;
+
+/// Completed rotation periods as `(completion_time, period)` pairs: the
+/// time between successive dominance events of the same species.
+fn completed_periods(events: &[Dominance]) -> Vec<(f64, f64)> {
+    let mut last_seen: [Option<f64>; NUM_SPECIES] = [None; NUM_SPECIES];
+    let mut out = Vec::new();
+    for e in events {
+        if let Some(prev) = last_seen[e.species] {
+            out.push((e.time, e.time - prev));
+        }
+        last_seen[e.species] = Some(e.time);
+    }
+    out
+}
+
+#[test]
+fn corrupting_15_percent_of_agents_recovers_rotation_periods() {
+    let n = 4_000u64;
+    let fault_time = 120.0;
+    let osc = Dk18Oscillator::new();
+    let inner = CountPopulation::from_counts(&osc, &central_init(&osc, n, 12));
+    let spec = FaultSpec::new(0xe2e).corrupt(fault_time, 0.15, CorruptMode::Randomize);
+    let mut pop = FaultyPopulation::new(inner, &spec).expect("valid spec");
+    let mut rng = SimRng::seed_from(9);
+    let mut rows = Vec::new();
+    while pop.time() < 420.0 {
+        pop.step_batch(&mut rng, n);
+        rows.push((pop.time(), osc.species_counts(&pop.counts())));
+    }
+
+    let injected = pop.events();
+    assert_eq!(injected.len(), 1, "exactly one corruption fired");
+    assert!(
+        injected[0].hit >= n / 10,
+        "must corrupt ≥10% of agents, hit {}",
+        injected[0].hit
+    );
+    assert!((injected[0].time - fault_time).abs() < 1.0);
+
+    // Pre-fault period statistics form the probe's band; post-fault
+    // completed periods are sampled at their completion times. Recovery is
+    // a streak of cycles whose period matches the pre-fault baseline.
+    let events = dominance_events(&rows, 0.8);
+    let all_periods = completed_periods(&events);
+    let pre: Vec<f64> = all_periods
+        .iter()
+        .filter(|(t, _)| *t <= fault_time)
+        .map(|(_, p)| *p)
+        .collect();
+    assert!(
+        pre.len() >= 2,
+        "baseline needs completed pre-fault cycles, got {}",
+        pre.len()
+    );
+    let mut probe = RecoveryProbe::from_baseline(&pre, 0.35, 2);
+    probe.mark_fault(fault_time);
+    for &(t, p) in &all_periods {
+        probe.sample(t, p);
+    }
+    let recovery = probe
+        .recovered_at()
+        .expect("rotation returns to pre-fault period statistics");
+    assert!(recovery > fault_time);
+    let rt = probe.recovery_time().expect("recovered_at implies a time");
+    assert!(
+        rt < 250.0,
+        "recovery should happen well inside the run, took {rt}"
+    );
+}
+
+#[test]
+fn sweep_survives_panicking_and_hanging_tasks() {
+    let policy = ResiliencePolicy {
+        deadline: Duration::from_millis(400),
+        retries: 0,
+    };
+    let (results, incidents) = run_indexed_resilient(6, 3, policy, |index, _attempt| {
+        match index {
+            2 => panic!("injected failure in task {index}"),
+            4 => {
+                // Far past the deadline: the attempt is abandoned, not joined.
+                std::thread::sleep(Duration::from_secs(30));
+                unreachable!("hung task must be abandoned at its deadline")
+            }
+            _ => index * 10,
+        }
+    });
+
+    assert_eq!(results.len(), 6);
+    for (i, r) in results.iter().enumerate() {
+        match i {
+            2 => assert!(
+                matches!(r, TaskResult::Panicked(msg) if msg.contains("injected failure")),
+                "slot 2 captures the panic payload: {r:?}"
+            ),
+            4 => assert!(
+                matches!(r, TaskResult::TimedOut),
+                "slot 4 is a timeout: {r:?}"
+            ),
+            _ => assert_eq!(
+                r.value(),
+                Some(&(i * 10)),
+                "healthy slot {i} holds its value"
+            ),
+        }
+    }
+
+    // Both failures appear in the incident log, and it round-trips through
+    // the JSONL renderer/parser.
+    let causes: Vec<&str> = incidents.iter().map(|i| i.cause).collect();
+    assert!(causes.contains(&"panic"), "incidents: {incidents:?}");
+    assert!(causes.contains(&"timeout"), "incidents: {incidents:?}");
+    let records = parse_jsonl(&incidents_to_jsonl(&incidents)).expect("valid JSONL");
+    assert_eq!(records.len(), incidents.len());
+    for rec in &records {
+        assert_eq!(
+            rec.get("kind").and_then(Json::as_str),
+            Some("sweep_incident")
+        );
+        assert!(rec.get("elapsed_s").and_then(Json::as_f64).is_some());
+    }
+}
