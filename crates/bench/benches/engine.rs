@@ -3,14 +3,23 @@
 //! no-op accelerator (E14 / design-ablation benches from DESIGN.md §6),
 //! and the headline `step` vs `step_batch` comparison on
 //! `CountPopulation`, whose results are written to `BENCH_batch.json` at
-//! the workspace root.
+//! the workspace root. The reactive-dense rows (collision-batch regime,
+//! DESIGN.md §12) are additionally written to `BENCH_dense.json` together
+//! with the per-epoch batch-size distribution.
 //!
 //! Run with: `cargo bench --bench engine`
+//!
+//! CI smoke mode: `cargo bench --bench engine -- --smoke` runs only the
+//! dense rows at reduced n, writes `BENCH_dense.json`, and exits nonzero
+//! unless the collision-batch speedup at the largest smoke size exceeds
+//! 10×.
 
 use pp_bench::timing::{bench, throughput};
 use pp_engine::accel::AcceleratedPopulation;
 use pp_engine::counts::CountPopulation;
 use pp_engine::fenwick::Fenwick;
+use pp_engine::json::Json;
+use pp_engine::metrics;
 use pp_engine::population::Population;
 use pp_engine::protocol::TableProtocol;
 use pp_engine::rng::SimRng;
@@ -173,7 +182,8 @@ fn bench_step_vs_batch() -> Vec<BatchRow> {
         });
 
         // Dense regime: uniform 3-cycle, about a third of ordered pairs
-        // reactive — the batch path falls back to tight plain stepping.
+        // reactive — the batch path runs collision-partitioned √n-sized
+        // contingency-table epochs (DESIGN.md §12).
         let dense = || CountPopulation::from_counts(cycle3(), &[n / 3, n / 3, n - 2 * (n / 3)]);
         let d_step = step_rate(dense(), 21);
         let d_batch = batch_rate(dense(), 22, 1 << 20);
@@ -193,10 +203,109 @@ fn bench_step_vs_batch() -> Vec<BatchRow> {
     rows
 }
 
-fn write_batch_json(rows: &[BatchRow]) {
-    let root = std::env::var("CARGO_MANIFEST_DIR")
+struct DenseRow {
+    n: u64,
+    step_per_sec: f64,
+    batch_per_sec: f64,
+    collision_epochs: u64,
+    collision_batched_steps: u64,
+    mean_epoch_len: f64,
+    epoch_len_log2_buckets: Vec<u64>,
+}
+
+/// Dense `cycle3` rows for `BENCH_dense.json`: step vs collision-batch
+/// throughput at each n, plus the observed per-epoch batch-size
+/// distribution (log2-bucketed `epoch_len` histogram) captured from a
+/// separate metrics-instrumented run so the instrumentation never taxes
+/// the timed loops.
+fn bench_dense(ns: &[u64]) -> Vec<DenseRow> {
+    println!("\n== dense collision-batch rows (cycle3) ==");
+    let mut rows = Vec::new();
+    for &n in ns {
+        let dense = || CountPopulation::from_counts(cycle3(), &[n / 3, n / 3, n - 2 * (n / 3)]);
+        let step_per_sec = step_rate(dense(), 21);
+        let batch_per_sec = batch_rate(dense(), 22, 1 << 20);
+
+        // Distribution capture: enough steps for thousands of epochs at
+        // every n without dominating wall-clock at n = 1e8.
+        let capture_steps = (4 * n).min((2_000_000u64).max(n / 4));
+        metrics::reset();
+        metrics::enable();
+        let mut pop = dense();
+        let mut rng = SimRng::seed_from(23);
+        pop.step_batch(&mut rng, capture_steps);
+        let snap = metrics::snapshot();
+        metrics::disable();
+        let collision_epochs = snap.counter("collision_epochs");
+        let collision_batched_steps = snap.counter("collision_batched_steps");
+        let mean_epoch_len = if collision_epochs > 0 {
+            collision_batched_steps as f64 / collision_epochs as f64
+        } else {
+            0.0
+        };
+        let epoch_len_log2_buckets = snap.hist("epoch_len").unwrap_or(&[]).to_vec();
+
+        println!(
+            "dense_cycle3   n={n:<11} step {:>14.3e}/s   batch {:>14.3e}/s   ({:.1}x)   mean epoch {:.1}",
+            step_per_sec,
+            batch_per_sec,
+            batch_per_sec / step_per_sec,
+            mean_epoch_len
+        );
+        rows.push(DenseRow {
+            n,
+            step_per_sec,
+            batch_per_sec,
+            collision_epochs,
+            collision_batched_steps,
+            mean_epoch_len,
+            epoch_len_log2_buckets,
+        });
+    }
+    rows
+}
+
+fn workspace_root() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
         .map(|d| PathBuf::from(d).join("../.."))
-        .unwrap_or_else(|_| PathBuf::from("."));
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn write_dense_json(rows: &[DenseRow]) {
+    let doc = Json::obj([
+        ("bench", Json::from("dense_collision_batch")),
+        ("backend", Json::from("CountPopulation")),
+        ("scenario", Json::from("dense_cycle3")),
+        ("unit", Json::from("interactions_per_second")),
+        (
+            "rows",
+            Json::arr(rows.iter().map(|r| {
+                Json::obj([
+                    ("n", Json::from(r.n)),
+                    ("step_per_sec", Json::from(r.step_per_sec)),
+                    ("batch_per_sec", Json::from(r.batch_per_sec)),
+                    ("speedup", Json::from(r.batch_per_sec / r.step_per_sec)),
+                    ("collision_epochs", Json::from(r.collision_epochs)),
+                    (
+                        "collision_batched_steps",
+                        Json::from(r.collision_batched_steps),
+                    ),
+                    ("mean_epoch_len", Json::from(r.mean_epoch_len)),
+                    (
+                        "epoch_len_log2_buckets",
+                        Json::arr(r.epoch_len_log2_buckets.iter().copied().map(Json::from)),
+                    ),
+                ])
+            })),
+        ),
+    ]);
+    let path = workspace_root().join("BENCH_dense.json");
+    std::fs::write(&path, format!("{}\n", doc.render())).expect("write BENCH_dense.json");
+    println!("wrote {}", path.display());
+}
+
+fn write_batch_json(rows: &[BatchRow]) {
+    let root = workspace_root();
     let mut out = String::from(
         "{\n  \"bench\": \"step_vs_step_batch\",\n  \"backend\": \"CountPopulation\",\n  \"unit\": \"interactions_per_second\",\n  \"rows\": [\n",
     );
@@ -217,7 +326,32 @@ fn write_batch_json(rows: &[BatchRow]) {
     println!("\nwrote {}", path.display());
 }
 
+/// Reduced-n CI gate: dense rows only, written to `BENCH_dense.json`, and
+/// the collision-batch speedup at the largest smoke size must clear 10×.
+fn run_smoke() {
+    println!("engine bench smoke (dense collision-batch gate)");
+    let rows = bench_dense(&[10_000, 1_000_000]);
+    write_dense_json(&rows);
+    let last = rows.last().expect("smoke rows");
+    let speedup = last.batch_per_sec / last.step_per_sec;
+    assert!(
+        last.collision_epochs > 0,
+        "smoke: dense run at n={} never took the collision-epoch path",
+        last.n
+    );
+    assert!(
+        speedup > 10.0,
+        "smoke: dense collision-batch speedup at n={} is {speedup:.1}x, need > 10x",
+        last.n
+    );
+    println!("smoke OK: dense speedup {speedup:.1}x at n={}", last.n);
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        run_smoke();
+        return;
+    }
     println!("engine micro-benchmarks (median of 5 samples per line)");
     bench_backends();
     bench_fenwick();
@@ -225,4 +359,6 @@ fn main() {
     bench_epidemic_completion();
     let rows = bench_step_vs_batch();
     write_batch_json(&rows);
+    let dense_rows = bench_dense(&[10_000, 1_000_000, 100_000_000]);
+    write_dense_json(&dense_rows);
 }

@@ -446,14 +446,16 @@ impl RecoveryProbe {
         self.recovered_at = None;
     }
 
-    /// Feeds one `(time, value)` sample. Samples before the marked fault
-    /// are ignored (the baseline is the band, not the samples). Returns
-    /// `true` exactly once: on the sample completing the confirming streak.
+    /// Feeds one `(time, value)` sample. Samples at or before the marked
+    /// fault are ignored (the baseline is the band, not the samples; a
+    /// statistic completing exactly at the fault instant still measures the
+    /// pre-fault regime, so it is not post-fault evidence). Returns `true`
+    /// exactly once: on the sample completing the confirming streak.
     pub fn sample(&mut self, time: f64, value: f64) -> bool {
         let Some(fault) = self.fault_time else {
             return false;
         };
-        if time < fault || self.recovered_at.is_some() {
+        if time <= fault || self.recovered_at.is_some() {
             return false;
         }
         if (self.lo..=self.hi).contains(&value) {

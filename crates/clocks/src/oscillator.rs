@@ -132,6 +132,10 @@ impl Protocol for RpsOscillator {
         }
     }
 
+    fn outcome_table(&self, a: usize, b: usize) -> Option<Vec<((usize, usize), f64)>> {
+        Some(ProtocolSpec::outcomes(self, a, b))
+    }
+
     fn state_label(&self, state: usize) -> String {
         match self.species_of(state) {
             None => "X".to_string(),
@@ -294,6 +298,10 @@ impl Protocol for Dk18Oscillator {
                 }
             }
         }
+    }
+
+    fn outcome_table(&self, a: usize, b: usize) -> Option<Vec<((usize, usize), f64)>> {
+        Some(ProtocolSpec::outcomes(self, a, b))
     }
 
     fn state_label(&self, state: usize) -> String {

@@ -16,10 +16,16 @@
 //! probabilistic rule may resolve to identity); only pairs that can never
 //! react are skipped, which is what keeps the acceleration exact.
 
-use crate::metrics::{self, record_batch, record_leap};
+use crate::collision::{self, BirthdayCdf, CollisionScratch};
+use crate::metrics::{self, record_batch, BatchScratch};
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
 use crate::sim::{BatchOutcome, Simulator, StepOutcome};
+
+/// Minimum expected reactive interactions per collision-free epoch for the
+/// contingency-table path to engage (same dispatch rule as
+/// `CountPopulation`; see `counts.rs`).
+const COLLISION_MIN_REACTIVE: f64 = 8.0;
 
 /// Count-based backend with exact geometric leaping over non-reactive pairs.
 ///
@@ -57,6 +63,11 @@ pub struct AcceleratedPopulation<P> {
     steps: u64,
     /// Number of reactive ordered pairs of distinct agents.
     reactive_pairs: u64,
+    /// Birthday-process table for the collision-batch regime, built lazily
+    /// (keyed only on `n`, which never changes).
+    birthday: Option<BirthdayCdf>,
+    /// Working memory for collision epochs (urns + cell-plan cache).
+    scratch: CollisionScratch,
 }
 
 impl<P: Protocol> AcceleratedPopulation<P> {
@@ -89,6 +100,8 @@ impl<P: Protocol> AcceleratedPopulation<P> {
             n,
             steps: 0,
             reactive_pairs: 0,
+            birthday: None,
+            scratch: CollisionScratch::new(),
         };
         this.reactive_pairs = this.recount_reactive_pairs();
         this
@@ -238,16 +251,24 @@ impl<P: Protocol> Simulator for AcceleratedPopulation<P> {
     }
 
     /// The no-op leaping of [`AcceleratedPopulation::step`] folded into one
-    /// loop: each iteration draws the geometric skip and performs one
-    /// reactive interaction, stopping when the skip overshoots the batch
-    /// budget (exact by memorylessness — the leftover activations are
+    /// loop, composed with collision-batch epochs: while the configuration
+    /// is reactive-dense enough that an epoch settles ≥ 8 reactive
+    /// interactions in expectation, each iteration runs one exact
+    /// contingency-table epoch ([`collision::run_epoch`], ≈ √n activations
+    /// in O(q²) draws); otherwise it draws the geometric skip and performs
+    /// one reactive interaction, stopping when the skip overshoots the
+    /// batch budget (exact by memorylessness — the leftover activations are
     /// provably no-ops) or the configuration goes silent. The reactive-pair
     /// consistency recount runs once per batch instead of per change.
     fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
-        // One relaxed load per batch; the leap loop branches on the bool.
+        // One relaxed load per batch; the loop branches on the bool and
+        // accumulates into a local scratch flushed once at batch end.
         let rec = metrics::enabled();
+        let mut stats = BatchScratch::new();
         let mut out = BatchOutcome::default();
-        let total_pairs = self.n * (self.n - 1);
+        let n = self.n;
+        let total_pairs = n * (n - 1);
+        let epoch_len = (std::f64::consts::PI * n as f64 / 8.0).sqrt();
         while out.executed < max_steps {
             if self.reactive_pairs == 0 {
                 out.silent = true;
@@ -255,16 +276,34 @@ impl<P: Protocol> Simulator for AcceleratedPopulation<P> {
             }
             let remaining = max_steps - out.executed;
             let p = self.reactive_pairs as f64 / total_pairs as f64;
+            if p * epoch_len >= COLLISION_MIN_REACTIVE {
+                let birthday = self.birthday.get_or_insert_with(|| BirthdayCdf::new(n));
+                let ep = collision::run_epoch(
+                    &self.protocol,
+                    &mut self.counts,
+                    birthday,
+                    &mut self.scratch,
+                    rng,
+                    remaining,
+                );
+                self.reactive_pairs = self.scratch.reactive_pairs(&self.reactive, &self.counts);
+                out.executed += ep.executed;
+                out.changed += ep.changed;
+                if rec {
+                    stats.record_epoch(ep.executed);
+                }
+                continue;
+            }
             let skip = if p < 1.0 { rng.geometric(p) } else { 0 };
             if skip >= remaining {
                 if rec {
-                    record_leap(remaining);
+                    stats.record_leap(remaining);
                 }
                 out.executed = max_steps;
                 break;
             }
             if rec {
-                record_leap(skip);
+                stats.record_leap(skip);
             }
             out.executed += skip + 1;
             let (a, b) = self.sample_reactive_pair(rng);
@@ -280,6 +319,7 @@ impl<P: Protocol> Simulator for AcceleratedPopulation<P> {
         debug_assert_eq!(self.reactive_pairs, self.recount_reactive_pairs());
         self.steps += out.executed;
         if rec {
+            stats.flush();
             record_batch(&out);
         }
         out

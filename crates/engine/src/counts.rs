@@ -13,8 +13,9 @@
 //! ([`crate::population::Population`]); a property test asserts the
 //! statistical equivalence.
 
+use crate::collision::{self, BirthdayCdf, CollisionScratch};
 use crate::fenwick::Fenwick;
-use crate::metrics::{self, record_batch, record_leap, Counter};
+use crate::metrics::{self, record_batch, BatchScratch, Counter};
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
 use crate::sim::{BatchOutcome, Simulator, StepOutcome};
@@ -24,6 +25,19 @@ use crate::sim::{BatchOutcome, Simulator, StepOutcome};
 /// `O(k²)` table build and reactive-pair scans would dominate, so
 /// `step_batch` falls back to a tight Fenwick-sampled loop.
 const BATCH_STATE_LIMIT: usize = 1024;
+
+/// Minimum expected number of *reactive* interactions per collision-free
+/// epoch for the contingency-table path to engage. An epoch costs a fixed
+/// handful of distribution draws; below this threshold the geometric no-op
+/// leap settles the same work with less overhead.
+const COLLISION_MIN_REACTIVE: f64 = 8.0;
+
+/// Expected collision-free interactions per epoch, `E[T]/2 ≈ 0.6267 √n`,
+/// estimated without building the birthday table (used only for regime
+/// dispatch; the exact table is built lazily on first collision use).
+fn estimated_epoch_len(n: u64) -> f64 {
+    (std::f64::consts::PI * n as f64 / 8.0).sqrt()
+}
 
 /// Lazily built state for batched stepping: the protocol's reactivity table,
 /// a dense shadow of the Fenwick counts, and the number of ordered reactive
@@ -135,6 +149,11 @@ pub struct CountPopulation<P> {
     /// Built on the first `step_batch` call (for `k ≤ BATCH_STATE_LIMIT`);
     /// invalidated by out-of-band count edits ([`CountPopulation::reassign`]).
     batch: Option<BatchCache>,
+    /// Birthday-process table for the collision-batch regime. Keyed only on
+    /// `n`, which never changes, so it survives batch-cache invalidations.
+    birthday: Option<BirthdayCdf>,
+    /// Working memory for collision epochs (urns + cell-plan cache).
+    scratch: CollisionScratch,
 }
 
 impl<P: Protocol> CountPopulation<P> {
@@ -158,6 +177,8 @@ impl<P: Protocol> CountPopulation<P> {
             n,
             steps: 0,
             batch: None,
+            birthday: None,
+            scratch: CollisionScratch::new(),
         }
     }
 
@@ -301,18 +322,29 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
         StepOutcome::Changed
     }
 
-    /// Count-vector batching: between reactive interactions, the number of
-    /// consecutive no-op activations is geometric with success probability
-    /// `p = R / (n(n−1))` (`R` = ordered reactive pairs), so the batch loop
-    /// draws the skip length in `O(1)` instead of executing the no-ops. When
-    /// the skip overshoots the batch budget, the remaining activations are
-    /// consumed as no-ops — exact by memorylessness of the geometric. When
-    /// most pairs are reactive (`p ≥ ½`), leaping saves nothing and the loop
-    /// takes plain `O(log k)` Fenwick-sampled steps instead. Reports silence
-    /// when no reactive pair remains.
+    /// Count-vector batching with three regimes, selected per iteration off
+    /// the reactive-pair count `R` (`p = R / (n(n−1))`):
+    ///
+    /// 1. **Collision batches** (reactive-dense, `p · E[T]/2 ≥ 8`): settle
+    ///    ≈ √n activations per [`collision::run_epoch`] contingency-table
+    ///    sample — `O(q²)` distribution draws per epoch.
+    /// 2. **No-op leaping** (sparse): between reactive interactions, the
+    ///    number of consecutive no-op activations is geometric with success
+    ///    probability `p`, so the loop draws the skip length in `O(1)`
+    ///    instead of executing the no-ops. When the skip overshoots the
+    ///    batch budget, the rest of the batch is consumed as no-ops — exact
+    ///    by memorylessness of the geometric.
+    /// 3. **Per-step** (dense but `n` too small for epochs to pay): plain
+    ///    `O(log k)` Fenwick-sampled steps.
+    ///
+    /// All three sample the same per-step distribution (chi-square
+    /// equivalence is pinned in `tests/backend_equivalence.rs`). Reports
+    /// silence when no reactive pair remains.
     fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
-        // One relaxed load per batch; inner loops branch on the cached bool.
+        // One relaxed load per batch; inner loops branch on the cached bool
+        // and accumulate into a local scratch flushed once at batch end.
         let rec = metrics::enabled();
+        let mut stats = BatchScratch::new();
         let mut out = BatchOutcome::default();
         if !self.ensure_batch_cache() {
             // Huge state space: no reactivity cache, just a tight loop.
@@ -334,16 +366,50 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
             }
             return out;
         }
-        let total_pairs = self.n * (self.n - 1);
+        let n = self.n;
+        let total_pairs = n * (n - 1);
+        let epoch_len = estimated_epoch_len(n);
         while out.executed < max_steps {
-            let pairs = self.batch.as_ref().expect("cache built above").pairs;
+            let cache = self.batch.as_mut().expect("cache built above");
+            let pairs = cache.pairs;
             if pairs == 0 {
                 out.silent = true;
                 break;
             }
+            let remaining = max_steps - out.executed;
+            let p = pairs as f64 / total_pairs as f64;
+            if p * epoch_len >= COLLISION_MIN_REACTIVE {
+                // Collision-batch regime: one contingency-table epoch.
+                let birthday = self.birthday.get_or_insert_with(|| BirthdayCdf::new(n));
+                let ep = collision::run_epoch(
+                    &self.protocol,
+                    &mut cache.dense,
+                    birthday,
+                    &mut self.scratch,
+                    rng,
+                    remaining,
+                );
+                // Sync the Fenwick tree and reactive-pair count from the
+                // epoch's net movement (touches only the states that moved).
+                for (s, &d) in self.scratch.delta().iter().enumerate() {
+                    if d != 0 {
+                        self.counts.add(s, d);
+                    }
+                }
+                cache.pairs = self.scratch.reactive_pairs(&cache.reactive, &cache.dense);
+                debug_assert!(
+                    cache.pairs == cache.recount() && cache.dense == self.counts.to_weights()
+                );
+                out.executed += ep.executed;
+                out.changed += ep.changed;
+                if rec {
+                    stats.record_epoch(ep.executed);
+                }
+                continue;
+            }
             if pairs.saturating_mul(2) >= total_pairs {
-                // Reactive-dense regime: a geometric draw per step would cost
-                // more than it skips.
+                // Reactive-dense but small n: a geometric draw per step
+                // would cost more than it skips, and epochs don't pay yet.
                 let (a, b) = self.sample_pair(rng);
                 out.executed += 1;
                 let (a2, b2) = self.protocol.interact(a, b, rng);
@@ -352,24 +418,22 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
                     self.apply_change(a, b, a2, b2);
                 }
                 if rec {
-                    metrics::add(Counter::ReactiveDenseSteps, 1);
+                    stats.record_dense_step();
                 }
                 continue;
             }
-            let remaining = max_steps - out.executed;
-            let p = pairs as f64 / total_pairs as f64;
             let skip = rng.geometric(p);
             if skip >= remaining {
                 // The whole rest of the batch is provably no-ops; truncating
                 // the geometric at the boundary is exact by memorylessness.
                 if rec {
-                    record_leap(remaining);
+                    stats.record_leap(remaining);
                 }
                 out.executed = max_steps;
                 break;
             }
             if rec {
-                record_leap(skip);
+                stats.record_leap(skip);
             }
             out.executed += skip + 1;
             let (a, b) = self
@@ -385,6 +449,7 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
         }
         self.steps += out.executed;
         if rec {
+            stats.flush();
             record_batch(&out);
         }
         out

@@ -61,6 +61,7 @@
 #![warn(clippy::all)]
 
 pub mod accel;
+pub mod collision;
 pub mod counts;
 pub mod faults;
 pub mod fenwick;

@@ -64,6 +64,24 @@ pub trait Protocol {
         true
     }
 
+    /// The full outcome distribution of an interaction `(a, b)`, if the
+    /// protocol can enumerate it: `((a', b'), probability)` entries summing
+    /// to 1.
+    ///
+    /// This is an optional *performance* hook consumed by the exact
+    /// collision-batch stepper ([`crate::collision`]): when a contingency
+    /// table says an ordered state pair interacted `t` times inside a batch,
+    /// an enumerated cell lets the engine split the `t` interactions across
+    /// outcomes with `O(outcomes)` binomial draws instead of `t` calls to
+    /// [`Protocol::interact`]. Returning `None` (the default) is always
+    /// correct — the engine falls back to per-interaction `interact` calls.
+    /// A `Some` answer must agree exactly with `interact`: sampling the
+    /// listed distribution must be equivalent to calling it.
+    fn outcome_table(&self, a: usize, b: usize) -> Option<Vec<((usize, usize), f64)>> {
+        let _ = (a, b);
+        None
+    }
+
     /// Human-readable label for a state, used in traces and reports.
     fn state_label(&self, state: usize) -> String {
         format!("s{state}")
@@ -86,6 +104,9 @@ impl<P: Protocol + ?Sized> Protocol for &P {
     fn is_reactive(&self, a: usize, b: usize) -> bool {
         (**self).is_reactive(a, b)
     }
+    fn outcome_table(&self, a: usize, b: usize) -> Option<Vec<((usize, usize), f64)>> {
+        (**self).outcome_table(a, b)
+    }
     fn state_label(&self, state: usize) -> String {
         (**self).state_label(state)
     }
@@ -103,6 +124,9 @@ impl<P: Protocol + ?Sized> Protocol for Box<P> {
     }
     fn is_reactive(&self, a: usize, b: usize) -> bool {
         (**self).is_reactive(a, b)
+    }
+    fn outcome_table(&self, a: usize, b: usize) -> Option<Vec<((usize, usize), f64)>> {
+        (**self).outcome_table(a, b)
     }
     fn state_label(&self, state: usize) -> String {
         (**self).state_label(state)
@@ -368,6 +392,10 @@ impl Protocol for TableProtocol {
         self.rules[a * self.states + b]
             .iter()
             .any(|&((a2, b2), _)| (a2, b2) != (a, b))
+    }
+
+    fn outcome_table(&self, a: usize, b: usize) -> Option<Vec<((usize, usize), f64)>> {
+        Some(ProtocolSpec::outcomes(self, a, b))
     }
 
     fn state_label(&self, state: usize) -> String {

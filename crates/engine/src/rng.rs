@@ -5,7 +5,11 @@
 //! therefore ship a small, well-known generator — xoshiro256\*\* seeded via
 //! SplitMix64 — rather than depending on the platform entropy source or an
 //! external crate. All sampling primitives the simulators need (uniform
-//! integers, Bernoulli, binomial, geometric, normal) are inherent methods.
+//! integers, Bernoulli, binomial, hypergeometric, multivariate
+//! hypergeometric, geometric, normal) are inherent methods. The discrete
+//! large-count samplers are *exact*: they invert the true pmf from its mode
+//! in `O(sd)` expected work, anchored by one [`ln_fact`]-based pmf
+//! evaluation — no normal approximation anywhere.
 //!
 //! # Examples
 //!
@@ -16,6 +20,71 @@
 //! let x = rng.f64();
 //! assert!((0.0..1.0).contains(&x));
 //! ```
+
+use std::sync::OnceLock;
+
+/// Cutoff below which `ln_fact` uses the precomputed table; above it the
+/// Stirling series is already exact to f64 resolution. Sized to cover the
+/// √n-scale arguments the collision-batch stepper produces for populations
+/// up to ~10⁷ agents.
+const LN_FACT_TABLE_LEN: usize = 4096;
+
+/// Natural logs of factorials `0! … 4095!`, built once on first use.
+static LN_FACT_TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+
+/// The cumulative-sum factorial table, initializing it on first call.
+/// Samplers on the hot path fetch this once per draw so the `OnceLock`
+/// acquire is paid once instead of once per `ln_fact` term.
+#[inline]
+fn ln_fact_table() -> &'static [f64] {
+    LN_FACT_TABLE.get_or_init(|| {
+        let mut t = vec![0.0f64; LN_FACT_TABLE_LEN];
+        let mut acc = 0.0f64;
+        for (i, slot) in t.iter_mut().enumerate().skip(1) {
+            acc += (i as f64).ln();
+            *slot = acc;
+        }
+        t
+    })
+}
+
+/// Stirling series for `ln Γ(x+1)`; truncation error at `x ≥ 4096` is far
+/// below the f64 resolution of the result.
+#[inline]
+fn stirling_ln_fact(x: u64) -> f64 {
+    let z = x as f64 + 1.0;
+    let zi = 1.0 / z;
+    let zi2 = zi * zi;
+    (z - 0.5) * z.ln() - z
+        + 0.5 * (2.0 * std::f64::consts::PI).ln()
+        + zi * (1.0 / 12.0 - zi2 * (1.0 / 360.0 - zi2 / 1260.0))
+}
+
+/// `ln(x!)` against an already-fetched table reference.
+#[inline]
+fn ln_fact_in(table: &[f64], x: u64) -> f64 {
+    if let Some(&v) = table.get(x as usize) {
+        v
+    } else {
+        stirling_ln_fact(x)
+    }
+}
+
+/// `ln(x!)`, exact to f64 rounding for every `u64` argument.
+///
+/// Small arguments come from a cumulative-sum table; larger ones use the
+/// Stirling series for `ln Γ(x+1)`. This is the backbone of the exact
+/// large-count samplers ([`SimRng::binomial`],
+/// [`SimRng::hypergeometric`]): they need one pmf evaluation at the mode,
+/// and everything else is ratio recurrences.
+/// The samplers themselves fetch the table once per call and go through
+/// [`ln_fact_in`] directly; this convenience wrapper serves the moment and
+/// distribution tests.
+#[inline]
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn ln_fact(x: u64) -> f64 {
+    ln_fact_in(ln_fact_table(), x)
+}
 
 /// SplitMix64 stepper, used to expand a 64-bit seed into xoshiro state.
 ///
@@ -39,6 +108,9 @@ fn splitmix64(state: &mut u64) -> u64 {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
     s: [u64; 4],
+    /// Bit pattern of the unused Box–Muller sine-branch sample, if one is
+    /// banked from the previous [`SimRng::normal`] call.
+    spare_normal: Option<u64>,
 }
 
 impl SimRng {
@@ -58,7 +130,10 @@ impl SimRng {
         // All-zero state is the one forbidden fixed point; SplitMix64 cannot
         // produce four consecutive zeros, but guard anyway.
         debug_assert!(s.iter().any(|&w| w != 0));
-        Self { s }
+        Self {
+            s,
+            spare_normal: None,
+        }
     }
 
     /// Derives an independent child generator, e.g. one per sweep task.
@@ -120,13 +195,84 @@ impl SimRng {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Samples a binomial random variable `Binomial(count, p)`.
+    /// Consumes one uniform and inverts a unimodal discrete distribution by
+    /// scanning outward from its mode, alternating between the two
+    /// frontiers. The enumeration order is irrelevant to correctness (any
+    /// order of the exact masses inverts the same distribution); the
+    /// mode-out order makes the expected scan length `O(sd)`.
     ///
-    /// Exact for `p = 1/2` up to `count ≤ 4096` (bit-counting) and for any
-    /// `p` up to `count ≤ 1024` (Bernoulli counting); larger counts use the
-    /// normal approximation with continuity correction, whose error is
-    /// negligible at the population sizes simulated here (the approximation
-    /// is only taken when `count·p·(1−p) > 250`).
+    /// `ratio_up(x)` must return `pmf(x+1)/pmf(x)` and `ratio_down(x)` must
+    /// return `pmf(x−1)/pmf(x)`, both exact as f64 expressions.
+    fn invert_from_mode(
+        &mut self,
+        mode: u64,
+        lo_min: u64,
+        hi_max: u64,
+        ln_pmf_mode: f64,
+        ratio_up: impl Fn(u64) -> f64,
+        ratio_down: impl Fn(u64) -> f64,
+    ) -> u64 {
+        let pm = ln_pmf_mode.exp();
+        let mut u = self.f64();
+        if u < pm {
+            return mode;
+        }
+        u -= pm;
+        let (mut lo, mut hi) = (mode, mode);
+        let (mut pl, mut ph) = (pm, pm);
+        // Main phase, both frontiers open: strict up/down alternation. The
+        // branch pattern is predictable and there are no balance checks.
+        // (Enumeration order never affects which distribution is inverted,
+        // only the scan length, and near the mode both frontiers carry
+        // comparable mass anyway.)
+        while lo > lo_min && hi < hi_max {
+            ph *= ratio_up(hi);
+            hi += 1;
+            if u < ph {
+                return hi;
+            }
+            u -= ph;
+            pl *= ratio_down(lo);
+            lo -= 1;
+            if u < pl {
+                return lo;
+            }
+            u -= pl;
+        }
+        // Drain whichever frontier is still open.
+        while hi < hi_max {
+            ph *= ratio_up(hi);
+            hi += 1;
+            if u < ph {
+                return hi;
+            }
+            u -= ph;
+        }
+        while lo > lo_min {
+            pl *= ratio_down(lo);
+            lo -= 1;
+            if u < pl {
+                return lo;
+            }
+            u -= pl;
+        }
+        // The support is exhausted and the accumulated mass fell short of
+        // u by float dust (< 1e-15); settle on the heavier frontier.
+        if ph >= pl {
+            hi
+        } else {
+            lo
+        }
+    }
+
+    /// Samples a binomial random variable `Binomial(count, p)` — exact for
+    /// every count.
+    ///
+    /// `p = 1/2` with `count ≤ 4096` uses bit counting; everything else
+    /// inverts the exact pmf from its mode (one `ln_fact`-based pmf
+    /// evaluation plus ratio recurrences), which costs `O(√(count·p·(1−p)))`
+    /// expected work instead of the `O(count)` Bernoulli loop and replaces
+    /// the former large-count normal approximation.
     ///
     /// # Panics
     ///
@@ -153,20 +299,142 @@ impl SimRng {
             }
             return total;
         }
-        if count <= 1024 {
-            return (0..count).filter(|_| self.chance(p)).count() as u64;
+        // Work on q = min(p, 1−p) so the mode stays in the lower half, and
+        // reflect the sample back at the end.
+        let flipped = p > 0.5;
+        let q = if flipped { 1.0 - p } else { p };
+        let mode = (((count + 1) as f64) * q) as u64;
+        let mode = mode.min(count);
+        let lf = ln_fact_table();
+        let ln_pmf_mode =
+            ln_fact_in(lf, count) - ln_fact_in(lf, mode) - ln_fact_in(lf, count - mode)
+                + mode as f64 * q.ln()
+                + (count - mode) as f64 * (-q).ln_1p();
+        let odds = q / (1.0 - q);
+        let x = self.invert_from_mode(
+            mode,
+            0,
+            count,
+            ln_pmf_mode,
+            |x| (count - x) as f64 / (x + 1) as f64 * odds,
+            |x| x as f64 / ((count - x + 1) as f64 * odds),
+        );
+        if flipped {
+            count - x
+        } else {
+            x
         }
-        // Normal approximation.
-        let mean = count as f64 * p;
-        let sd = (count as f64 * p * (1.0 - p)).sqrt();
-        let z = self.normal();
-        let sample = (mean + sd * z).round();
-        sample.clamp(0.0, count as f64) as u64
+    }
+
+    /// Samples a hypergeometric random variable: the number of tagged items
+    /// among `draws` drawn without replacement from a pool of `total` items
+    /// of which `tagged` are tagged. Exact (mode-centered inversion of the
+    /// true pmf), `O(sd)` expected work after one `ln_fact`-based pmf
+    /// evaluation.
+    ///
+    /// This is the workhorse of the collision-batch stepper
+    /// ([`crate::collision`]): contingency tables over the count vector are
+    /// sampled as chains of these conditionals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tagged > total` or `draws > total`.
+    pub fn hypergeometric(&mut self, total: u64, tagged: u64, draws: u64) -> u64 {
+        assert!(tagged <= total, "hypergeometric tagged > total");
+        assert!(draws <= total, "hypergeometric draws > total");
+        if draws == 0 || tagged == 0 {
+            return 0;
+        }
+        if tagged == total {
+            return draws;
+        }
+        if draws == total {
+            return tagged;
+        }
+        // Symmetry reductions keep the working support in the small corner
+        // (at most two levels of recursion).
+        if tagged * 2 > total {
+            return draws - self.hypergeometric(total, total - tagged, draws);
+        }
+        if draws * 2 > total {
+            return tagged - self.hypergeometric(total, tagged, total - draws);
+        }
+        let lo_min = (tagged + draws).saturating_sub(total);
+        let hi_max = tagged.min(draws);
+        // u64 division suffices whenever the numerator cannot overflow
+        // (both factors below 2³²) — the u128 path costs a libcall.
+        let mode = if total < (1 << 32) {
+            (draws + 1) * (tagged + 1) / (total + 2)
+        } else {
+            (((draws + 1) as u128 * (tagged + 1) as u128) / (total + 2) as u128) as u64
+        };
+        let mode = mode.clamp(lo_min, hi_max);
+        let nt = total - tagged;
+        let lf = ln_fact_table();
+        let ln_pmf_mode =
+            ln_fact_in(lf, tagged) - ln_fact_in(lf, mode) - ln_fact_in(lf, tagged - mode)
+                + ln_fact_in(lf, nt)
+                - ln_fact_in(lf, draws - mode)
+                - ln_fact_in(lf, nt + mode - draws)
+                - ln_fact_in(lf, total)
+                + ln_fact_in(lf, draws)
+                + ln_fact_in(lf, total - draws);
+        self.invert_from_mode(
+            mode,
+            lo_min,
+            hi_max,
+            ln_pmf_mode,
+            |x| {
+                ((tagged - x) as f64 * (draws - x) as f64)
+                    / ((x + 1) as f64 * (nt + x + 1 - draws) as f64)
+            },
+            |x| {
+                (x as f64 * (nt + x - draws) as f64)
+                    / ((tagged - x + 1) as f64 * (draws - x + 1) as f64)
+            },
+        )
+    }
+
+    /// Splits `draws` items drawn without replacement from the urn described
+    /// by `weights` into per-category counts (a multivariate hypergeometric
+    /// sample), via the chain of univariate conditionals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != weights.len()` or `draws` exceeds the urn.
+    pub fn multivariate_hypergeometric_into(
+        &mut self,
+        weights: &[u64],
+        draws: u64,
+        out: &mut [u64],
+    ) {
+        assert_eq!(out.len(), weights.len(), "output length mismatch");
+        let mut rem_total: u64 = weights.iter().sum();
+        assert!(draws <= rem_total, "drawing more than the urn holds");
+        let mut rem_draws = draws;
+        for (o, &w) in out.iter_mut().zip(weights) {
+            if rem_draws == 0 {
+                *o = 0;
+                continue;
+            }
+            let x = self.hypergeometric(rem_total, w, rem_draws);
+            *o = x;
+            rem_total -= w;
+            rem_draws -= x;
+        }
+        debug_assert_eq!(rem_draws, 0);
     }
 
     /// Samples a standard normal via the Box–Muller transform.
+    ///
+    /// Each transform yields two independent samples (the cosine and sine
+    /// branches); the sine branch is banked and returned by the next call,
+    /// so the uniforms and transcendental work amortize over two samples.
     #[inline]
     pub fn normal(&mut self) -> f64 {
+        if let Some(bits) = self.spare_normal.take() {
+            return f64::from_bits(bits);
+        }
         let u1 = loop {
             let u = self.f64();
             if u > 0.0 {
@@ -174,7 +442,10 @@ impl SimRng {
             }
         };
         let u2 = self.f64();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some((r * theta.sin()).to_bits());
+        r * theta.cos()
     }
 
     /// Samples a geometric random variable: the number of independent
@@ -225,7 +496,10 @@ impl SimRng {
         if s.iter().all(|&w| w == 0) {
             return Self::seed_from(0);
         }
-        Self { s }
+        Self {
+            s,
+            spare_normal: None,
+        }
     }
 
     /// Returns the next raw 64-bit output of the generator.
@@ -377,27 +651,147 @@ mod tests {
     }
 
     #[test]
-    fn binomial_mean_large_normal_regime() {
+    fn binomial_mean_and_variance_large_count() {
         let mut rng = SimRng::seed_from(23);
-        let trials = 2_000;
-        let total: u64 = (0..trials).map(|_| rng.binomial(1_000_000, 0.3)).sum();
-        let mean = total as f64 / trials as f64;
+        let trials = 4_000;
+        let samples: Vec<u64> = (0..trials).map(|_| rng.binomial(1_000_000, 0.3)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / trials as f64;
         let expect = 300_000.0;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean) * (x as f64 - mean))
+            .sum::<f64>()
+            / trials as f64;
+        let expect_var = 1_000_000.0 * 0.3 * 0.7;
         assert!(
             (mean - expect).abs() < expect * 0.001,
             "mean {mean} vs {expect}"
         );
+        assert!(
+            (var - expect_var).abs() < expect_var * 0.1,
+            "variance {var} vs {expect_var}"
+        );
     }
 
     #[test]
-    fn normal_has_zero_mean_unit_variance() {
+    fn ln_fact_matches_direct_summation() {
+        // Straddle the table/Stirling cutoff.
+        for x in [0u64, 1, 5, 120, 1023, 1024, 5000, 100_000] {
+            let direct: f64 = (2..=x).map(|i| (i as f64).ln()).sum();
+            let got = ln_fact(x);
+            assert!(
+                (got - direct).abs() < 1e-9 * direct.max(1.0),
+                "ln_fact({x}) = {got}, direct {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn hypergeometric_edge_cases() {
+        let mut rng = SimRng::seed_from(31);
+        assert_eq!(rng.hypergeometric(10, 0, 5), 0);
+        assert_eq!(rng.hypergeometric(10, 10, 5), 5);
+        assert_eq!(rng.hypergeometric(10, 3, 0), 0);
+        assert_eq!(rng.hypergeometric(10, 3, 10), 3);
+        // Degenerate support: 9 tagged of 10, draw 5 ⇒ at least 4 tagged.
+        for _ in 0..200 {
+            let x = rng.hypergeometric(10, 9, 5);
+            assert!((4..=5).contains(&x), "x = {x} outside support");
+        }
+    }
+
+    #[test]
+    fn hypergeometric_mean_and_variance() {
+        // Collision-batch-shaped parameters: draw ~√n from a third of 10⁶.
+        let (total, tagged, draws) = (1_000_000u64, 333_333u64, 1_254u64);
+        let mut rng = SimRng::seed_from(37);
+        let trials = 4_000;
+        let samples: Vec<u64> = (0..trials)
+            .map(|_| rng.hypergeometric(total, tagged, draws))
+            .collect();
+        let mean = samples.iter().sum::<u64>() as f64 / trials as f64;
+        let expect = draws as f64 * tagged as f64 / total as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean) * (x as f64 - mean))
+            .sum::<f64>()
+            / trials as f64;
+        let p = tagged as f64 / total as f64;
+        let fpc = (total - draws) as f64 / (total - 1) as f64;
+        let expect_var = draws as f64 * p * (1.0 - p) * fpc;
+        assert!((mean - expect).abs() < expect * 0.01, "mean {mean}");
+        assert!(
+            (var - expect_var).abs() < expect_var * 0.1,
+            "variance {var} vs {expect_var}"
+        );
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_sums_and_bounds() {
+        let mut rng = SimRng::seed_from(41);
+        let weights = [400u64, 0, 350, 250];
+        let mut out = [0u64; 4];
+        for _ in 0..500 {
+            rng.multivariate_hypergeometric_into(&weights, 120, &mut out);
+            assert_eq!(out.iter().sum::<u64>(), 120);
+            assert_eq!(out[1], 0, "empty category must stay empty");
+            for (o, w) in out.iter().zip(&weights) {
+                assert!(o <= w);
+            }
+        }
+        // Drawing the whole urn returns it exactly.
+        rng.multivariate_hypergeometric_into(&weights, 1000, &mut out);
+        assert_eq!(out, weights);
+    }
+
+    #[test]
+    fn normal_moments_match_standard_gaussian() {
+        // Moment-matching for the pair-caching Box–Muller: mean, variance,
+        // skewness, and excess kurtosis over both branches.
         let mut rng = SimRng::seed_from(27);
-        let samples: Vec<f64> = (0..50_000).map(|_| rng.normal()).collect();
-        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        let samples: Vec<f64> = (0..100_000).map(|_| rng.normal()).collect();
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let sd = var.sqrt();
+        let skew = samples
+            .iter()
+            .map(|x| ((x - mean) / sd).powi(3))
+            .sum::<f64>()
+            / n;
+        let kurt = samples
+            .iter()
+            .map(|x| ((x - mean) / sd).powi(4))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "variance {var}");
+        assert!(skew.abs() < 0.05, "skewness {skew}");
+        assert!((kurt - 3.0).abs() < 0.1, "kurtosis {kurt}");
+    }
+
+    #[test]
+    fn normal_spare_sample_is_banked_not_dropped() {
+        // Two calls must consume exactly one Box–Muller transform (two
+        // uniforms): replaying the raw stream reproduces both branches.
+        let mut rng = SimRng::seed_from(53);
+        let mut raw = rng.clone();
+        let a = rng.normal();
+        let b = rng.normal();
+        let u1 = raw.f64();
+        let u2 = raw.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        assert_eq!(a, r * theta.cos());
+        assert_eq!(b, r * theta.sin());
+        // The third call starts a fresh transform.
+        let c = rng.normal();
+        let u1 = raw.f64();
+        let u2 = raw.f64();
+        assert_eq!(
+            c,
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        );
     }
 
     #[test]

@@ -147,6 +147,10 @@ impl Protocol for FlagProtocol {
             .any(|r| r.is_effective_on(a as u32, b as u32))
     }
 
+    fn outcome_table(&self, a: usize, b: usize) -> Option<Vec<((usize, usize), f64)>> {
+        Some(ProtocolSpec::outcomes(self, a, b))
+    }
+
     fn state_label(&self, state: usize) -> String {
         self.vars.render_state(state as u32)
     }

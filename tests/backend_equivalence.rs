@@ -10,6 +10,7 @@
 use population_protocols::core::engine::accel::AcceleratedPopulation;
 use population_protocols::core::engine::counts::{CountPopulation, SparseCountPopulation};
 use population_protocols::core::engine::matching::MatchingPopulation;
+use population_protocols::core::engine::metrics;
 use population_protocols::core::engine::population::Population;
 use population_protocols::core::engine::protocol::TableProtocol;
 use population_protocols::core::engine::rng::SimRng;
@@ -199,6 +200,246 @@ fn step_batch_matches_step_on_matching_population() {
         || MatchingPopulation::from_counts(cycle(), &EQUIV_N),
         500,
     );
+}
+
+/// Initial counts for the reactive-dense equivalence suite: at n = 3000 a
+/// collision-free epoch covers ≈ 34 interactions of which ≈ 11 are
+/// reactive, so `CountPopulation` and `AcceleratedPopulation` route their
+/// batches through the contingency-table collision path (the per-step and
+/// agent-array backends provide the reference distribution).
+const DENSE_N: [u64; 3] = [1_000, 1_000, 1_000];
+const DENSE_RUNS: u64 = 100;
+const DENSE_TARGET_STEPS: u64 = 3_000 * 2; // 2 parallel rounds at n = 3000
+
+/// As [`per_run_observations`] but for the dense scenario.
+fn dense_observations<S: Simulator>(
+    make: impl Fn() -> S,
+    seed_base: u64,
+    batched: bool,
+) -> Vec<f64> {
+    (0..DENSE_RUNS)
+        .map(|run| {
+            let mut sim = make();
+            let mut rng = SimRng::seed_from(seed_base + run);
+            if batched {
+                drive_batched(&mut sim, &mut rng, DENSE_TARGET_STEPS);
+            } else {
+                drive_stepwise(&mut sim, &mut rng, DENSE_TARGET_STEPS);
+            }
+            sim.count(0) as f64
+        })
+        .collect()
+}
+
+/// Chi-square homogeneity of step vs step_batch driving on the dense
+/// cycle-3 workload (collision-batch regime for the count backends).
+fn assert_dense_step_batch_equivalent<S: Simulator>(name: &str, make: impl Fn() -> S, seed: u64) {
+    let stepwise = dense_observations(&make, seed, false);
+    let batched = dense_observations(&make, seed + 50_000, true);
+    let (stat, dof, p) = binned_chi_square(&stepwise, &batched, 6);
+    assert!(
+        p > 0.001,
+        "{name} (dense): step vs step_batch distributions differ \
+         (chi² = {stat:.2}, dof = {dof}, p = {p:.5})"
+    );
+}
+
+#[test]
+fn dense_step_batch_matches_step_on_population() {
+    assert_dense_step_batch_equivalent(
+        "Population",
+        || Population::from_counts(cycle(), &DENSE_N),
+        1_100,
+    );
+}
+
+#[test]
+fn dense_step_batch_matches_step_on_count_population() {
+    assert_dense_step_batch_equivalent(
+        "CountPopulation",
+        || CountPopulation::from_counts(cycle(), &DENSE_N),
+        1_200,
+    );
+}
+
+#[test]
+fn dense_step_batch_matches_step_on_sparse_count_population() {
+    assert_dense_step_batch_equivalent(
+        "SparseCountPopulation",
+        || SparseCountPopulation::from_dense(cycle(), &DENSE_N),
+        1_300,
+    );
+}
+
+#[test]
+fn dense_step_batch_matches_step_on_accelerated_population() {
+    assert_dense_step_batch_equivalent(
+        "AcceleratedPopulation",
+        || AcceleratedPopulation::from_counts(cycle(), &DENSE_N),
+        1_400,
+    );
+}
+
+#[test]
+fn dense_step_batch_matches_step_on_matching_population() {
+    assert_dense_step_batch_equivalent(
+        "MatchingPopulation",
+        || MatchingPopulation::from_counts(cycle(), &DENSE_N),
+        1_500,
+    );
+}
+
+/// The dense scenario must actually route through the collision-batch
+/// regime (otherwise the dense equivalence tests above silently degrade to
+/// re-testing the leap path). Counter deltas are lower bounds because the
+/// metrics registry is process-global and other tests may record
+/// concurrently.
+#[test]
+fn dense_scenario_uses_collision_epochs() {
+    metrics::enable();
+    let before = metrics::snapshot();
+    let mut count_pop = CountPopulation::from_counts(cycle(), &DENSE_N);
+    let mut accel_pop = AcceleratedPopulation::from_counts(cycle(), &DENSE_N);
+    let mut rng = SimRng::seed_from(77);
+    count_pop.step_batch(&mut rng, DENSE_TARGET_STEPS);
+    accel_pop.step_batch(&mut rng, DENSE_TARGET_STEPS);
+    let after = metrics::snapshot();
+    metrics::disable();
+    let epochs = after.counter("collision_epochs") - before.counter("collision_epochs");
+    let steps =
+        after.counter("collision_batched_steps") - before.counter("collision_batched_steps");
+    // Two backends × 6000 steps ÷ ≈ 35 steps/epoch ⇒ ≳ 300 epochs.
+    assert!(epochs >= 100, "only {epochs} collision epochs recorded");
+    assert!(
+        steps >= 2 * DENSE_TARGET_STEPS - 200,
+        "only {steps} steps settled via collision batches"
+    );
+}
+
+/// Natural-log factorial table over a large range, for exact pmf
+/// evaluation in the marginal tests (`ln x!` via cumulative sums — no
+/// approximation beyond f64 rounding).
+struct LnFact(Vec<f64>);
+
+impl LnFact {
+    fn new(limit: usize) -> Self {
+        let mut t = vec![0.0f64; limit + 1];
+        for x in 2..=limit {
+            t[x] = t[x - 1] + (x as f64).ln();
+        }
+        Self(t)
+    }
+
+    fn get(&self, x: u64) -> f64 {
+        self.0[x as usize]
+    }
+}
+
+/// One-sample chi-square of integer samples against an exact pmf: bins a
+/// ±5σ window around the mean, folds the tails into the edge bins, merges
+/// cells until each expects ≥ 5 observations, and tests at α = 0.001.
+fn assert_matches_exact_pmf(
+    name: &str,
+    samples: &[u64],
+    mean: f64,
+    sd: f64,
+    ln_pmf: impl Fn(u64) -> f64,
+) {
+    let lo = (mean - 5.0 * sd).floor().max(0.0) as u64;
+    let hi = (mean + 5.0 * sd).ceil() as u64;
+    let bins = 24usize;
+    let width = ((hi - lo) / bins as u64).max(1);
+    let bin_of = |x: u64| -> usize {
+        if x < lo {
+            0
+        } else {
+            (((x - lo) / width) as usize).min(bins - 1)
+        }
+    };
+    let mut probs = vec![0.0f64; bins];
+    for x in lo..=hi {
+        probs[bin_of(x)] += ln_pmf(x).exp();
+    }
+    // The mass outside ±5σ (≈ 6·10⁻⁷) goes to the edge bins; splitting it
+    // evenly misattributes at most half of that, far below bin resolution.
+    let leftover = (1.0 - probs.iter().sum::<f64>()).max(0.0);
+    probs[0] += leftover / 2.0;
+    probs[bins - 1] += leftover / 2.0;
+    let mut obs = vec![0u64; bins];
+    for &s in samples {
+        obs[bin_of(s)] += 1;
+    }
+    // Merge adjacent cells until each expects ≥ 5 observations.
+    let total = samples.len() as f64;
+    let mut cells: Vec<(f64, f64)> = Vec::new();
+    let mut acc = (0.0f64, 0.0f64);
+    for (&o, &p) in obs.iter().zip(&probs) {
+        acc.0 += o as f64;
+        acc.1 += total * p;
+        if acc.1 >= 5.0 {
+            cells.push(acc);
+            acc = (0.0, 0.0);
+        }
+    }
+    if acc.1 > 0.0 {
+        if let Some(last) = cells.last_mut() {
+            last.0 += acc.0;
+            last.1 += acc.1;
+        }
+    }
+    let stat: f64 = cells.iter().map(|&(o, e)| (o - e) * (o - e) / e).sum();
+    let dof = cells.len() - 1;
+    let p = chi_square_p_value(stat, dof);
+    assert!(
+        p > 0.001,
+        "{name}: samples deviate from the exact pmf \
+         (chi² = {stat:.2}, dof = {dof}, p = {p:.5})"
+    );
+}
+
+/// `rng.binomial` at count = 10⁶ against the exact binomial pmf — the
+/// regime the removed normal-approximation path used to cover (it was
+/// *not* exact; the mode-inversion sampler must be).
+#[test]
+fn binomial_marginal_matches_exact_pmf_at_large_count() {
+    let count = 1_000_000u64;
+    let p = 0.3f64;
+    let lf = LnFact::new(count as usize);
+    let ln_pmf = |x: u64| {
+        lf.get(count) - lf.get(x) - lf.get(count - x)
+            + x as f64 * p.ln()
+            + (count - x) as f64 * (1.0 - p).ln()
+    };
+    let mut rng = SimRng::seed_from(314);
+    let samples: Vec<u64> = (0..20_000).map(|_| rng.binomial(count, p)).collect();
+    let mean = count as f64 * p;
+    let sd = (count as f64 * p * (1.0 - p)).sqrt();
+    assert_matches_exact_pmf("binomial(1e6, 0.3)", &samples, mean, sd, ln_pmf);
+}
+
+/// `rng.hypergeometric` with a 10⁶-agent urn against the exact pmf — the
+/// marginal that anchors the collision-batch contingency-table chain.
+#[test]
+fn hypergeometric_marginal_matches_exact_pmf_at_large_count() {
+    let total = 1_000_000u64;
+    let tagged = 333_333u64;
+    let draws = 1_254u64; // ≈ 2ℓ for an epoch at n = 10⁶
+    let lf = LnFact::new(total as usize);
+    let ln_pmf = |x: u64| {
+        lf.get(tagged) - lf.get(x) - lf.get(tagged - x) + lf.get(total - tagged)
+            - lf.get(draws - x)
+            - lf.get(total - tagged - (draws - x))
+            - (lf.get(total) - lf.get(draws) - lf.get(total - draws))
+    };
+    let mut rng = SimRng::seed_from(2_718);
+    let samples: Vec<u64> = (0..20_000)
+        .map(|_| rng.hypergeometric(total, tagged, draws))
+        .collect();
+    let frac = tagged as f64 / total as f64;
+    let mean = draws as f64 * frac;
+    let fpc = (total - draws) as f64 / (total - 1) as f64;
+    let sd = (draws as f64 * frac * (1.0 - frac) * fpc).sqrt();
+    assert_matches_exact_pmf("hypergeometric(1e6, 1/3, 1254)", &samples, mean, sd, ln_pmf);
 }
 
 /// The leaping batch path must also agree: fratricide on the count backend
