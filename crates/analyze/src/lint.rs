@@ -1,0 +1,435 @@
+//! The lint driver: ties parsing, program checks, ruleset checks, and
+//! support reachability into one [`Report`] per target.
+//!
+//! Three entry points:
+//!
+//! * [`lint_source`] — lint a `.pp` protocol definition from text. Parse
+//!   failures become a single `PP00x` error diagnostic; otherwise the
+//!   parsed program is linted with full span information.
+//! * [`lint_program`] — lint an already-built [`Program`] (optionally with
+//!   spans and source text from `parse_program_spanned`).
+//! * [`lint_builtin`] — lint a built-in program constructed in code
+//!   (spanless diagnostics).
+
+use crate::diag::{Diagnostic, Report, Severity};
+use crate::program::{analyze_program, ProgramLocator};
+use crate::reach::{
+    non_silent_cycles, support_closure, unreachable_rules, AbstractAssign, SupportModel,
+    REACH_VAR_CAP,
+};
+use crate::ruleset::{analyze_ruleset_with, RuleLocator};
+use pp_lang::ast::{AssignValue, Instr, Program, Thread};
+use pp_lang::parse::{
+    parse_program_spanned, InstrSpan, ParseErrorKind, ParseProgramError, ProgramSpans, Span,
+};
+use pp_rules::{Ruleset, Var};
+
+/// Maximum declared-input count for enumerating initial supports (each
+/// subset of inputs is one initial state; `2^k` subsets).
+pub const INPUT_ENUM_CAP: usize = 12;
+
+/// The diagnostic code for a parse error of the given kind.
+#[must_use]
+pub fn parse_error_code(kind: ParseErrorKind) -> &'static str {
+    match kind {
+        ParseErrorKind::Syntax => "PP001",
+        ParseErrorKind::PostConditionNotLiterals => "PP002",
+        ParseErrorKind::ContradictoryPostCondition => "PP003",
+    }
+}
+
+/// Converts a parse failure into its diagnostic.
+#[must_use]
+pub fn parse_error_diagnostic(e: &ParseProgramError) -> Diagnostic {
+    let mut d = Diagnostic::new(parse_error_code(e.kind), Severity::Error, e.message.clone())
+        .with_span(Span::point(e.line, e.col));
+    if !e.source.is_empty() {
+        d = d.with_snippet(e.source.clone());
+    }
+    d
+}
+
+/// Lints a `.pp` protocol definition from source text.
+#[must_use]
+pub fn lint_source(source: &str) -> Report {
+    match parse_program_spanned(source) {
+        Err(e) => {
+            let mut report = Report::new();
+            report.push(parse_error_diagnostic(&e));
+            report
+        }
+        Ok((program, spans)) => lint_program(&program, Some(&spans), Some(source)),
+    }
+}
+
+/// Lints a built-in program constructed in code (no source locations).
+#[must_use]
+pub fn lint_builtin(program: &Program) -> Report {
+    lint_program(program, None, None)
+}
+
+/// One ruleset occurrence inside a program, with its location info.
+struct RulesetSite<'a> {
+    ruleset: &'a Ruleset,
+    spans: &'a [Span],
+    label: String,
+}
+
+/// Collects every ruleset in the program — raw threads and `execute`
+/// instructions — pairing each with its rule spans (pre-order instruction
+/// counters mirror `ThreadSpans::instrs`).
+fn collect_rulesets<'a>(
+    program: &'a Program,
+    spans: Option<&'a ProgramSpans>,
+) -> Vec<RulesetSite<'a>> {
+    fn walk<'a>(
+        instrs: &'a [Instr],
+        thread_spans: Option<&'a [InstrSpan]>,
+        counter: &mut usize,
+        label: &str,
+        out: &mut Vec<RulesetSite<'a>>,
+    ) {
+        for instr in instrs {
+            let idx = *counter;
+            *counter += 1;
+            match instr {
+                Instr::Execute { ruleset, .. } => {
+                    out.push(RulesetSite {
+                        ruleset,
+                        spans: thread_spans
+                            .and_then(|t| t.get(idx))
+                            .map_or(&[][..], |s| s.rules.as_slice()),
+                        label: label.to_string(),
+                    });
+                }
+                Instr::IfExists {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, thread_spans, counter, label, out);
+                    walk(else_branch, thread_spans, counter, label, out);
+                }
+                Instr::RepeatLog { body, .. } => {
+                    walk(body, thread_spans, counter, label, out);
+                }
+                Instr::Assign { .. } => {}
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (thread_idx, thread) in program.threads.iter().enumerate() {
+        let thread_spans = spans.and_then(|s| s.threads.get(thread_idx));
+        match thread {
+            Thread::Raw { name, ruleset } => {
+                out.push(RulesetSite {
+                    ruleset,
+                    spans: thread_spans.map_or(&[][..], |t| t.rules.as_slice()),
+                    label: format!("thread {name}"),
+                });
+            }
+            Thread::Structured { name, body } => {
+                let mut counter = 0usize;
+                walk(
+                    body,
+                    thread_spans.map(|t| t.instrs.as_slice()),
+                    &mut counter,
+                    &format!("thread {name}"),
+                    &mut out,
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Collects every population-wide assignment for the support abstraction.
+fn collect_assigns(program: &Program) -> Vec<AbstractAssign> {
+    fn walk(instrs: &[Instr], out: &mut Vec<AbstractAssign>) {
+        for instr in instrs {
+            match instr {
+                Instr::Assign { var, value } => out.push(match value {
+                    AssignValue::Formula(g) => AbstractAssign::Formula(*var, g.clone()),
+                    AssignValue::RandomBit => AbstractAssign::Coin(*var),
+                }),
+                Instr::IfExists {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, out);
+                    walk(else_branch, out);
+                }
+                Instr::RepeatLog { body, .. } => walk(body, out),
+                Instr::Execute { .. } => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (_, body) in program.structured_threads() {
+        walk(body, &mut out);
+    }
+    out
+}
+
+/// The declared initial supports: one packed state per subset of the input
+/// variables (every agent carries some subset of the inputs), with `init`
+/// and `derived_init` applied. `None` when there are too many inputs to
+/// enumerate.
+fn initial_supports(program: &Program) -> Option<Vec<u32>> {
+    if program.inputs.len() > INPUT_ENUM_CAP {
+        return None;
+    }
+    let mut supports = Vec::with_capacity(1 << program.inputs.len());
+    for bits in 0u32..(1 << program.inputs.len()) {
+        let on: Vec<Var> = program
+            .inputs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| bits & (1 << i) != 0)
+            .map(|(_, &v)| v)
+            .collect();
+        supports.push(program.initial_state(&on));
+    }
+    Some(supports)
+}
+
+/// Lints a program: `PP2xx` program checks, `PP10x` checks on every
+/// embedded ruleset, and support-reachability checks (`PP105`/`PP106`)
+/// from the declared initial supports.
+#[must_use]
+pub fn lint_program(
+    program: &Program,
+    spans: Option<&ProgramSpans>,
+    source: Option<&str>,
+) -> Report {
+    let mut report = Report::new();
+
+    let locator = ProgramLocator { spans, source };
+    for d in analyze_program(program, &locator) {
+        report.push(d);
+    }
+
+    let sites = collect_rulesets(program, spans);
+
+    // Support reachability from the declared initial supports, computed
+    // first so the ruleset checks can restrict themselves to states that
+    // may actually occur.
+    let closure = match initial_supports(program) {
+        None => {
+            report.push(Diagnostic::new(
+                "PP190",
+                Severity::Info,
+                format!(
+                    "reachability checks skipped: more than {INPUT_ENUM_CAP} declared \
+                     inputs to enumerate"
+                ),
+            ));
+            None
+        }
+        Some(initial) => {
+            let model = SupportModel {
+                rulesets: sites.iter().map(|s| s.ruleset).collect(),
+                assigns: collect_assigns(program),
+                initial,
+            };
+            let closure = support_closure(&program.vars, &model);
+            if closure.skipped {
+                report.push(Diagnostic::new(
+                    "PP190",
+                    Severity::Info,
+                    format!(
+                        "reachability checks skipped: more than {REACH_VAR_CAP} \
+                         variables in the packed state space"
+                    ),
+                ));
+                None
+            } else {
+                Some(closure)
+            }
+        }
+    };
+
+    for site in &sites {
+        let rule_locator = RuleLocator {
+            spans: site.spans,
+            source,
+        };
+        for d in analyze_ruleset_with(
+            &program.vars,
+            site.ruleset,
+            rule_locator,
+            &site.label,
+            closure.as_ref(),
+        ) {
+            report.push(d);
+        }
+    }
+
+    if let Some(closure) = &closure {
+        for site in &sites {
+            let rule_locator = RuleLocator {
+                spans: site.spans,
+                source,
+            };
+            for d in unreachable_rules(
+                &program.vars,
+                site.ruleset,
+                closure,
+                rule_locator,
+                &site.label,
+            ) {
+                report.push(d);
+            }
+        }
+        let rulesets: Vec<&Ruleset> = sites.iter().map(|s| s.ruleset).collect();
+        for d in non_silent_cycles(&program.vars, &rulesets, closure) {
+            report.push(d);
+        }
+    }
+
+    report.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(report: &Report) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn syntax_error_becomes_pp001() {
+        let report = lint_source("def protocol Broken\n  var X:\n  thread T:\n    what\n");
+        assert!(report.has_errors());
+        assert_eq!(codes(&report), vec!["PP001"]);
+        let d = &report.diagnostics[0];
+        assert!(d.span.is_some(), "{d:?}");
+    }
+
+    #[test]
+    fn disjunctive_post_condition_becomes_pp002() {
+        let source = "\
+def protocol Bad
+  var A, B:
+  thread T:
+    execute ruleset:
+      > (A) + (.) -> (A | B) + (.)
+";
+        let report = lint_source(source);
+        assert_eq!(codes(&report), vec!["PP002"]);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.span.unwrap().line, 5, "{d:?}");
+        assert!(d.snippet.is_some(), "{d:?}");
+    }
+
+    #[test]
+    fn contradictory_post_condition_becomes_pp003() {
+        let source = "\
+def protocol Bad
+  var A:
+  thread T:
+    execute ruleset:
+      > (A) + (.) -> (A & !A) + (.)
+";
+        let report = lint_source(source);
+        assert_eq!(codes(&report), vec!["PP003"]);
+    }
+
+    #[test]
+    fn ruleset_findings_carry_rule_spans() {
+        let source = "\
+def protocol Shadow
+  var A, B as output:
+  thread T:
+    execute ruleset:
+      > (A) + (.) -> (!A & B) + (.)
+      > (A & B) + (.) -> (!B) + (.)
+";
+        let report = lint_source(source);
+        let shadowed = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "PP103")
+            .expect("PP103");
+        assert_eq!(shadowed.span.unwrap().line, 6, "{shadowed:?}");
+        assert!(
+            shadowed.snippet.as_deref().unwrap().contains("(A & B)"),
+            "{shadowed:?}"
+        );
+        assert!(shadowed.message.contains("thread T"), "{shadowed:?}");
+    }
+
+    #[test]
+    fn unreachable_rule_found_from_initial_support() {
+        // B never occurs: no init, no input, nothing sets it.
+        let source = "\
+def protocol Dead
+  var A as input, B, Y as output:
+  thread T:
+    execute ruleset:
+      > (A) + (.) -> (Y) + (.)
+      > (B) + (.) -> (!Y) + (.)
+";
+        let report = lint_source(source);
+        let unreachable = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "PP105")
+            .expect("PP105: {report:?}");
+        assert_eq!(unreachable.span.unwrap().line, 6, "{unreachable:?}");
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let source = "\
+def protocol Fratricide
+  var L <- on as output:
+  thread Elect:
+    execute ruleset:
+      > (L) + (L) -> (L) + (!L)
+";
+        let report = lint_source(source);
+        assert!(report.diagnostics.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn raw_thread_rules_are_checked() {
+        let source = "\
+def protocol Raw
+  var R <- on as output:
+  thread Forever:
+    execute ruleset:
+      > (R & !R) + (.) -> (R) + (.)
+";
+        // No `repeat:` under the thread header, so this parses as a raw
+        // (forever) thread and exercises the raw-thread span path.
+        let report = lint_source(source);
+        assert!(codes(&report).contains(&"PP101"), "{report:?}");
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn report_is_sorted_by_position() {
+        let source = "\
+def protocol Multi
+  var A, Y as output:
+  thread T:
+    execute ruleset:
+      > (A & !A) + (.) -> (Y) + (.)
+      > (A) + (.) -> (A) + (.)
+";
+        let report = lint_source(source);
+        let lines: Vec<usize> = report
+            .diagnostics
+            .iter()
+            .filter_map(|d| d.span.map(|s| s.line))
+            .collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "{report:?}");
+    }
+}

@@ -1,0 +1,650 @@
+//! Static checks over framework programs (`pp_lang::ast::Program`).
+//!
+//! These are the `PP2xx` diagnostics: data-flow hygiene (use before
+//! assign, never-written outputs, writes to inputs), structural smells
+//! (empty branches, inert loop bodies), and budget checks against the
+//! fixed capacities of the execution substrate (clock-hierarchy levels,
+//! packed-variable count). Everything here is a whole-program walk over
+//! the AST — no simulation.
+//!
+//! Spans come from [`pp_lang::parse::ProgramSpans`] when the program was
+//! parsed from text: instruction diagnostics attach to the instruction's
+//! source line via a pre-order counter that mirrors the parser's pre-order
+//! span recording. Built-in programs (constructed in code) lint spanless.
+
+use crate::diag::{Diagnostic, Severity};
+use pp_clocks::hierarchy::MAX_LEVELS;
+use pp_lang::ast::{AssignValue, Instr, Program, Thread};
+use pp_lang::parse::ProgramSpans;
+use pp_lang::precompile::precompile;
+use pp_rules::{Ruleset, Var, MAX_VARS};
+
+/// Maximum `w_max` the clock-driven executor can schedule: minute count
+/// `m = 4 (w_max + 1)` must fit in a `u8`.
+pub const MAX_TREE_WIDTH: usize = 62;
+
+/// Resolves instruction and rule spans for one program, when available.
+pub struct ProgramLocator<'a> {
+    /// Parallel span structure from `parse_program_spanned`.
+    pub spans: Option<&'a ProgramSpans>,
+    /// The original source text, for snippet extraction.
+    pub source: Option<&'a str>,
+}
+
+impl<'a> ProgramLocator<'a> {
+    /// A locator with no source information (builtins).
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            spans: None,
+            source: None,
+        }
+    }
+
+    fn snippet(&self, line: usize) -> Option<String> {
+        self.source
+            .and_then(|s| s.lines().nth(line.saturating_sub(1)))
+            .map(str::to_string)
+    }
+
+    /// Attaches the span of instruction `instr_idx` (pre-order) of thread
+    /// `thread_idx` to `d`, when known.
+    #[must_use]
+    pub fn at_instr(&self, d: Diagnostic, thread_idx: usize, instr_idx: usize) -> Diagnostic {
+        let Some(spans) = self.spans else { return d };
+        let Some(instr) = spans
+            .threads
+            .get(thread_idx)
+            .and_then(|t| t.instrs.get(instr_idx))
+        else {
+            return d;
+        };
+        let d = d.with_span(instr.span);
+        match self.snippet(instr.span.line) {
+            Some(s) => d.with_snippet(s),
+            None => d,
+        }
+    }
+
+    /// Attaches the `thread NAME:` header span of thread `thread_idx`.
+    #[must_use]
+    pub fn at_thread(&self, d: Diagnostic, thread_idx: usize) -> Diagnostic {
+        let Some(spans) = self.spans else { return d };
+        let Some(t) = spans.threads.get(thread_idx) else {
+            return d;
+        };
+        let d = d.with_span(t.header);
+        match self.snippet(t.header.line) {
+            Some(s) => d.with_snippet(s),
+            None => d,
+        }
+    }
+
+    /// Attaches the `var …:` declaration span.
+    #[must_use]
+    pub fn at_decl(&self, d: Diagnostic) -> Diagnostic {
+        let Some(spans) = self.spans else { return d };
+        let d = d.with_span(spans.decl);
+        match self.snippet(spans.decl.line) {
+            Some(s) => d.with_snippet(s),
+            None => d,
+        }
+    }
+}
+
+/// Bitmask of variables a ruleset's updates can touch (set or clear).
+fn ruleset_writes(rs: &Ruleset) -> u32 {
+    rs.rules()
+        .iter()
+        .map(|r| r.update_a.set | r.update_a.clear | r.update_b.set | r.update_b.clear)
+        .fold(0, |acc, m| acc | m)
+}
+
+/// Bitmask of variables a block of instructions can write.
+fn instr_writes(instrs: &[Instr]) -> u32 {
+    let mut mask = 0u32;
+    for instr in instrs {
+        match instr {
+            Instr::Assign { var, .. } => mask |= var.mask(),
+            Instr::Execute { ruleset, .. } => mask |= ruleset_writes(ruleset),
+            Instr::RepeatLog { body, .. } => mask |= instr_writes(body),
+            Instr::IfExists {
+                then_branch,
+                else_branch,
+                ..
+            } => mask |= instr_writes(then_branch) | instr_writes(else_branch),
+        }
+    }
+    mask
+}
+
+/// Per-instruction walk state for the data-flow checks.
+struct FlowWalker<'a, 'b> {
+    program: &'a Program,
+    locator: &'a ProgramLocator<'b>,
+    thread_idx: usize,
+    /// Pre-order instruction counter within the thread (parallels
+    /// `ThreadSpans::instrs`).
+    counter: usize,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl FlowWalker<'_, '_> {
+    /// Walks a block, threading the may-assigned mask through it; returns
+    /// the mask extended with everything the block may assign.
+    fn walk(&mut self, instrs: &[Instr], mut assigned: u32) -> u32 {
+        for instr in instrs {
+            let idx = self.counter;
+            self.counter += 1;
+            match instr {
+                Instr::Assign { var, value } => {
+                    if let AssignValue::Formula(g) = value {
+                        self.check_reads(&g.vars(), assigned, idx);
+                    }
+                    assigned |= var.mask();
+                }
+                Instr::IfExists {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    self.check_reads(&cond.vars(), assigned, idx);
+                    if then_branch.is_empty() {
+                        let d = Diagnostic::new(
+                            "PP204",
+                            Severity::Warning,
+                            format!(
+                                "`if exists ({})` has an empty then-branch: the test's \
+                                 outcome is never acted on",
+                                cond.render(&self.program.vars)
+                            ),
+                        );
+                        self.diagnostics
+                            .push(self.locator.at_instr(d, self.thread_idx, idx));
+                    }
+                    // May-assign: either branch could run.
+                    let after_then = self.walk(then_branch, assigned);
+                    let after_else = self.walk(else_branch, assigned);
+                    assigned = after_then | after_else;
+                }
+                Instr::RepeatLog { c, body } => {
+                    if instr_writes(body) == 0 {
+                        let d = Diagnostic::new(
+                            "PP205",
+                            Severity::Warning,
+                            format!(
+                                "`repeat >= {c} ln n times` body writes no variable: \
+                                 every iteration repeats the same work"
+                            ),
+                        );
+                        self.diagnostics
+                            .push(self.locator.at_instr(d, self.thread_idx, idx));
+                    }
+                    assigned = self.walk(body, assigned);
+                }
+                Instr::Execute { ruleset, .. } => {
+                    assigned |= ruleset_writes(ruleset);
+                }
+            }
+        }
+        assigned
+    }
+
+    fn check_reads(&mut self, read: &[Var], assigned: u32, idx: usize) {
+        for &v in read {
+            if assigned & v.mask() == 0 {
+                let d = Diagnostic::new(
+                    "PP201",
+                    Severity::Warning,
+                    format!(
+                        "{} is read here but nothing assigns it first: the read \
+                         always sees `off` on the first pass",
+                        self.program.vars.name(v)
+                    ),
+                );
+                self.diagnostics
+                    .push(self.locator.at_instr(d, self.thread_idx, idx));
+            }
+        }
+    }
+}
+
+/// Runs all `PP2xx` program checks. Ruleset-level checks on embedded
+/// rulesets are the caller's job (`lint` wires them up with rule spans).
+#[must_use]
+pub fn analyze_program(program: &Program, locator: &ProgramLocator<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Baseline may-assigned mask shared by every thread: initialization
+    // plus everything *other* threads may write (threads interleave, so a
+    // concurrent writer counts as a possible assigner).
+    let mut init_mask = 0u32;
+    for &(v, _) in &program.init {
+        init_mask |= v.mask();
+    }
+    for &v in &program.inputs {
+        init_mask |= v.mask();
+    }
+    for &(v, _) in &program.derived_init {
+        init_mask |= v.mask();
+    }
+
+    let thread_writes: Vec<u32> = program
+        .threads
+        .iter()
+        .map(|t| match t {
+            Thread::Structured { body, .. } => instr_writes(body),
+            Thread::Raw { ruleset, .. } => ruleset_writes(ruleset),
+        })
+        .collect();
+    let all_writes: u32 = thread_writes.iter().fold(0, |acc, m| acc | m);
+
+    // PP201 / PP204 / PP205: per structured thread.
+    for (thread_idx, thread) in program.threads.iter().enumerate() {
+        let Thread::Structured { body, .. } = thread else {
+            continue;
+        };
+        let others: u32 = thread_writes
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != thread_idx)
+            .fold(0, |acc, (_, m)| acc | m);
+        let mut walker = FlowWalker {
+            program,
+            locator,
+            thread_idx,
+            counter: 0,
+            diagnostics: Vec::new(),
+        };
+        let _ = walker.walk(body, init_mask | others);
+        out.extend(walker.diagnostics);
+
+        if instr_writes(body) == 0 && !body.is_empty() {
+            let d = Diagnostic::new(
+                "PP205",
+                Severity::Warning,
+                format!(
+                    "thread {} writes no variable: its implicit `repeat:` loop \
+                     has no effect on the population",
+                    thread.name()
+                ),
+            );
+            out.push(locator.at_thread(d, thread_idx));
+        }
+    }
+
+    // PP202: outputs nobody writes.
+    for &v in &program.outputs {
+        if all_writes & v.mask() != 0 {
+            continue;
+        }
+        let name = program.vars.name(v);
+        let initialized = init_mask & v.mask() != 0;
+        let d = if initialized {
+            Diagnostic::new(
+                "PP202",
+                Severity::Warning,
+                format!(
+                    "output {name} is initialized but never written by any \
+                     thread: the output is constant"
+                ),
+            )
+        } else {
+            Diagnostic::new(
+                "PP202",
+                Severity::Error,
+                format!(
+                    "output {name} is never assigned: it stays `off` for every \
+                     agent regardless of input"
+                ),
+            )
+        };
+        out.push(locator.at_decl(d));
+    }
+
+    // PP203: writes to declared inputs (inputs encode the problem instance
+    // and must stay readable).
+    for (thread_idx, thread) in program.threads.iter().enumerate() {
+        for &v in &program.inputs {
+            if thread_writes[thread_idx] & v.mask() == 0 {
+                continue;
+            }
+            let d = Diagnostic::new(
+                "PP203",
+                Severity::Warning,
+                format!(
+                    "thread {} writes input {}: the original input assignment \
+                     is destroyed",
+                    thread.name(),
+                    program.vars.name(v)
+                ),
+            );
+            out.push(locator.at_thread(d, thread_idx));
+        }
+    }
+
+    // PP206 / PP207: budgets of the compiled execution substrate. Only the
+    // first structured thread is precompiled, matching `precompile`.
+    if let Some((_, body)) = program.structured_threads().next() {
+        let flags = count_flags(body);
+        let projected = program.vars.len() + flags;
+        if projected > MAX_VARS {
+            let d = Diagnostic::new(
+                "PP207",
+                Severity::Warning,
+                format!(
+                    "precompiling needs {projected} packed variables \
+                     ({} declared + {flags} lowering flags) but only \
+                     {MAX_VARS} bits are available",
+                    program.vars.len()
+                ),
+            );
+            out.push(locator.at_decl(d));
+        } else {
+            let tree = precompile(program);
+            if tree.l_max > MAX_LEVELS {
+                let d = Diagnostic::new(
+                    "PP206",
+                    Severity::Warning,
+                    format!(
+                        "compiled tree has {} loop levels but the clock \
+                         hierarchy supports at most {MAX_LEVELS}: deepen \
+                         `repeat` nesting no further",
+                        tree.l_max
+                    ),
+                );
+                out.push(locator.at_decl(d));
+            }
+            if tree.w_max > MAX_TREE_WIDTH {
+                let d = Diagnostic::new(
+                    "PP206",
+                    Severity::Warning,
+                    format!(
+                        "compiled tree has width {} but the minute wheel caps \
+                         it at {MAX_TREE_WIDTH} (m = 4(w_max+1) must fit u8)",
+                        tree.w_max
+                    ),
+                );
+                out.push(locator.at_decl(d));
+            }
+        }
+    }
+
+    out
+}
+
+/// Number of fresh lowering flags `precompile` would mint for this body:
+/// one `K#` per assignment, one `Z#` per `if exists`.
+fn count_flags(instrs: &[Instr]) -> usize {
+    instrs
+        .iter()
+        .map(|i| match i {
+            Instr::Assign { .. } => 1,
+            Instr::IfExists {
+                then_branch,
+                else_branch,
+                ..
+            } => 1 + count_flags(then_branch) + count_flags(else_branch),
+            Instr::RepeatLog { body, .. } => count_flags(body),
+            Instr::Execute { .. } => 0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_lang::ast::build;
+    use pp_lang::parse::parse_program_spanned;
+    use pp_rules::{Guard, VarSet};
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    fn program_with_body(body: Vec<Instr>) -> (Program, Var, Var) {
+        let mut vars = VarSet::new();
+        let x = vars.add("X");
+        let y = vars.add("Y");
+        (
+            Program {
+                name: "t".into(),
+                vars,
+                inputs: vec![],
+                outputs: vec![],
+                init: vec![],
+                derived_init: vec![],
+                threads: vec![Thread::Structured {
+                    name: "Main".into(),
+                    body,
+                }],
+            },
+            x,
+            y,
+        )
+    }
+
+    #[test]
+    fn use_before_assign_flags_unwritten_reads() {
+        // Y := X where X is never assigned anywhere.
+        let (mut program, x, y) = program_with_body(vec![]);
+        program.threads = vec![Thread::Structured {
+            name: "Main".into(),
+            body: vec![build::assign(y, Guard::var(x))],
+        }];
+        let diags = analyze_program(&program, &ProgramLocator::none());
+        assert!(codes(&diags).contains(&"PP201"), "{diags:?}");
+    }
+
+    #[test]
+    fn assignment_in_either_branch_counts() {
+        // if exists(Y): X := on else: X := off — then read X: no warning.
+        let (mut program, x, y) = program_with_body(vec![]);
+        program.init = vec![(y, true)];
+        program.threads = vec![Thread::Structured {
+            name: "Main".into(),
+            body: vec![
+                build::if_else(
+                    Guard::var(y),
+                    vec![build::assign(x, Guard::any())],
+                    vec![build::assign(x, Guard::var(y))],
+                ),
+                build::assign(y, Guard::var(x)),
+            ],
+        }];
+        let diags = analyze_program(&program, &ProgramLocator::none());
+        assert!(!codes(&diags).contains(&"PP201"), "{diags:?}");
+    }
+
+    #[test]
+    fn writes_by_other_threads_count_as_assignments() {
+        let mut vars = VarSet::new();
+        let x = vars.add("X");
+        let y = vars.add("Y");
+        let writer = pp_rules::parse::parse_ruleset("(.) + (.) -> (X) + (.)", &mut vars).unwrap();
+        let program = Program {
+            name: "t".into(),
+            vars,
+            inputs: vec![],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![
+                Thread::Structured {
+                    name: "Main".into(),
+                    body: vec![build::assign(y, Guard::var(x))],
+                },
+                Thread::Raw {
+                    name: "Writer".into(),
+                    ruleset: writer,
+                },
+            ],
+        };
+        let diags = analyze_program(&program, &ProgramLocator::none());
+        assert!(!codes(&diags).contains(&"PP201"), "{diags:?}");
+    }
+
+    #[test]
+    fn never_written_output_is_an_error_when_uninitialized() {
+        let (mut program, x, y) = program_with_body(vec![]);
+        program.threads = vec![Thread::Structured {
+            name: "Main".into(),
+            body: vec![build::assign(x, Guard::any())],
+        }];
+        program.outputs = vec![y];
+        let diags = analyze_program(&program, &ProgramLocator::none());
+        let d = diags.iter().find(|d| d.code == "PP202").expect("PP202");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("never assigned"), "{}", d.message);
+    }
+
+    #[test]
+    fn never_written_output_is_a_warning_when_constant() {
+        let (mut program, x, y) = program_with_body(vec![]);
+        program.threads = vec![Thread::Structured {
+            name: "Main".into(),
+            body: vec![build::assign(x, Guard::any())],
+        }];
+        program.outputs = vec![y];
+        program.init = vec![(y, true)];
+        let diags = analyze_program(&program, &ProgramLocator::none());
+        let d = diags.iter().find(|d| d.code == "PP202").expect("PP202");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("constant"), "{}", d.message);
+    }
+
+    #[test]
+    fn input_writes_are_flagged_per_thread() {
+        let (mut program, x, _) = program_with_body(vec![]);
+        program.threads = vec![Thread::Structured {
+            name: "Main".into(),
+            body: vec![build::assign(x, Guard::any())],
+        }];
+        program.inputs = vec![x];
+        let diags = analyze_program(&program, &ProgramLocator::none());
+        let d = diags.iter().find(|d| d.code == "PP203").expect("PP203");
+        assert!(d.message.contains("thread Main"), "{}", d.message);
+    }
+
+    #[test]
+    fn empty_then_branch_and_inert_repeat_warn() {
+        let (mut program, x, y) = program_with_body(vec![]);
+        program.init = vec![(x, true)];
+        program.threads = vec![Thread::Structured {
+            name: "Main".into(),
+            body: vec![
+                build::if_exists(Guard::var(x), vec![]),
+                build::repeat_log(2, vec![build::if_exists(Guard::var(x), vec![])]),
+                build::assign(y, Guard::var(x)),
+            ],
+        }];
+        let diags = analyze_program(&program, &ProgramLocator::none());
+        let c = codes(&diags);
+        assert_eq!(c.iter().filter(|&&c| c == "PP204").count(), 2, "{diags:?}");
+        assert!(c.contains(&"PP205"), "{diags:?}");
+    }
+
+    #[test]
+    fn inert_thread_warns_once() {
+        let (mut program, x, _) = program_with_body(vec![]);
+        program.init = vec![(x, true)];
+        program.threads = vec![Thread::Structured {
+            name: "Main".into(),
+            body: vec![build::if_exists(Guard::var(x), vec![])],
+        }];
+        let diags = analyze_program(&program, &ProgramLocator::none());
+        assert!(codes(&diags).contains(&"PP205"), "{diags:?}");
+    }
+
+    #[test]
+    fn deep_nesting_exceeds_clock_levels() {
+        let (mut program, x, _) = program_with_body(vec![]);
+        // 4 nested repeats + implicit outer = l_max 5 > MAX_LEVELS 4.
+        let mut body = vec![build::assign(x, Guard::any())];
+        for _ in 0..4 {
+            body = vec![build::repeat_log(2, body)];
+        }
+        program.threads = vec![Thread::Structured {
+            name: "Main".into(),
+            body,
+        }];
+        let diags = analyze_program(&program, &ProgramLocator::none());
+        let d = diags.iter().find(|d| d.code == "PP206").expect("PP206");
+        assert!(d.message.contains("loop levels"), "{}", d.message);
+    }
+
+    #[test]
+    fn variable_budget_counts_lowering_flags() {
+        let mut vars = VarSet::new();
+        let first = vars.add("V0");
+        for i in 1..15 {
+            let _ = vars.add(&format!("V{i}"));
+        }
+        // 15 declared vars + 6 assignments = 21 > 20.
+        let body: Vec<Instr> = (0..6).map(|_| build::assign(first, Guard::any())).collect();
+        let program = Program {
+            name: "t".into(),
+            vars,
+            inputs: vec![],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![Thread::Structured {
+                name: "Main".into(),
+                body,
+            }],
+        };
+        let diags = analyze_program(&program, &ProgramLocator::none());
+        let d = diags.iter().find(|d| d.code == "PP207").expect("PP207");
+        assert!(d.message.contains("21"), "{}", d.message);
+        // PP207 suppresses the precompile-based PP206 checks.
+        assert!(!codes(&diags).contains(&"PP206"));
+    }
+
+    #[test]
+    fn diagnostics_attach_to_instruction_lines() {
+        let source = "\
+def protocol T
+  var X, Y as output:
+  thread Main:
+    repeat:
+      if exists (X):
+      Y := X
+";
+        let (program, spans) = parse_program_spanned(source).unwrap();
+        let locator = ProgramLocator {
+            spans: Some(&spans),
+            source: Some(source),
+        };
+        let diags = analyze_program(&program, &locator);
+        let empty = diags.iter().find(|d| d.code == "PP204").expect("PP204");
+        assert_eq!(empty.span.unwrap().line, 5, "{empty:?}");
+        assert!(
+            empty.snippet.as_deref().unwrap().contains("if exists"),
+            "{empty:?}"
+        );
+        let uba = diags
+            .iter()
+            .filter(|d| d.code == "PP201")
+            .collect::<Vec<_>>();
+        // X is read twice (cond + rhs) and never assigned.
+        assert_eq!(uba.len(), 2, "{diags:?}");
+        assert_eq!(uba[0].span.unwrap().line, 5);
+        assert_eq!(uba[1].span.unwrap().line, 6);
+    }
+
+    #[test]
+    fn clean_program_stays_clean() {
+        let (mut program, x, y) = program_with_body(vec![]);
+        program.outputs = vec![y];
+        program.threads = vec![Thread::Structured {
+            name: "Main".into(),
+            body: vec![
+                build::assign(x, Guard::any()),
+                build::assign(y, Guard::var(x)),
+            ],
+        }];
+        let diags = analyze_program(&program, &ProgramLocator::none());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,532 @@
+//! `{0, ≥1}`-support reachability: a sound abstraction of which packed
+//! agent states can ever occur, given the declared initial supports.
+//!
+//! The abstraction tracks only the *support* of a configuration — the set
+//! of states held by at least one agent — and closes it under all
+//! transitions, ignoring counts:
+//!
+//! * a rule can rewrite an initiator in state `a` whenever some state in
+//!   the support satisfies the responder guard (and symmetrically);
+//! * a population-wide assignment `X := Σ` maps every supported state
+//!   through the assignment (the old states are conservatively *kept*,
+//!   since threads interleave and agents may be mid-interaction);
+//! * a coin assignment adds both outcomes.
+//!
+//! Ignoring counts and keeping superseded states only ever *adds* states,
+//! so the closure over-approximates every real execution: if a state (or
+//! a rule's firing) is unreachable here, it is unreachable in every run
+//! from the declared initial supports. The converse does not hold — the
+//! abstraction may consider states reachable that no real run produces —
+//! which is why PP105/PP106 findings are warnings, not errors.
+//!
+//! The closure runs over the full `2^k` packed state space and is skipped
+//! (with an info diagnostic) when `k >` [`REACH_VAR_CAP`].
+
+use crate::diag::{Diagnostic, Severity};
+use crate::ruleset::RuleLocator;
+use pp_rules::{Guard, Ruleset, Var, VarSet};
+
+/// Maximum variable count for the support closure (2^16 states).
+pub const REACH_VAR_CAP: usize = 16;
+
+/// An abstract population-wide assignment transition.
+#[derive(Debug, Clone)]
+pub enum AbstractAssign {
+    /// `var := formula` evaluated on each agent's own state.
+    Formula(Var, Guard),
+    /// `var := {on, off}` — both outcomes possible.
+    Coin(Var),
+}
+
+/// The model handed to the support closure: everything that can rewrite
+/// agent states, plus the initial supports.
+#[derive(Debug, Clone, Default)]
+pub struct SupportModel<'a> {
+    /// All rulesets that can ever run (raw threads, `execute` blocks).
+    pub rulesets: Vec<&'a Ruleset>,
+    /// All population-wide assignments that can ever run.
+    pub assigns: Vec<AbstractAssign>,
+    /// The declared initial supports (packed states present at time 0).
+    pub initial: Vec<u32>,
+}
+
+/// The result of the support closure.
+#[derive(Debug, Clone)]
+pub struct SupportClosure {
+    /// `reachable[s]` is true when packed state `s` may occur.
+    pub reachable: Vec<bool>,
+    /// True when the state space exceeded [`REACH_VAR_CAP`] and the
+    /// closure was not computed (all queries answer "reachable").
+    pub skipped: bool,
+}
+
+impl SupportClosure {
+    /// Whether packed state `s` may occur (always true when skipped).
+    #[must_use]
+    pub fn may_occur(&self, s: u32) -> bool {
+        self.skipped || self.reachable.get(s as usize).copied().unwrap_or(false)
+    }
+
+    /// Whether some reachable state satisfies the guard.
+    #[must_use]
+    pub fn any_satisfies(&self, guard: &Guard) -> bool {
+        if self.skipped {
+            return true;
+        }
+        self.reachable
+            .iter()
+            .enumerate()
+            .any(|(s, &r)| r && guard.eval(s as u32))
+    }
+
+    /// Number of reachable states (0 when skipped).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.reachable.iter().filter(|&&r| r).count()
+    }
+}
+
+/// Computes the support closure for `model` over `vars`.
+#[must_use]
+pub fn support_closure(vars: &VarSet, model: &SupportModel<'_>) -> SupportClosure {
+    if vars.len() > REACH_VAR_CAP {
+        return SupportClosure {
+            reachable: Vec::new(),
+            skipped: true,
+        };
+    }
+    let n = vars.num_states();
+    let mut reachable = vec![false; n];
+    for &s in &model.initial {
+        reachable[(s as usize) % n] = true;
+    }
+    loop {
+        let mut changed = false;
+        let mut add = |reachable: &mut Vec<bool>, s: u32| {
+            let s = s as usize;
+            if !reachable[s] {
+                reachable[s] = true;
+                changed = true;
+            }
+        };
+        for ruleset in &model.rulesets {
+            for rule in ruleset.rules() {
+                let a_matches: Vec<u32> = (0..n as u32)
+                    .filter(|&s| reachable[s as usize] && rule.guard_a.eval(s))
+                    .collect();
+                let b_matches: Vec<u32> = (0..n as u32)
+                    .filter(|&s| reachable[s as usize] && rule.guard_b.eval(s))
+                    .collect();
+                if !b_matches.is_empty() {
+                    for &a in &a_matches {
+                        add(&mut reachable, rule.update_a.apply(a));
+                    }
+                }
+                if !a_matches.is_empty() {
+                    for &b in &b_matches {
+                        add(&mut reachable, rule.update_b.apply(b));
+                    }
+                }
+            }
+        }
+        for assign in &model.assigns {
+            for s in 0..n as u32 {
+                if !reachable[s as usize] {
+                    continue;
+                }
+                match assign {
+                    AbstractAssign::Formula(v, g) => {
+                        add(&mut reachable, v.assign(s, g.eval(s)));
+                    }
+                    AbstractAssign::Coin(v) => {
+                        add(&mut reachable, v.assign(s, true));
+                        add(&mut reachable, v.assign(s, false));
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    SupportClosure {
+        reachable,
+        skipped: false,
+    }
+}
+
+/// PP105: rules that can never fire from the declared initial supports.
+///
+/// A rule fires only when some reachable state satisfies its initiator
+/// guard *and* some reachable state satisfies its responder guard; the
+/// closure over-approximates reachability, so "never" here is sound.
+#[must_use]
+pub fn unreachable_rules(
+    vars: &VarSet,
+    ruleset: &Ruleset,
+    closure: &SupportClosure,
+    locator: RuleLocator<'_>,
+    label: &str,
+) -> Vec<Diagnostic> {
+    if closure.skipped {
+        return Vec::new();
+    }
+    let ctx = if label.is_empty() {
+        String::new()
+    } else {
+        format!(" in {label}")
+    };
+    let mut out = Vec::new();
+    for (i, rule) in ruleset.rules().iter().enumerate() {
+        let a_ok = closure.any_satisfies(&rule.guard_a);
+        let b_ok = closure.any_satisfies(&rule.guard_b);
+        if !(a_ok && b_ok) {
+            let side = if a_ok { "responder" } else { "initiator" };
+            out.push(locator.attach(
+                Diagnostic::new(
+                    "PP105",
+                    Severity::Warning,
+                    format!(
+                        "rule{ctx} can never fire: no state reachable from the declared \
+                         initial support satisfies the {side} guard of `{}`",
+                        rule.render(vars)
+                    ),
+                ),
+                i,
+            ));
+        }
+    }
+    out
+}
+
+/// PP106: possible non-silent executions — the per-agent rewrite graph,
+/// restricted to reachable states, has a cycle that no edge leaves.
+///
+/// Soundness runs the other way from PP105: if the rewrite graph is
+/// acyclic, every agent changes state finitely often, so all executions
+/// become silent. A cycle therefore only indicates *possible* perpetual
+/// activity (the abstraction cannot tell whether real counts sustain it) —
+/// hence a warning. Only cycles confined to a bottom strongly connected
+/// component are reported: a cycle with an escape edge may be a normal
+/// transient.
+#[must_use]
+pub fn non_silent_cycles(
+    vars: &VarSet,
+    rulesets: &[&Ruleset],
+    closure: &SupportClosure,
+) -> Vec<Diagnostic> {
+    if closure.skipped {
+        return Vec::new();
+    }
+    let n = closure.reachable.len();
+    // Per-agent rewrite edges s -> s' (s' != s) enabled within the closure.
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for ruleset in rulesets {
+        for rule in ruleset.rules() {
+            let partner_a = closure.any_satisfies(&rule.guard_b);
+            let partner_b = closure.any_satisfies(&rule.guard_a);
+            for s in 0..n as u32 {
+                if !closure.reachable[s as usize] {
+                    continue;
+                }
+                if partner_a && rule.guard_a.eval(s) {
+                    let t = rule.update_a.apply(s);
+                    if t != s {
+                        edges[s as usize].push(t as usize);
+                    }
+                }
+                if partner_b && rule.guard_b.eval(s) {
+                    let t = rule.update_b.apply(s);
+                    if t != s {
+                        edges[s as usize].push(t as usize);
+                    }
+                }
+            }
+        }
+    }
+    for e in &mut edges {
+        e.sort_unstable();
+        e.dedup();
+    }
+
+    let scc = strongly_connected_components(&edges);
+    // A cycle over the varying bits recurs once per combination of the
+    // untouched bits, so group components by their shape — the set of
+    // varying bits plus the states projected onto them — and report each
+    // shape once (from its simplest representative).
+    struct CycleShape {
+        varying: u32,
+        projected: Vec<u32>,
+        representative: Vec<usize>,
+        contexts: usize,
+    }
+    let mut shapes: Vec<CycleShape> = Vec::new();
+    for component in &scc {
+        if component.len() < 2 {
+            continue; // single state, no self-edges possible (t != s)
+        }
+        let escapes = component
+            .iter()
+            .any(|&s| edges[s].iter().any(|t| !component.contains(t)));
+        if escapes {
+            continue;
+        }
+        let or = component.iter().fold(0u32, |m, &s| m | s as u32);
+        let and = component.iter().fold(u32::MAX, |m, &s| m & s as u32);
+        let varying = or & !and;
+        let mut projected: Vec<u32> = component.iter().map(|&s| s as u32 & varying).collect();
+        projected.sort_unstable();
+        match shapes
+            .iter_mut()
+            .find(|sh| sh.varying == varying && sh.projected == projected)
+        {
+            Some(shape) => {
+                shape.contexts += 1;
+                if component.iter().sum::<usize>() < shape.representative.iter().sum::<usize>() {
+                    shape.representative = component.clone();
+                }
+            }
+            None => shapes.push(CycleShape {
+                varying,
+                projected,
+                representative: component.clone(),
+                contexts: 1,
+            }),
+        }
+    }
+    let mut out = Vec::new();
+    for shape in &shapes {
+        let mut names: Vec<String> = shape
+            .representative
+            .iter()
+            .take(4)
+            .map(|&s| vars.render_state(s as u32))
+            .collect();
+        names.sort();
+        let more = if shape.representative.len() > 4 {
+            ", …"
+        } else {
+            ""
+        };
+        let recurs = match shape.contexts {
+            0 | 1 => String::new(),
+            2 => "; the same cycle recurs in 1 other variable context".to_string(),
+            n => format!(
+                "; the same cycle recurs in {} other variable contexts",
+                n - 1
+            ),
+        };
+        out.push(Diagnostic::new(
+            "PP106",
+            Severity::Warning,
+            format!(
+                "possible non-silent execution: reachable states can cycle forever \
+                 ({}{more}) with no rewrite leaving the cycle{recurs}",
+                names.join(" ⇄ ")
+            ),
+        ));
+    }
+    out
+}
+
+/// Iterative Tarjan SCC over an adjacency list; returns components as
+/// sorted vertex lists.
+fn strongly_connected_components(edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    // Explicit DFS stack: (vertex, next child offset).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, child)) = dfs.last() {
+            if child == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if child < edges[v].len() {
+                dfs.last_mut().expect("nonempty").1 += 1;
+                let w = edges[v][child];
+                if index[w] == usize::MAX {
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut component = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    components.push(component);
+                }
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_rules::parse::parse_ruleset;
+
+    fn closure_of(text: &str, initial_names: &[&[&str]]) -> (VarSet, Ruleset, SupportClosure) {
+        let mut vars = VarSet::new();
+        let ruleset = parse_ruleset(text, &mut vars).unwrap();
+        let initial: Vec<u32> = initial_names
+            .iter()
+            .map(|names| {
+                let on: Vec<Var> = names.iter().map(|n| vars.get(n).unwrap()).collect();
+                vars.state_with(&on)
+            })
+            .collect();
+        let model = SupportModel {
+            rulesets: vec![&ruleset],
+            assigns: Vec::new(),
+            initial,
+        };
+        let closure = support_closure(&vars, &model);
+        (vars, ruleset, closure)
+    }
+
+    #[test]
+    fn epidemic_reaches_all_infected() {
+        let (vars, _, closure) = closure_of("(I) + (!I) -> (I) + (I)", &[&["I"], &[]]);
+        let i = vars.get("I").unwrap();
+        assert!(closure.may_occur(i.mask()));
+        assert!(closure.may_occur(0));
+        assert_eq!(closure.count(), 2);
+    }
+
+    #[test]
+    fn unreachable_state_stays_unreachable() {
+        // Nothing ever sets B.
+        let (vars, _, closure) = closure_of("(A) + (.) -> (!A) + (.)", &[&["A"]]);
+        let b = vars.get("B");
+        assert!(b.is_none(), "B is never declared");
+        let a = vars.get("A").unwrap();
+        assert!(closure.may_occur(a.mask()));
+        assert!(closure.may_occur(0));
+    }
+
+    #[test]
+    fn rule_needing_partner_state_fires_only_when_present() {
+        // (B) responder is required but B never occurs.
+        let text = "(A) + (B) -> (!A) + (B)\n(A) + (.) -> (A) + (.)";
+        let (vars, ruleset, closure) = closure_of(text, &[&["A"]]);
+        let diags = unreachable_rules(&vars, &ruleset, &closure, RuleLocator::default(), "");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "PP105");
+        assert!(diags[0].message.contains("responder"), "{diags:?}");
+        // And !A must not be considered reachable via the dead rule.
+        let a = vars.get("A").unwrap();
+        assert_eq!(closure.count(), 1, "only the initial A state");
+        assert!(closure.may_occur(a.mask()));
+    }
+
+    #[test]
+    fn assignments_extend_the_support() {
+        let mut vars = VarSet::new();
+        let a = vars.add("A");
+        let b = vars.add("B");
+        let model = SupportModel {
+            rulesets: Vec::new(),
+            assigns: vec![AbstractAssign::Formula(b, Guard::var(a))],
+            initial: vec![a.mask()],
+        };
+        let closure = support_closure(&vars, &model);
+        assert!(closure.may_occur(a.mask() | b.mask()));
+        assert!(!closure.may_occur(b.mask()), "B alone requires A off");
+    }
+
+    #[test]
+    fn coin_assignment_adds_both_outcomes() {
+        let mut vars = VarSet::new();
+        let f = vars.add("F");
+        let model = SupportModel {
+            rulesets: Vec::new(),
+            assigns: vec![AbstractAssign::Coin(f)],
+            initial: vec![0],
+        };
+        let closure = support_closure(&vars, &model);
+        assert!(closure.may_occur(0));
+        assert!(closure.may_occur(f.mask()));
+    }
+
+    #[test]
+    fn closed_cycle_reports_non_silence() {
+        // {} -> {R} (spread) and {R} -> {} (skeptic clears): a closed
+        // two-state cycle, nothing escapes.
+        let text = "(R) + (!R & !S) -> (R) + (R)\n(S) + (R) -> (S) + (!R)";
+        let (vars, ruleset, closure) = closure_of(text, &[&["R"], &["S"], &[]]);
+        let diags = non_silent_cycles(&vars, &[&ruleset], &closure);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "PP106");
+    }
+
+    #[test]
+    fn one_way_rewrites_are_silent() {
+        // Fratricide only ever clears L: acyclic, hence silent.
+        let (vars, ruleset, closure) = closure_of("(L) + (L) -> (L) + (!L)", &[&["L"]]);
+        let diags = non_silent_cycles(&vars, &[&ruleset], &closure);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn escaping_cycle_not_reported() {
+        // A <-> B cycle, but C escapes it for good once taken.
+        let text = "(A) + (.) -> (!A & B) + (.)\n\
+                    (B & !C) + (.) -> (A & !B) + (.)\n\
+                    (B) + (.) -> (C & !B & !A) + (.)";
+        let (vars, ruleset, closure) = closure_of(text, &[&["A"]]);
+        let diags = non_silent_cycles(&vars, &[&ruleset], &closure);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn oversized_state_space_is_skipped() {
+        let mut vars = VarSet::new();
+        for i in 0..(REACH_VAR_CAP + 1) {
+            vars.add(&format!("V{i}"));
+        }
+        let model = SupportModel {
+            rulesets: Vec::new(),
+            assigns: Vec::new(),
+            initial: vec![0],
+        };
+        let closure = support_closure(&vars, &model);
+        assert!(closure.skipped);
+        assert!(closure.may_occur(12345), "skipped closure answers 'maybe'");
+    }
+
+    #[test]
+    fn tarjan_finds_components() {
+        // 0 -> 1 -> 2 -> 0 (cycle), 3 -> 0 (feeder), 4 isolated.
+        let edges = vec![vec![1], vec![2], vec![0], vec![0], vec![]];
+        let mut sccs = strongly_connected_components(&edges);
+        sccs.sort();
+        assert!(sccs.contains(&vec![0, 1, 2]));
+        assert!(sccs.contains(&vec![3]));
+        assert!(sccs.contains(&vec![4]));
+    }
+}

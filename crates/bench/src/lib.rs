@@ -5,7 +5,7 @@
 //! `target/experiments/`. A `--quick` flag shrinks population sizes and
 //! seed counts for smoke runs; `--full` enlarges them.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod timing;

@@ -55,7 +55,7 @@
 //! let _ = periods(&events);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod controlled;

@@ -2,6 +2,8 @@
 //!
 //! This facade re-exports the whole workspace:
 //!
+//! * [`analyze`] — static analysis: ruleset and program lints, support
+//!   reachability, exact small-`n` stabilization checking;
 //! * [`engine`] — simulation substrate: schedulers, fast backends,
 //!   mean-field ODEs, observers, statistics, parallel sweeps;
 //! * [`rules`] — the boolean-flag rule formalism of Section 1.3;
@@ -31,8 +33,9 @@
 //! assert!(iterations < 100);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub use pp_analyze as analyze;
 pub use pp_clocks as clocks;
 pub use pp_engine as engine;
 pub use pp_lang as lang;

@@ -57,7 +57,7 @@
 //! assert!(t < 60.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod accel;

@@ -53,7 +53,7 @@
 //! assert_eq!(exec.count_where(&Guard::var(y)), 30);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod ast;

@@ -34,18 +34,32 @@ use pp_rules::parse::{parse_rule, ParseRuleError};
 use pp_rules::{Guard, Ruleset, VarSet};
 use std::fmt;
 
-/// A program parse error with a source line number.
+pub use pp_rules::parse::{ParseErrorKind, Span};
+
+/// A program parse error with a source position and the offending line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseProgramError {
     /// 1-based line number.
     pub line: usize,
+    /// 1-based character column of the error (1 when only the line is known).
+    pub col: usize,
+    /// Error category, carried through from embedded rule parses so
+    /// tooling can distinguish post-condition well-formedness from syntax.
+    pub kind: ParseErrorKind,
     /// Description of the problem.
     pub message: String,
+    /// The offending source line (comments stripped; empty when unknown).
+    pub source: String,
 }
 
 impl fmt::Display for ParseProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}, col {}: {}", self.line, self.col, self.message)?;
+        if !self.source.is_empty() {
+            let caret_pad: String = " ".repeat(self.col.saturating_sub(1));
+            write!(f, "\n  | {}\n  | {caret_pad}^", self.source)?;
+        }
+        Ok(())
     }
 }
 
@@ -54,12 +68,67 @@ impl std::error::Error for ParseProgramError {}
 fn err(line: usize, message: impl Into<String>) -> ParseProgramError {
     ParseProgramError {
         line,
+        col: 1,
+        kind: ParseErrorKind::Syntax,
         message: message.into(),
+        source: String::new(),
     }
 }
 
-fn from_rule_err(line: usize, e: ParseRuleError) -> ParseProgramError {
-    err(line, e.message)
+/// The source line as displayed: original indentation plus content
+/// (comments already stripped by the lexer).
+fn source_of(line: &Line) -> String {
+    format!("{}{}", " ".repeat(line.indent), line.text)
+}
+
+/// Maps a rule parse error on a `>`-prefixed ruleset line back to program
+/// source coordinates. `e.col` is 1-based within `line.text`, which the
+/// lexer has already stripped of its indentation.
+fn from_rule_err(line: &Line, e: ParseRuleError) -> ParseProgramError {
+    ParseProgramError {
+        line: line.number,
+        col: line.indent + e.col,
+        kind: e.kind,
+        message: e.message,
+        source: source_of(line),
+    }
+}
+
+/// Source spans for a parsed [`Program`], parallel to its structure.
+///
+/// Produced by [`parse_program_spanned`] so diagnostics can point back at
+/// the file. Instruction spans are in *pre-order* (an instruction before
+/// the instructions nested in its branches or body), matching a pre-order
+/// walk of each structured thread's body.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgramSpans {
+    /// Span of the `var ...:` declaration line.
+    pub decl: Span,
+    /// Per-thread spans, in program order.
+    pub threads: Vec<ThreadSpans>,
+}
+
+/// Spans for one thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadSpans {
+    /// Span of the `thread NAME:` header line.
+    pub header: Span,
+    /// Pre-order spans of the structured body's instructions (empty for
+    /// raw threads).
+    pub instrs: Vec<InstrSpan>,
+    /// Spans of a raw thread's rules, parallel to its ruleset (empty for
+    /// structured threads).
+    pub rules: Vec<Span>,
+}
+
+/// Span of one instruction, plus its rules when it is an `execute`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstrSpan {
+    /// The instruction's own line (header line for block instructions).
+    pub span: Span,
+    /// For `execute … ruleset:` instructions: spans of the rules, parallel
+    /// to the embedded ruleset. Empty otherwise.
+    pub rules: Vec<Span>,
 }
 
 /// One significant source line: indentation depth + content.
@@ -94,22 +163,61 @@ fn lex_lines(source: &str) -> Result<Vec<Line>, ParseProgramError> {
 }
 
 /// Parses a guard, accepting `on`/`off` for the constants.
-fn parse_guard(text: &str, vars: &mut VarSet, line: usize) -> Result<Guard, ParseProgramError> {
-    match text.trim() {
+///
+/// `base_col` is the 1-based column where `text` begins in `line`, so
+/// errors inside the formula point at the formula, not the synthetic rule
+/// the formula is wrapped in.
+fn parse_guard(
+    text: &str,
+    vars: &mut VarSet,
+    line: &Line,
+    base_col: usize,
+) -> Result<Guard, ParseProgramError> {
+    let trimmed = text.trim();
+    match trimmed {
         "on" => return Ok(Guard::any()),
         "off" => return Ok(Guard::any().not()),
         _ => {}
     }
+    let lead = text.chars().count() - text.trim_start().chars().count();
+    let base = base_col + lead;
     // Reuse the rule parser by wrapping the formula as a guard position.
-    let rule_text = format!("({text}) + (.) -> (.) + (.)");
-    let rule = parse_rule(&rule_text, vars).map_err(|e| from_rule_err(line, e))?;
+    // In the synthetic rule the formula starts at column 2 (after `(`);
+    // clamp errors past the formula (e.g. unbalanced parens) to its end.
+    let rule_text = format!("({trimmed}) + (.) -> (.) + (.)");
+    let rule = parse_rule(&rule_text, vars).map_err(|e| {
+        let glen = trimmed.chars().count();
+        let off = e.col.saturating_sub(2).min(glen.saturating_sub(1));
+        ParseProgramError {
+            line: line.number,
+            col: base + off,
+            kind: e.kind,
+            message: e.message,
+            source: source_of(line),
+        }
+    })?;
     Ok(rule.guard_a)
+}
+
+/// Span of a lexed line's content (indentation excluded).
+fn line_span(line: &Line) -> Span {
+    Span::new(line.number, line.indent + 1, line.text.chars().count())
+}
+
+/// Span of the rule text on a `>`-prefixed ruleset line.
+fn rule_span(line: &Line) -> Span {
+    let rest = line.text.trim_start_matches(['▷', '>']).trim_start();
+    let prefix = line.text.chars().count() - rest.chars().count();
+    Span::new(line.number, line.indent + prefix + 1, rest.chars().count())
 }
 
 struct ProgramParser<'a> {
     lines: &'a [Line],
     pos: usize,
     vars: VarSet,
+    /// Pre-order instruction spans for the structured thread currently
+    /// being parsed.
+    instr_spans: Vec<InstrSpan>,
 }
 
 impl<'a> ProgramParser<'a> {
@@ -144,12 +252,20 @@ impl<'a> ProgramParser<'a> {
         let line = self.next().expect("peeked");
         let number = line.number;
         let text = line.text.as_str();
+        // Record this instruction's span now so nested blocks land after
+        // it, giving a pre-order span sequence.
+        let span_idx = self.instr_spans.len();
+        self.instr_spans.push(InstrSpan {
+            span: line_span(line),
+            rules: Vec::new(),
+        });
 
         if let Some(rest) = text.strip_prefix("if exists (") {
             let cond_text = rest
                 .strip_suffix("):")
                 .ok_or_else(|| err(number, "expected `if exists (...):`"))?;
-            let cond = parse_guard(cond_text, &mut self.vars, number)?;
+            let cond_col = line.indent + "if exists (".len() + 1;
+            let cond = parse_guard(cond_text, &mut self.vars, line, cond_col)?;
             let then_branch = self.parse_block(indent + 2)?;
             let mut else_branch = Vec::new();
             if let Some(next) = self.peek() {
@@ -185,7 +301,8 @@ impl<'a> ProgramParser<'a> {
                 .trim()
                 .parse()
                 .map_err(|_| err(number, format!("bad duration constant {rest:?}")))?;
-            let ruleset = self.parse_ruleset(indent + 2)?;
+            let (ruleset, rule_spans) = self.parse_ruleset(indent + 2)?;
+            self.instr_spans[span_idx].rules = rule_spans;
             return Ok(build::execute(c, ruleset));
         }
 
@@ -198,6 +315,9 @@ impl<'a> ProgramParser<'a> {
                 Some(v) => v,
                 None => self.vars.add(name),
             };
+            let rhs_off = lhs.chars().count() + ":=".len();
+            let lead = rhs.chars().count() - rhs.trim_start().chars().count();
+            let rhs_col = line.indent + rhs_off + lead + 1;
             let rhs = rhs.trim();
             if rhs.starts_with("{on, off}") || rhs.starts_with("{on,off}") {
                 return Ok(Instr::Assign {
@@ -205,26 +325,28 @@ impl<'a> ProgramParser<'a> {
                     value: AssignValue::RandomBit,
                 });
             }
-            let formula = parse_guard(rhs, &mut self.vars, number)?;
+            let formula = parse_guard(rhs, &mut self.vars, line, rhs_col)?;
             return Ok(build::assign(var, formula));
         }
 
         Err(err(number, format!("unrecognized instruction {text:?}")))
     }
 
-    /// Parses `> rule` lines at exactly `indent`.
-    fn parse_ruleset(&mut self, indent: usize) -> Result<Ruleset, ParseProgramError> {
+    /// Parses `> rule` lines at exactly `indent`, with their spans.
+    fn parse_ruleset(&mut self, indent: usize) -> Result<(Ruleset, Vec<Span>), ParseProgramError> {
         let mut ruleset = Ruleset::new();
+        let mut spans = Vec::new();
         while let Some(line) = self.peek() {
             if line.indent != indent || !line.text.starts_with('>') {
                 break;
             }
             let line = self.next().expect("peeked");
-            let rule = parse_rule(&line.text, &mut self.vars)
-                .map_err(|e| from_rule_err(line.number, e))?;
+            let rule =
+                parse_rule(&line.text, &mut self.vars).map_err(|e| from_rule_err(line, e))?;
             ruleset.push(rule);
+            spans.push(rule_span(line));
         }
-        Ok(ruleset)
+        Ok((ruleset, spans))
     }
 }
 
@@ -234,12 +356,28 @@ impl<'a> ProgramParser<'a> {
 ///
 /// Returns a [`ParseProgramError`] naming the offending source line.
 pub fn parse_program(source: &str) -> Result<Program, ParseProgramError> {
+    parse_program_spanned(source).map(|(program, _)| program)
+}
+
+/// Parses a complete protocol definition, also returning source [`Span`]s
+/// for its declarations, instructions, and rules.
+///
+/// This is the entry point for diagnostic tooling (`pp-analyze`,
+/// `ppsim lint`): the returned [`ProgramSpans`] mirror the program's
+/// structure so analyses can point back at the file.
+///
+/// # Errors
+///
+/// Returns a [`ParseProgramError`] naming the offending source line.
+pub fn parse_program_spanned(source: &str) -> Result<(Program, ProgramSpans), ParseProgramError> {
     let lines = lex_lines(source)?;
     let mut parser = ProgramParser {
         lines: &lines,
         pos: 0,
         vars: VarSet::new(),
+        instr_spans: Vec::new(),
     };
+    let mut spans = ProgramSpans::default();
 
     // Header: `def protocol NAME`.
     let header = parser
@@ -261,6 +399,7 @@ pub fn parse_program(source: &str) -> Result<Program, ParseProgramError> {
         .strip_prefix("var ")
         .and_then(|t| t.strip_suffix(':'))
         .ok_or_else(|| err(decl_line.number, "expected `var <declarations>:`"))?;
+    spans.decl = line_span(decl_line);
     let mut inputs = Vec::new();
     let mut outputs = Vec::new();
     let mut init = Vec::new();
@@ -324,19 +463,26 @@ pub fn parse_program(source: &str) -> Result<Program, ParseProgramError> {
             .ok_or_else(|| err(line.number, "expected `thread NAME:`"))?
             .trim()
             .to_string();
+        let mut thread_spans = ThreadSpans {
+            header: line_span(line),
+            ..ThreadSpans::default()
+        };
         let body_head = parser
             .peek()
             .ok_or_else(|| err(line.number, "thread body missing"))?;
         if body_head.text == "execute ruleset:" {
             parser.next();
-            let ruleset = parser.parse_ruleset(6)?;
+            let (ruleset, rule_spans) = parser.parse_ruleset(6)?;
+            thread_spans.rules = rule_spans;
             threads.push(Thread::Raw {
                 name: thread_name,
                 ruleset,
             });
         } else if body_head.text == "repeat:" {
             parser.next();
+            parser.instr_spans.clear();
             let body = parser.parse_block(6)?;
+            thread_spans.instrs = std::mem::take(&mut parser.instr_spans);
             threads.push(Thread::Structured {
                 name: thread_name,
                 body,
@@ -347,9 +493,10 @@ pub fn parse_program(source: &str) -> Result<Program, ParseProgramError> {
                 "thread body must start with `repeat:` or `execute ruleset:`",
             ));
         }
+        spans.threads.push(thread_spans);
     }
 
-    Ok(Program {
+    let program = Program {
         name,
         vars: parser.vars,
         inputs,
@@ -357,7 +504,8 @@ pub fn parse_program(source: &str) -> Result<Program, ParseProgramError> {
         init,
         derived_init: Vec::new(),
         threads,
-    })
+    };
+    Ok((program, spans))
 }
 
 #[cfg(test)]
@@ -468,6 +616,93 @@ def protocol Bad
         let e = parse_program(source).unwrap_err();
         assert_eq!(e.line, 5);
         assert!(e.message.contains("unrecognized"));
+    }
+
+    #[test]
+    fn spanned_parse_mirrors_program_structure() {
+        let (program, spans) = parse_program_spanned(LEADER_SOURCE).expect("parses");
+        assert_eq!(spans.decl, Span::new(2, 3, 28));
+        assert_eq!(spans.threads.len(), 1);
+        let t = &spans.threads[0];
+        assert_eq!(t.header, Span::new(3, 3, 12));
+        // Pre-order: if(5), F:=(6), D:=(7), if(8), L:=(9), if(11), L:=(13).
+        let lines: Vec<usize> = t.instrs.iter().map(|s| s.span.line).collect();
+        assert_eq!(lines, vec![5, 6, 7, 8, 9, 11, 13]);
+        assert!(t.rules.is_empty());
+        // The span count matches a pre-order walk of the body.
+        fn count(instrs: &[Instr]) -> usize {
+            instrs
+                .iter()
+                .map(|i| match i {
+                    Instr::IfExists {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => 1 + count(then_branch) + count(else_branch),
+                    Instr::RepeatLog { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        let body = match &program.threads[0] {
+            Thread::Structured { body, .. } => body,
+            Thread::Raw { .. } => unreachable!(),
+        };
+        assert_eq!(t.instrs.len(), count(body));
+    }
+
+    #[test]
+    fn spanned_parse_locates_rules() {
+        let source = "\
+def protocol Toy
+  var A as input, Y as output:
+  thread Main:
+    repeat:
+      execute for >= 3 ln n rounds ruleset:
+        > (A) + (!A & !Y) -> (A) + (Y)
+  thread Background:
+    execute ruleset:
+      > (Y) + (Y) -> (Y) + (!Y)
+";
+        let (_, spans) = parse_program_spanned(source).expect("parses");
+        let main = &spans.threads[0];
+        assert_eq!(main.instrs.len(), 1);
+        assert_eq!(main.instrs[0].rules, vec![Span::new(6, 11, 28)]);
+        let bg = &spans.threads[1];
+        assert_eq!(bg.rules, vec![Span::new(9, 9, 23)]);
+        assert!(bg.instrs.is_empty());
+    }
+
+    #[test]
+    fn guard_errors_map_to_source_columns() {
+        let source = "\
+def protocol Bad
+  var A, L:
+  thread Main:
+    repeat:
+      L := A &
+";
+        let e = parse_program(source).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert_eq!(e.col, 14, "points at the dangling `&`: {e}");
+        assert_eq!(e.source, "      L := A &");
+        assert!(e.to_string().contains('^'), "caret rendered: {e}");
+    }
+
+    #[test]
+    fn rule_errors_in_rulesets_map_to_source_columns() {
+        let source = "\
+def protocol Bad
+  var A, B:
+  thread Main:
+    execute ruleset:
+      > (A) + (.) -> (A | B) + (.)
+";
+        let e = parse_program(source).unwrap_err();
+        assert_eq!(e.line, 5);
+        // `>` at col 7, rule starts col 9; post-condition paren 13 chars in.
+        assert_eq!(e.col, 22, "{e}");
+        assert!(e.message.contains("conjunction of literals"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Seeded property test: `parse_program(render(p)) == p` for framework
+//! programs.
+//!
+//! Generates random programs in the renderer-stable subset — guards are
+//! left-associated chains matching the parser's associativity, `init`
+//! entries follow variable declaration order (the order the renderer
+//! emits), `derived_init` is empty (it has no concrete syntax), and every
+//! thread body is non-empty — then asserts the paper-style pseudocode the
+//! renderer produces parses back to a structurally equal program.
+
+use pp_lang::ast::{build, Instr, Program, Thread};
+use pp_lang::parse::parse_program;
+use pp_rules::{Guard, Rule, Ruleset, Var, VarSet};
+
+/// Minimal xorshift64* PRNG so the test needs no dependencies and every
+/// run explores the same cases.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn gen_atom(rng: &mut Rng, vars: &[Var], depth: u32) -> Guard {
+    match rng.below(8) {
+        0 if depth > 0 => gen_guard(rng, vars, depth - 1).not(),
+        1 => Guard::any(),
+        r => {
+            let v = vars[(r as usize) % vars.len()];
+            if rng.below(2) == 0 {
+                Guard::var(v)
+            } else {
+                Guard::not_var(v)
+            }
+        }
+    }
+}
+
+/// A renderer-stable guard: a left-assoc `|`-chain of left-assoc
+/// `&`-chains of atoms.
+fn gen_guard(rng: &mut Rng, vars: &[Var], depth: u32) -> Guard {
+    let n_or = 1 + rng.below(2);
+    let mut guard: Option<Guard> = None;
+    for _ in 0..n_or {
+        let n_and = 1 + rng.below(3);
+        let mut conj: Option<Guard> = None;
+        for _ in 0..n_and {
+            let atom = gen_atom(rng, vars, depth);
+            conj = Some(match conj {
+                None => atom,
+                Some(g) => g.and(atom),
+            });
+        }
+        let conj = conj.expect("n_and >= 1");
+        guard = Some(match guard {
+            None => conj,
+            Some(g) => g.or(conj),
+        });
+    }
+    guard.expect("n_or >= 1")
+}
+
+fn gen_post(rng: &mut Rng, vars: &[Var]) -> Guard {
+    let mut literals = Vec::new();
+    for &v in vars {
+        match rng.below(4) {
+            0 => literals.push((v, true)),
+            1 => literals.push((v, false)),
+            _ => {}
+        }
+    }
+    Guard::all_of(&literals)
+}
+
+fn gen_ruleset(rng: &mut Rng, vars: &[Var]) -> Ruleset {
+    let rules = (0..1 + rng.below(3))
+        .map(|_| {
+            let rule = Rule::new(
+                gen_guard(rng, vars, 1),
+                gen_guard(rng, vars, 1),
+                &gen_post(rng, vars),
+                &gen_post(rng, vars),
+            )
+            .expect("generated post-conditions are conjunctions of literals");
+            if rng.below(4) == 0 {
+                rule.with_probability(0.5)
+            } else {
+                rule
+            }
+        })
+        .collect();
+    Ruleset::from_rules(rules)
+}
+
+fn gen_instrs(rng: &mut Rng, vars: &[Var], depth: u32) -> Vec<Instr> {
+    let count = 1 + rng.below(2);
+    (0..count).map(|_| gen_instr(rng, vars, depth)).collect()
+}
+
+fn gen_instr(rng: &mut Rng, vars: &[Var], depth: u32) -> Instr {
+    let v = vars[rng.below(vars.len() as u64) as usize];
+    match rng.below(if depth > 0 { 5 } else { 2 }) {
+        0 => build::assign(v, gen_guard(rng, vars, 1)),
+        1 => build::assign_coin(v),
+        2 => {
+            let cond = gen_guard(rng, vars, 1);
+            let then_branch = gen_instrs(rng, vars, depth - 1);
+            if rng.below(2) == 0 {
+                build::if_exists(cond, then_branch)
+            } else {
+                build::if_else(cond, then_branch, gen_instrs(rng, vars, depth - 1))
+            }
+        }
+        3 => build::repeat_log(1 + rng.below(9) as u32, gen_instrs(rng, vars, depth - 1)),
+        _ => build::execute(1 + rng.below(9) as u32, gen_ruleset(rng, vars)),
+    }
+}
+
+fn gen_program(rng: &mut Rng, case: usize) -> Program {
+    let names = ["A", "B", "C", "D", "E"];
+    let count = 2 + rng.below(4) as usize;
+    let mut vars = VarSet::new();
+    let var_list: Vec<Var> = names[..count].iter().map(|n| vars.add(n)).collect();
+
+    // Tags and init in declaration order — the order the renderer emits.
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    let mut init = Vec::new();
+    for &v in &var_list {
+        if rng.below(4) == 0 {
+            inputs.push(v);
+        } else if rng.below(4) == 0 {
+            outputs.push(v);
+        }
+        match rng.below(4) {
+            0 => init.push((v, true)),
+            1 => init.push((v, false)),
+            _ => {}
+        }
+    }
+
+    let threads = (0..1 + rng.below(2))
+        .map(|i| {
+            if rng.below(3) == 0 {
+                Thread::Raw {
+                    name: format!("Raw{i}"),
+                    ruleset: gen_ruleset(rng, &var_list),
+                }
+            } else {
+                Thread::Structured {
+                    name: format!("Main{i}"),
+                    body: gen_instrs(rng, &var_list, 2),
+                }
+            }
+        })
+        .collect();
+
+    Program {
+        name: format!("Generated{case}"),
+        vars,
+        inputs,
+        outputs,
+        init,
+        derived_init: Vec::new(),
+        threads,
+    }
+}
+
+#[test]
+fn random_programs_roundtrip_through_render() {
+    let mut rng = Rng(0xA076_1D64_78BD_642F);
+    for case in 0..150 {
+        let program = gen_program(&mut rng, case);
+        let rendered = program.render();
+        let reparsed = parse_program(&rendered)
+            .unwrap_or_else(|e| panic!("case {case}: render failed to re-parse: {e}\n{rendered}"));
+        assert_eq!(reparsed, program, "case {case}:\n{rendered}");
+    }
+}
+
+#[test]
+fn shipped_protocol_files_roundtrip_through_render() {
+    // The renderer's output for a parsed file must re-parse to the same
+    // program (render is not byte-identical to the file, but it is a
+    // fixed point up to one render/parse cycle).
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .join("protocols");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("protocols dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("pp") {
+            continue;
+        }
+        checked += 1;
+        let text = std::fs::read_to_string(&path).expect("read protocol file");
+        let program = parse_program(&text).expect("shipped file parses");
+        let reparsed = parse_program(&program.render())
+            .unwrap_or_else(|e| panic!("{}: render failed to re-parse: {e}", path.display()));
+        assert_eq!(reparsed, program, "{}", path.display());
+    }
+    assert!(checked >= 2, "expected shipped .pp files, found {checked}");
+}

@@ -33,7 +33,7 @@
 //! assert!(iterations.is_some());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod baselines;

@@ -47,7 +47,7 @@
 //! assert!(t.is_some());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod guard;

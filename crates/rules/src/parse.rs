@@ -17,6 +17,12 @@
 //! blank lines are skipped. Post-conditions must be conjunctions of
 //! literals, matching the minimal-update semantics.
 //!
+//! Parse errors carry full position information — 1-based line and column
+//! plus the offending source line — and render with a caret, so tooling
+//! (`ppsim lint`, the `pp-analyze` crate) can point at the exact spot.
+//! [`parse_ruleset_spanned`] additionally reports the [`Span`] of every
+//! parsed rule for diagnostic attribution.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,29 +39,112 @@
 //! ```
 
 use crate::guard::Guard;
-use crate::rule::{Rule, Ruleset};
+use crate::rule::{Rule, RuleError, Ruleset, Update};
 use crate::var::VarSet;
 use std::fmt;
 
-/// A parse error with position information.
+/// A region of source text: 1-based line, 1-based character column, and
+/// length in characters.
+///
+/// Columns count Unicode scalar values, not bytes, so spans stay aligned
+/// with what a terminal displays for the Unicode rule notation (`▷`, `¬`,
+/// `→`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based character column of the first spanned character.
+    pub col: usize,
+    /// Length of the span in characters (0 for point spans).
+    pub len: usize,
+}
+
+impl Span {
+    /// A span covering `len` characters starting at `line`/`col`.
+    #[must_use]
+    pub fn new(line: usize, col: usize, len: usize) -> Self {
+        Self { line, col, len }
+    }
+
+    /// A zero-length span at a position.
+    #[must_use]
+    pub fn point(line: usize, col: usize) -> Self {
+        Self { line, col, len: 0 }
+    }
+}
+
+/// What category of problem a [`ParseRuleError`] reports.
+///
+/// Well-formedness violations of the paper's rule shape (§1.3: a
+/// post-condition must be a conjunction of literals, and must not demand
+/// `X ∧ ¬X`) are distinguished from plain syntax errors so static-analysis
+/// tooling can assign them dedicated diagnostic codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A syntax error: unexpected token, bad number, trailing input, …
+    Syntax,
+    /// A post-condition that is not a conjunction of literals.
+    PostConditionNotLiterals,
+    /// A post-condition containing a contradictory literal pair.
+    ContradictoryPostCondition,
+}
+
+/// A parse error with position information and the offending source line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseRuleError {
     /// 1-based line number within the parsed text.
     pub line: usize,
+    /// 1-based character column of the error within the source line.
+    pub col: usize,
+    /// Error category (syntax vs. post-condition well-formedness).
+    pub kind: ParseErrorKind,
     /// Description of the problem.
     pub message: String,
+    /// The offending source line, as written (trailing whitespace removed).
+    pub source: String,
 }
 
 impl fmt::Display for ParseRuleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}, col {}: {}", self.line, self.col, self.message)?;
+        if !self.source.is_empty() {
+            let caret_pad: String = self
+                .source
+                .chars()
+                .take(self.col.saturating_sub(1))
+                .map(|c| if c == '\t' { '\t' } else { ' ' })
+                .collect();
+            write!(f, "\n  | {}\n  | {caret_pad}^", self.source)?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for ParseRuleError {}
 
+/// Internal parser error: 0-based character offset into the parsed slice
+/// plus category and message. Converted to [`ParseRuleError`] at the API
+/// boundary, where the line number and column offset are known.
+struct PErr {
+    col0: usize,
+    kind: ParseErrorKind,
+    message: String,
+}
+
+impl PErr {
+    fn syntax(col0: usize, message: impl Into<String>) -> Self {
+        Self {
+            col0,
+            kind: ParseErrorKind::Syntax,
+            message: message.into(),
+        }
+    }
+}
+
 struct Lexer<'a> {
     chars: std::iter::Peekable<std::str::Chars<'a>>,
+    /// Characters consumed so far (0-based offset of the next character).
+    pos: usize,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -78,120 +167,145 @@ impl<'a> Lexer<'a> {
     fn new(s: &'a str) -> Self {
         Self {
             chars: s.chars().peekable(),
+            pos: 0,
         }
     }
 
-    fn next_tok(&mut self) -> Result<Tok, String> {
-        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
-            self.chars.next();
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if c.is_some() {
+            self.pos += 1;
         }
+        c
+    }
+
+    /// Lexes the next token, returning it with its 0-based start offset.
+    fn next_tok(&mut self) -> Result<(Tok, usize), PErr> {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+        let start = self.pos;
         let Some(&c) = self.chars.peek() else {
-            return Ok(Tok::End);
+            return Ok((Tok::End, start));
         };
-        match c {
+        let tok = match c {
             '(' => {
-                self.chars.next();
-                Ok(Tok::LParen)
+                self.bump();
+                Tok::LParen
             }
             ')' => {
-                self.chars.next();
-                Ok(Tok::RParen)
+                self.bump();
+                Tok::RParen
             }
             '+' => {
-                self.chars.next();
-                Ok(Tok::Plus)
+                self.bump();
+                Tok::Plus
             }
             '&' => {
-                self.chars.next();
-                Ok(Tok::And)
+                self.bump();
+                Tok::And
             }
             '|' => {
-                self.chars.next();
-                Ok(Tok::Or)
+                self.bump();
+                Tok::Or
             }
             '!' | '¬' => {
-                self.chars.next();
-                Ok(Tok::Not)
+                self.bump();
+                Tok::Not
             }
             '.' => {
-                self.chars.next();
-                Ok(Tok::Dot)
+                self.bump();
+                Tok::Dot
             }
             '@' => {
-                self.chars.next();
-                Ok(Tok::At)
+                self.bump();
+                Tok::At
             }
             '-' => {
-                self.chars.next();
-                if self.chars.next() == Some('>') {
-                    Ok(Tok::Arrow)
+                self.bump();
+                if self.bump() == Some('>') {
+                    Tok::Arrow
                 } else {
-                    Err("expected '>' after '-'".to_string())
+                    return Err(PErr::syntax(start, "expected '>' after '-'"));
                 }
             }
             '→' => {
-                self.chars.next();
-                Ok(Tok::Arrow)
+                self.bump();
+                Tok::Arrow
             }
             c if c.is_ascii_digit() => {
                 let mut num = String::new();
                 while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit() || *c == '.') {
-                    num.push(self.chars.next().expect("peeked"));
+                    num.push(self.bump().expect("peeked"));
                 }
                 num.parse::<f64>()
                     .map(Tok::Number)
-                    .map_err(|e| format!("bad number {num:?}: {e}"))
+                    .map_err(|e| PErr::syntax(start, format!("bad number {num:?}: {e}")))?
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut ident = String::new();
                 while matches!(self.chars.peek(), Some(c) if c.is_alphanumeric() || *c == '_' || *c == '\'')
                 {
-                    ident.push(self.chars.next().expect("peeked"));
+                    ident.push(self.bump().expect("peeked"));
                 }
-                Ok(Tok::Ident(ident))
+                Tok::Ident(ident)
             }
-            other => Err(format!("unexpected character {other:?}")),
-        }
+            other => {
+                return Err(PErr::syntax(
+                    start,
+                    format!("unexpected character {other:?}"),
+                ))
+            }
+        };
+        Ok((tok, start))
     }
 }
 
 struct Parser<'a> {
     lexer: Lexer<'a>,
     current: Tok,
+    /// 0-based start offset of `current` within the parsed slice.
+    current_col0: usize,
     vars: &'a mut VarSet,
 }
 
 impl<'a> Parser<'a> {
-    fn new(s: &'a str, vars: &'a mut VarSet) -> Result<Self, String> {
+    fn new(s: &'a str, vars: &'a mut VarSet) -> Result<Self, PErr> {
         let mut lexer = Lexer::new(s);
-        let current = lexer.next_tok()?;
+        let (current, current_col0) = lexer.next_tok()?;
         Ok(Self {
             lexer,
             current,
+            current_col0,
             vars,
         })
     }
 
-    fn advance(&mut self) -> Result<(), String> {
-        self.current = self.lexer.next_tok()?;
+    fn advance(&mut self) -> Result<(), PErr> {
+        let (tok, col0) = self.lexer.next_tok()?;
+        self.current = tok;
+        self.current_col0 = col0;
         Ok(())
     }
 
-    fn expect(&mut self, tok: &Tok) -> Result<(), String> {
+    fn expect(&mut self, tok: &Tok) -> Result<(), PErr> {
         if &self.current == tok {
             self.advance()
         } else {
-            Err(format!("expected {tok:?}, found {:?}", self.current))
+            Err(PErr::syntax(
+                self.current_col0,
+                format!("expected {tok:?}, found {:?}", self.current),
+            ))
         }
     }
 
-    fn guard(&mut self) -> Result<Guard, String> {
+    fn guard(&mut self) -> Result<Guard, PErr> {
         // `.` is handled as an atom, so compound guards containing it
         // (e.g. `. & A`) parse uniformly.
         self.or_expr()
     }
 
-    fn or_expr(&mut self) -> Result<Guard, String> {
+    fn or_expr(&mut self) -> Result<Guard, PErr> {
         let mut left = self.and_expr()?;
         while self.current == Tok::Or {
             self.advance()?;
@@ -201,7 +315,7 @@ impl<'a> Parser<'a> {
         Ok(left)
     }
 
-    fn and_expr(&mut self) -> Result<Guard, String> {
+    fn and_expr(&mut self) -> Result<Guard, PErr> {
         let mut left = self.atom()?;
         while self.current == Tok::And {
             self.advance()?;
@@ -211,7 +325,7 @@ impl<'a> Parser<'a> {
         Ok(left)
     }
 
-    fn atom(&mut self) -> Result<Guard, String> {
+    fn atom(&mut self) -> Result<Guard, PErr> {
         match self.current.clone() {
             Tok::Dot => {
                 // `.` (the empty formula) is allowed as an atom so that
@@ -237,44 +351,117 @@ impl<'a> Parser<'a> {
                 };
                 Ok(Guard::var(var))
             }
-            other => Err(format!("expected a guard atom, found {other:?}")),
+            other => Err(PErr::syntax(
+                self.current_col0,
+                format!("expected a guard atom, found {other:?}"),
+            )),
         }
     }
 
-    fn paren_guard(&mut self) -> Result<Guard, String> {
+    fn paren_guard(&mut self) -> Result<Guard, PErr> {
         self.expect(&Tok::LParen)?;
         let g = self.guard()?;
         self.expect(&Tok::RParen)?;
         Ok(g)
     }
 
-    fn rule(&mut self) -> Result<Rule, String> {
+    /// Parses a post-condition guard and validates the minimal-update
+    /// well-formedness immediately, so the error points at the offending
+    /// post-condition (not the whole rule).
+    fn post_condition(&mut self) -> Result<Guard, PErr> {
+        let start = self.current_col0;
+        let guard = self.paren_guard()?;
+        if let Err(e) = Update::from_guard(&guard) {
+            let kind = match e {
+                RuleError::PostConditionNotLiterals => ParseErrorKind::PostConditionNotLiterals,
+                RuleError::ContradictoryPostCondition => ParseErrorKind::ContradictoryPostCondition,
+            };
+            return Err(PErr {
+                col0: start,
+                kind,
+                message: e.to_string(),
+            });
+        }
+        Ok(guard)
+    }
+
+    fn rule(&mut self) -> Result<Rule, PErr> {
         let guard_a = self.paren_guard()?;
         self.expect(&Tok::Plus)?;
         let guard_b = self.paren_guard()?;
         self.expect(&Tok::Arrow)?;
-        let post_a = self.paren_guard()?;
+        let post_a = self.post_condition()?;
         self.expect(&Tok::Plus)?;
-        let post_b = self.paren_guard()?;
-        let mut rule = Rule::new(guard_a, guard_b, &post_a, &post_b).map_err(|e| e.to_string())?;
+        let post_b = self.post_condition()?;
+        let mut rule = Rule::new(guard_a, guard_b, &post_a, &post_b)
+            .expect("post-conditions validated by post_condition()");
         if self.current == Tok::At {
             self.advance()?;
             match self.current.clone() {
                 Tok::Number(p) => {
                     if !(p > 0.0 && p <= 1.0) {
-                        return Err(format!("probability {p} out of (0, 1]"));
+                        return Err(PErr::syntax(
+                            self.current_col0,
+                            format!("probability {p} out of (0, 1]"),
+                        ));
                     }
                     rule = rule.with_probability(p);
                     self.advance()?;
                 }
-                other => return Err(format!("expected probability after '@', found {other:?}")),
+                other => {
+                    return Err(PErr::syntax(
+                        self.current_col0,
+                        format!("expected probability after '@', found {other:?}"),
+                    ))
+                }
             }
         }
         if self.current != Tok::End {
-            return Err(format!("trailing input: {:?}", self.current));
+            return Err(PErr::syntax(
+                self.current_col0,
+                format!("trailing input: {:?}", self.current),
+            ));
         }
         Ok(rule)
     }
+}
+
+/// Strips the optional `▷`/`>` rule prefix and leading whitespace,
+/// returning the remaining slice and its character offset within `line`.
+fn strip_rule_prefix(line: &str) -> (&str, usize) {
+    let trimmed = line
+        .trim()
+        .trim_start_matches('▷')
+        .trim_start_matches('>')
+        .trim();
+    if trimmed.is_empty() {
+        return (trimmed, line.chars().count());
+    }
+    // `trimmed` is a subslice of `line`, so pointer arithmetic gives the
+    // byte offset; convert to a character offset for column reporting.
+    let byte_off = trimmed.as_ptr() as usize - line.as_ptr() as usize;
+    (trimmed, line[..byte_off].chars().count())
+}
+
+/// Parses a single rule at a known source line, returning the rule and its
+/// span (covering the rule text, prefix excluded).
+fn parse_rule_line(
+    line: &str,
+    vars: &mut VarSet,
+    line_no: usize,
+) -> Result<(Rule, Span), ParseRuleError> {
+    let (trimmed, prefix_chars) = strip_rule_prefix(line);
+    let fail = |e: PErr| ParseRuleError {
+        line: line_no,
+        col: prefix_chars + e.col0 + 1,
+        kind: e.kind,
+        message: e.message,
+        source: line.trim_end().to_string(),
+    };
+    let mut parser = Parser::new(trimmed, vars).map_err(fail)?;
+    let rule = parser.rule().map_err(fail)?;
+    let span = Span::new(line_no, prefix_chars + 1, trimmed.chars().count());
+    Ok((rule, span))
 }
 
 /// Parses a single rule line (optionally prefixed with `>` or `▷`).
@@ -283,39 +470,49 @@ impl<'a> Parser<'a> {
 ///
 /// # Errors
 ///
-/// Returns a [`ParseRuleError`] describing the first syntax problem.
+/// Returns a [`ParseRuleError`] describing the first syntax problem, with
+/// its column and the offending source text.
 pub fn parse_rule(line: &str, vars: &mut VarSet) -> Result<Rule, ParseRuleError> {
-    let trimmed = line
-        .trim()
-        .trim_start_matches('▷')
-        .trim_start_matches('>')
-        .trim();
-    let mut parser =
-        Parser::new(trimmed, vars).map_err(|message| ParseRuleError { line: 1, message })?;
-    parser
-        .rule()
-        .map_err(|message| ParseRuleError { line: 1, message })
+    parse_rule_line(line, vars, 1).map(|(rule, _)| rule)
 }
 
 /// Parses a multi-line ruleset. Blank lines and `#`-comments are skipped.
 ///
 /// # Errors
 ///
-/// Returns a [`ParseRuleError`] with the offending line number.
+/// Returns a [`ParseRuleError`] with the offending line number, column,
+/// and source line.
 pub fn parse_ruleset(text: &str, vars: &mut VarSet) -> Result<Ruleset, ParseRuleError> {
+    parse_ruleset_spanned(text, vars).map(|(rules, _)| rules)
+}
+
+/// Parses a multi-line ruleset, also returning the source [`Span`] of each
+/// rule (parallel to [`Ruleset::rules`]).
+///
+/// This is the entry point for diagnostic tooling: each span covers the
+/// rule's text on its line (1-based line and column), so analyses over the
+/// ruleset can point back at the exact source location.
+///
+/// # Errors
+///
+/// Returns a [`ParseRuleError`] with the offending line number, column,
+/// and source line.
+pub fn parse_ruleset_spanned(
+    text: &str,
+    vars: &mut VarSet,
+) -> Result<(Ruleset, Vec<Span>), ParseRuleError> {
     let mut out = Ruleset::new();
+    let mut spans = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let rule = parse_rule(line, vars).map_err(|mut e| {
-            e.line = idx + 1;
-            e
-        })?;
+        let (rule, span) = parse_rule_line(raw, vars, idx + 1)?;
         out.push(rule);
+        spans.push(span);
     }
-    Ok(out)
+    Ok((out, spans))
 }
 
 #[cfg(test)]
@@ -373,6 +570,17 @@ mod tests {
         let mut vars = VarSet::new();
         let err = parse_rule("(A) + (.) -> (A | B) + (.)", &mut vars).unwrap_err();
         assert!(err.message.contains("conjunction of literals"), "{err}");
+        assert_eq!(err.kind, ParseErrorKind::PostConditionNotLiterals);
+        // Points at the opening paren of the offending post-condition.
+        assert_eq!(err.col, 14, "{err}");
+    }
+
+    #[test]
+    fn rejects_contradictory_post_condition() {
+        let mut vars = VarSet::new();
+        let err = parse_rule("(A) + (.) -> (.) + (A & !A)", &mut vars).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::ContradictoryPostCondition);
+        assert_eq!(err.col, 20, "{err}");
     }
 
     #[test]
@@ -380,6 +588,7 @@ mod tests {
         let mut vars = VarSet::new();
         let err = parse_rule("(A) + (.) -> (.) + (.) @ 2.0", &mut vars).unwrap_err();
         assert!(err.message.contains("out of"), "{err}");
+        assert_eq!(err.kind, ParseErrorKind::Syntax);
     }
 
     #[test]
@@ -387,6 +596,7 @@ mod tests {
         let mut vars = VarSet::new();
         let err = parse_rule("(A) + (.) -> (.) + (.) extra", &mut vars).unwrap_err();
         assert!(err.message.contains("trailing"), "{err}");
+        assert_eq!(err.col, 24, "caret at the trailing token: {err}");
     }
 
     #[test]
@@ -405,6 +615,57 @@ mod tests {
         let mut vars = VarSet::new();
         let err = parse_ruleset("(A) + (A) -> (A) + (!A)\n(bogus", &mut vars).unwrap_err();
         assert_eq!(err.line, 2);
+        assert_eq!(err.source, "(bogus");
+    }
+
+    #[test]
+    fn error_columns_account_for_rule_prefix() {
+        let mut vars = VarSet::new();
+        //        123456789…: `>` and two spaces shift the rule by 4 chars.
+        let err = parse_rule(">   (A) + (A) -> (A | B) + (.)", &mut vars).unwrap_err();
+        assert_eq!(err.col, 18, "{err}");
+        let err2 = parse_rule("▷ (A) + (A) -> (A | B) + (.)", &mut vars).unwrap_err();
+        assert_eq!(err2.col, 16, "unicode prefix counts as one column: {err2}");
+    }
+
+    #[test]
+    fn display_shows_source_line_and_caret() {
+        let mut vars = VarSet::new();
+        let err = parse_ruleset(
+            "(A) + (.) -> (.) + (.)\n(A) + (A) -> (A | B) + (.)",
+            &mut vars,
+        )
+        .unwrap_err();
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains("line 2, col 14"),
+            "position in header: {rendered}"
+        );
+        assert!(
+            rendered.contains("(A) + (A) -> (A | B) + (.)"),
+            "source line shown: {rendered}"
+        );
+        let caret_line = rendered.lines().last().unwrap();
+        assert_eq!(
+            caret_line.chars().filter(|&c| c == '^').count(),
+            1,
+            "caret rendered: {rendered}"
+        );
+        assert_eq!(
+            caret_line.chars().count(),
+            4 + 14,
+            "caret under column 14 (after the `  | ` gutter): {rendered}"
+        );
+    }
+
+    #[test]
+    fn spanned_ruleset_reports_rule_locations() {
+        let mut vars = VarSet::new();
+        let text = "# comment\n> (A) + (.) -> (!A) + (.)\n\n  (B) + (.) -> (!B) + (.)";
+        let (rules, spans) = parse_ruleset_spanned(text, &mut vars).unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(spans[0], Span::new(2, 3, 23));
+        assert_eq!(spans[1], Span::new(4, 3, 23));
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Seeded property test: `parse(render(x)) == x` for rules and rulesets.
+//!
+//! Generates random rules whose shape the renderer preserves — guards are
+//! left-associated `|`-chains of left-associated `&`-chains (matching the
+//! parser's associativity), post-conditions are conjunctions of literals,
+//! and probabilities are dyadic so their decimal rendering is exact — then
+//! asserts the rendered text parses back to a structurally equal value
+//! without registering any new variables.
+
+use pp_rules::parse::{parse_rule, parse_ruleset};
+use pp_rules::{Guard, Rule, Ruleset, Var, VarSet};
+
+/// Minimal xorshift64* PRNG so the test needs no dependencies and every
+/// run explores the same cases.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A guard atom: a literal, `.`, or (depth permitting) a negated subguard.
+fn gen_atom(rng: &mut Rng, vars: &[Var], depth: u32) -> Guard {
+    match rng.below(8) {
+        0 if depth > 0 => gen_guard(rng, vars, depth - 1).not(),
+        1 => Guard::any(),
+        r => {
+            let v = vars[(r as usize) % vars.len()];
+            if rng.below(2) == 0 {
+                Guard::var(v)
+            } else {
+                Guard::not_var(v)
+            }
+        }
+    }
+}
+
+/// A renderer-stable guard: a left-assoc `|`-chain of left-assoc
+/// `&`-chains of atoms, mirroring how the parser associates operators.
+fn gen_guard(rng: &mut Rng, vars: &[Var], depth: u32) -> Guard {
+    let n_or = 1 + rng.below(2);
+    let mut guard: Option<Guard> = None;
+    for _ in 0..n_or {
+        let n_and = 1 + rng.below(3);
+        let mut conj: Option<Guard> = None;
+        for _ in 0..n_and {
+            let atom = gen_atom(rng, vars, depth);
+            conj = Some(match conj {
+                None => atom,
+                Some(g) => g.and(atom),
+            });
+        }
+        let conj = conj.expect("n_and >= 1");
+        guard = Some(match guard {
+            None => conj,
+            Some(g) => g.or(conj),
+        });
+    }
+    guard.expect("n_or >= 1")
+}
+
+/// A post-condition: a conjunction of literals over a random subset of the
+/// variables (possibly empty, rendering as `.`).
+fn gen_post(rng: &mut Rng, vars: &[Var]) -> Guard {
+    let mut literals = Vec::new();
+    for &v in vars {
+        match rng.below(4) {
+            0 => literals.push((v, true)),
+            1 => literals.push((v, false)),
+            _ => {}
+        }
+    }
+    Guard::all_of(&literals)
+}
+
+fn gen_rule(rng: &mut Rng, vars: &[Var]) -> Rule {
+    let guard_a = gen_guard(rng, vars, 2);
+    let guard_b = gen_guard(rng, vars, 2);
+    let post_a = gen_post(rng, vars);
+    let post_b = gen_post(rng, vars);
+    let rule = Rule::new(guard_a, guard_b, &post_a, &post_b)
+        .expect("generated post-conditions are conjunctions of literals");
+    // Dyadic probabilities print exactly in decimal, so `@ p` round-trips.
+    match rng.below(4) {
+        0 => rule.with_probability(0.5),
+        1 => rule.with_probability(0.25),
+        _ => rule,
+    }
+}
+
+fn gen_vars(rng: &mut Rng) -> (VarSet, Vec<Var>) {
+    let names = ["A", "B", "C", "D", "E", "F"];
+    let count = 2 + rng.below(4) as usize;
+    let mut set = VarSet::new();
+    let vars = names[..count].iter().map(|n| set.add(n)).collect();
+    (set, vars)
+}
+
+#[test]
+fn random_rules_roundtrip_through_render() {
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+    for case in 0..300 {
+        let (vars, var_list) = gen_vars(&mut rng);
+        let rule = gen_rule(&mut rng, &var_list);
+        let rendered = rule.render(&vars);
+        let mut vars2 = vars.clone();
+        let reparsed = parse_rule(&rendered, &mut vars2)
+            .unwrap_or_else(|e| panic!("case {case}: {rendered:?} failed to re-parse: {e}"));
+        assert_eq!(reparsed, rule, "case {case}: {rendered:?}");
+        assert_eq!(vars2, vars, "case {case}: re-parse registered new vars");
+    }
+}
+
+#[test]
+fn random_rulesets_roundtrip_through_render() {
+    let mut rng = Rng(0xD1B5_4A32_D192_ED03);
+    for case in 0..100 {
+        let (vars, var_list) = gen_vars(&mut rng);
+        let rules: Vec<Rule> = (0..1 + rng.below(4))
+            .map(|_| gen_rule(&mut rng, &var_list))
+            .collect();
+        let ruleset = Ruleset::from_rules(rules);
+        // Render one rule per line, with the optional `>` prefix on some.
+        let rendered: String = ruleset
+            .rules()
+            .iter()
+            .map(|r| {
+                if rng.below(2) == 0 {
+                    format!("> {}", r.render(&vars))
+                } else {
+                    r.render(&vars)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let mut vars2 = vars.clone();
+        let reparsed = parse_ruleset(&rendered, &mut vars2)
+            .unwrap_or_else(|e| panic!("case {case}: {rendered:?} failed to re-parse: {e}"));
+        assert_eq!(reparsed, ruleset, "case {case}: {rendered:?}");
+        assert_eq!(vars2, vars, "case {case}: re-parse registered new vars");
+    }
+}

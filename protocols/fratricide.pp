@@ -1,0 +1,10 @@
+# Plain leader fratricide (the classic O(n) pairwise-elimination baseline
+# E1 compares against): every agent starts as a leader; when two leaders
+# meet, one demotes the other. Ships as the `ppsim lint` example of a
+# protocol the analyzer finds nothing to say about.
+def protocol Fratricide
+  var L <- on as output:
+  thread Elect:
+    repeat:
+      execute for >= 2 ln n rounds ruleset:
+        > (L) + (L) -> (L) + (!L)

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ppsim list
+//! ppsim lint          protocol.pp --builtin leader --json
 //! ppsim run-file      protocol.pp --n 500 --iters 30
 //! ppsim leader        --n 10000 --seed 7
 //! ppsim leader-exact  --n 1000
@@ -22,6 +23,7 @@
 //! recovered its pre-fault period statistics. Fractions are given as
 //! integer percents (`--corrupt-pct 10` = 10%).
 
+use population_protocols::core::analyze::{lint_builtin, lint_source};
 use population_protocols::core::clocks::detect::{dominance_events, periods, rotation_violations};
 use population_protocols::core::clocks::diag::rotation_recovery;
 use population_protocols::core::clocks::oscillator::{central_init, Dk18Oscillator, Oscillator};
@@ -32,12 +34,15 @@ use population_protocols::core::engine::metrics;
 use population_protocols::core::engine::rng::SimRng;
 use population_protocols::core::engine::sim::Simulator;
 use population_protocols::core::engine::trace::Tracer;
+use population_protocols::core::lang::ast::Program;
 use population_protocols::core::lang::interp::Executor;
 use population_protocols::core::lang::parse::parse_program;
 use population_protocols::core::protocols::leader::{leader_election, leader_election_exact};
-use population_protocols::core::protocols::majority::majority;
-use population_protocols::core::protocols::plurality::plurality;
-use population_protocols::core::protocols::semilinear::parity_exact;
+use population_protocols::core::protocols::majority::{majority, majority_exact};
+use population_protocols::core::protocols::plurality::{plurality, plurality_exact_three};
+use population_protocols::core::protocols::semilinear::{
+    comparison_and_parity_exact, mod_exact, parity_exact, semilinear_comparison_exact,
+};
 use population_protocols::core::rules::Guard;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -109,11 +114,112 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     Ok(flags)
 }
 
+/// Built-in programs the linter (and `lint --builtin all`) knows by name,
+/// instantiated with the same default constants the run commands use.
+const BUILTINS: &[&str] = &[
+    "leader",
+    "leader-exact",
+    "majority",
+    "majority-exact",
+    "plurality",
+    "plurality-exact-three",
+    "parity",
+    "mod",
+    "comparison-parity",
+    "semilinear-comparison",
+];
+
+fn builtin_program(name: &str) -> Option<Program> {
+    Some(match name {
+        "leader" => leader_election(),
+        "leader-exact" => leader_election_exact(),
+        "majority" => majority(3),
+        "majority-exact" => majority_exact(3),
+        "plurality" => plurality(3, 2),
+        "plurality-exact-three" => plurality_exact_three(),
+        "parity" => parity_exact(1),
+        "mod" => mod_exact(3, 1),
+        "comparison-parity" => comparison_and_parity_exact(1),
+        "semilinear-comparison" => semilinear_comparison_exact(1),
+        _ => return None,
+    })
+}
+
+/// `ppsim lint`: statically analyze `.pp` files and/or built-in programs.
+///
+/// Arguments are positional file paths plus repeatable `--builtin NAME`
+/// (`--builtin all` lints every registered builtin) and `--json` (emit
+/// JSON Lines instead of human-readable blocks). Exit code 1 when any
+/// target has error-severity findings or cannot be read.
+fn run_lint(args: &[String]) -> u8 {
+    let mut files: Vec<&str> = Vec::new();
+    let mut builtins: Vec<&str> = Vec::new();
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--builtin" => {
+                let Some(name) = args.get(i + 1) else {
+                    eprintln!("error: --builtin is missing a name (one of: {BUILTINS:?} or all)");
+                    return 1;
+                };
+                if name == "all" {
+                    builtins.extend(BUILTINS);
+                } else {
+                    builtins.push(name);
+                }
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown lint flag {flag} (expected --builtin NAME or --json)");
+                return 1;
+            }
+            path => files.push(path),
+        }
+        i += 1;
+    }
+    if files.is_empty() && builtins.is_empty() {
+        eprintln!("usage: ppsim lint [protocol.pp ...] [--builtin NAME|all] [--json]");
+        return 1;
+    }
+
+    let emit = |target: &str, report: &population_protocols::core::analyze::Report| -> bool {
+        if json {
+            print!("{}", report.render_jsonl(target));
+        } else {
+            print!("{}", report.render_human(target));
+        }
+        report.has_errors()
+    };
+    let mut failed = false;
+    for path in files {
+        match std::fs::read_to_string(path) {
+            Ok(source) => failed |= emit(path, &lint_source(&source)),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    for name in builtins {
+        match builtin_program(name) {
+            Some(program) => failed |= emit(&format!("builtin:{name}"), &lint_builtin(&program)),
+            None => {
+                eprintln!("unknown builtin {name:?} (one of: {})", BUILTINS.join(" "));
+                failed = true;
+            }
+        }
+    }
+    u8::from(failed)
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ppsim <command> [--n N] [--seed S] [--metrics FILE] [--trace FILE] [...]\n\
          commands:\n\
          \tlist                         list available protocols\n\
+         \tlint [protocol.pp ...] [--builtin NAME|all] [--json]  static analysis\n\
          \trun-file <protocol.pp> [--n --seed --iters --in-NAME C]  run a .pp program\n\
          \tleader       [--n --seed]    w.h.p. leader election (Thm 3.1)\n\
          \tleader-exact [--n --seed]    always-correct leader election (Thm 6.1)\n\
@@ -144,7 +250,9 @@ fn run_command(
     let seed = flags.num("seed", 42);
     match command {
         "list" => {
-            println!("leader leader-exact majority plurality parity oscillator faults run-file");
+            println!(
+                "leader leader-exact majority plurality parity oscillator faults run-file lint"
+            );
             0
         }
         "run-file" => {
@@ -518,6 +626,11 @@ fn main() -> ExitCode {
     let Some(command) = args.first().map(String::as_str) else {
         return usage();
     };
+    // `lint` has its own argument grammar (positional files, repeatable
+    // `--builtin`, boolean `--json`), so it bypasses `parse_flags`.
+    if command == "lint" {
+        return ExitCode::from(run_lint(&args[1..]));
+    }
     // `run-file` takes a positional path before the flags.
     let (path, flag_args) = if command == "run-file" {
         match args.get(1) {

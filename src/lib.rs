@@ -29,6 +29,6 @@
 //! assert_eq!(exec.count_where(&Guard::var(y)), 1000, "everyone answers A");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use pp_core as core;
