@@ -14,6 +14,7 @@
 //! unless the collision-batch speedup at the largest smoke size exceeds
 //! 10×.
 
+use pp_bench::history::{self, HistoryRecord};
 use pp_bench::timing::{bench, throughput};
 use pp_engine::accel::AcceleratedPopulation;
 use pp_engine::counts::CountPopulation;
@@ -326,12 +327,41 @@ fn write_batch_json(rows: &[BatchRow]) {
     println!("\nwrote {}", path.display());
 }
 
+/// Appends the dense rows to the perf-trajectory history
+/// (`BENCH_history.jsonl`, or `$BENCH_HISTORY`) so `ppsim bench-diff` and
+/// the CI `bench-regression` job can compare runs over time.
+fn append_dense_history(rows: &[DenseRow]) {
+    let records: Vec<HistoryRecord> = rows
+        .iter()
+        .flat_map(|r| {
+            [
+                HistoryRecord {
+                    bench: "engine_dense",
+                    scenario: "dense_cycle3",
+                    n: r.n,
+                    metric: "step_per_sec",
+                    rate: r.step_per_sec,
+                },
+                HistoryRecord {
+                    bench: "engine_dense",
+                    scenario: "dense_cycle3",
+                    n: r.n,
+                    metric: "batch_per_sec",
+                    rate: r.batch_per_sec,
+                },
+            ]
+        })
+        .collect();
+    history::append(&records);
+}
+
 /// Reduced-n CI gate: dense rows only, written to `BENCH_dense.json`, and
 /// the collision-batch speedup at the largest smoke size must clear 10×.
 fn run_smoke() {
     println!("engine bench smoke (dense collision-batch gate)");
     let rows = bench_dense(&[10_000, 1_000_000]);
     write_dense_json(&rows);
+    append_dense_history(&rows);
     let last = rows.last().expect("smoke rows");
     let speedup = last.batch_per_sec / last.step_per_sec;
     assert!(
@@ -361,4 +391,5 @@ fn main() {
     write_batch_json(&rows);
     let dense_rows = bench_dense(&[10_000, 1_000_000, 100_000_000]);
     write_dense_json(&dense_rows);
+    append_dense_history(&dense_rows);
 }

@@ -1,0 +1,106 @@
+//! Profiler overhead gate: the disabled-path cost of `pp_engine::prof`
+//! must be noise on the dense hot path.
+//!
+//! The section profiler follows the same contract as the metrics registry
+//! (DESIGN.md §10, §14): one relaxed atomic load per capture point while
+//! disabled, hoisted to one load per batch on the backend hot paths. This
+//! bench measures the dense `cycle3` collision-batch rate at `n = 10⁶`
+//! with the profiler disabled and compares it against the committed
+//! `BENCH_dense.json` baseline — a real disabled-path cost would show up
+//! as a rate drop. It also reports the *enabled* rate, which is expected
+//! to be substantially slower (two monotonic-clock reads per scope) and is
+//! why profiling is opt-in.
+//!
+//! Run with: `cargo bench -p pp-bench --bench prof`
+//!
+//! Exits nonzero when the disabled-profiler rate falls below 75% of the
+//! baseline — loose enough for cross-machine CI noise, tight enough to
+//! catch an accidentally hot disabled path (the acceptance bar on the
+//! machine that wrote the baseline is within 3%).
+
+use pp_bench::timing::throughput;
+use pp_engine::counts::CountPopulation;
+use pp_engine::json::Json;
+use pp_engine::prof;
+use pp_engine::protocol::TableProtocol;
+use pp_engine::rng::SimRng;
+use pp_engine::sim::Simulator;
+use std::path::PathBuf;
+
+fn cycle3() -> TableProtocol {
+    TableProtocol::new(3, "cycle")
+        .rule(0, 1, 1, 1)
+        .rule(1, 2, 2, 2)
+        .rule(2, 0, 0, 0)
+}
+
+/// Dense collision-batch throughput at `n`, same workload and seeds as the
+/// `BENCH_dense.json` rows in `benches/engine.rs`.
+fn dense_batch_rate(n: u64) -> f64 {
+    let mut pop = CountPopulation::from_counts(cycle3(), &[n / 3, n / 3, n - 2 * (n / 3)]);
+    let mut rng = SimRng::seed_from(22);
+    throughput(|| pop.step_batch(&mut rng, 1 << 20).executed)
+}
+
+fn workspace_root() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+/// The committed `batch_per_sec` baseline at `n`, if the snapshot exists.
+fn baseline_batch_rate(n: u64) -> Option<f64> {
+    let text = std::fs::read_to_string(workspace_root().join("BENCH_dense.json")).ok()?;
+    let doc = Json::parse(&text).ok()?;
+    doc.get("rows")?
+        .as_arr()?
+        .iter()
+        .find(|r| r.get("n").and_then(Json::as_u64) == Some(n))?
+        .get("batch_per_sec")?
+        .as_f64()
+}
+
+fn main() {
+    const N: u64 = 1_000_000;
+    println!("profiler overhead bench (dense cycle3, n = {N})");
+    assert!(
+        !prof::enabled(),
+        "profiler must start disabled — another bench leaked the flag"
+    );
+
+    let disabled = dense_batch_rate(N);
+    prof::reset();
+    prof::enable();
+    let enabled = dense_batch_rate(N);
+    prof::disable();
+    let report = prof::snapshot();
+    prof::reset();
+
+    println!("  disabled profiler: {disabled:>12.3e} interactions/s");
+    println!(
+        "  enabled profiler:  {enabled:>12.3e} interactions/s ({:.2}x slower)",
+        disabled / enabled
+    );
+    assert!(
+        report.attributed_ns() > 0,
+        "enabled run recorded no sections — instrumentation is dead"
+    );
+
+    match baseline_batch_rate(N) {
+        Some(base) => {
+            let frac = disabled / base;
+            println!(
+                "  baseline (BENCH_dense.json): {base:>12.3e} interactions/s — disabled path at \
+                 {:.1}% of baseline",
+                frac * 100.0
+            );
+            assert!(
+                frac > 0.75,
+                "disabled-profiler dense rate {disabled:.3e}/s fell below 75% of the committed \
+                 baseline {base:.3e}/s — the disabled path is not free"
+            );
+        }
+        None => println!("  no BENCH_dense.json baseline found; skipping the gate"),
+    }
+    println!("prof overhead bench OK");
+}

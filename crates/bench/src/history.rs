@@ -1,0 +1,156 @@
+//! Perf-trajectory history: append-only `BENCH_history.jsonl` records.
+//!
+//! The repo's `BENCH_*.json` files are *snapshots* — each bench run
+//! overwrites them, so regressions between runs are invisible. This module
+//! gives every bench run a trajectory instead: each measurement appends one
+//! `{"kind":"bench_run",...}` JSON line carrying the bench id, scenario,
+//! population size, metric name, rate, the git revision the harness ran
+//! at, and a unix timestamp. `ppsim bench-diff` compares two such files
+//! (last occurrence of each key wins) and the CI `bench-regression` job
+//! fails when a shared metric drops below the committed baseline by more
+//! than the tolerance.
+//!
+//! The destination defaults to `BENCH_history.jsonl` at the workspace root
+//! and can be redirected with the `BENCH_HISTORY` environment variable —
+//! CI writes a fresh file there so the committed baseline stays pristine
+//! for the comparison.
+
+use pp_engine::json::Json;
+use std::path::PathBuf;
+
+/// One bench measurement bound for the history file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRecord {
+    /// Bench id (e.g. `"engine_dense"`).
+    pub bench: &'static str,
+    /// Workload within the bench (e.g. `"dense_cycle3"`).
+    pub scenario: &'static str,
+    /// Population size the rate was measured at.
+    pub n: u64,
+    /// Metric name (e.g. `"batch_per_sec"`).
+    pub metric: &'static str,
+    /// Measured rate, in the metric's natural unit (per second).
+    pub rate: f64,
+}
+
+/// Where history records go: `$BENCH_HISTORY` if set, else
+/// `BENCH_history.jsonl` at the workspace root.
+#[must_use]
+pub fn history_path() -> PathBuf {
+    if let Ok(p) = std::env::var("BENCH_HISTORY") {
+        return PathBuf::from(p);
+    }
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."))
+        .join("BENCH_history.jsonl")
+}
+
+/// Short git revision of the working tree, or `"unknown"` outside a
+/// checkout (e.g. a source tarball).
+#[must_use]
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string())
+}
+
+/// Renders one record as its `bench_run` JSON document.
+#[must_use]
+pub fn record_json(rec: &HistoryRecord, rev: &str, unix_ts: u64) -> Json {
+    Json::obj([
+        ("kind", Json::from("bench_run")),
+        ("bench", Json::from(rec.bench)),
+        ("scenario", Json::from(rec.scenario)),
+        ("n", Json::from(rec.n)),
+        ("metric", Json::from(rec.metric)),
+        ("rate", Json::from(rec.rate)),
+        ("git_rev", Json::from(rev)),
+        ("unix_ts", Json::from(unix_ts)),
+    ])
+}
+
+/// Appends `records` to [`history_path`] as JSON Lines, stamping all of
+/// them with the current git revision and wall-clock timestamp. Creates
+/// the file (and parent directories) on first use; errors are reported to
+/// stderr but never fail the bench — losing a history line must not turn
+/// a successful measurement run red.
+pub fn append(records: &[HistoryRecord]) {
+    if records.is_empty() {
+        return;
+    }
+    let rev = git_rev();
+    let unix_ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut text = String::new();
+    for rec in records {
+        text.push_str(&record_json(rec, &rev, unix_ts).render());
+        text.push('\n');
+    }
+    let path = history_path();
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    use std::io::Write as _;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(text.as_bytes()));
+    match appended {
+        Ok(()) => println!(
+            "appended {} bench_run record(s) to {}",
+            records.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!(
+            "warning: cannot append bench history {}: {e}",
+            path.display()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_json_has_the_bench_diff_key_fields() {
+        let rec = HistoryRecord {
+            bench: "engine_dense",
+            scenario: "dense_cycle3",
+            n: 1_000_000,
+            metric: "batch_per_sec",
+            rate: 5.7e8,
+        };
+        let doc = record_json(&rec, "abc1234", 1_754_000_000);
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("bench_run"));
+        assert_eq!(
+            doc.get("bench").and_then(Json::as_str),
+            Some("engine_dense")
+        );
+        assert_eq!(
+            doc.get("scenario").and_then(Json::as_str),
+            Some("dense_cycle3")
+        );
+        assert_eq!(doc.get("n").and_then(Json::as_u64), Some(1_000_000));
+        assert_eq!(
+            doc.get("metric").and_then(Json::as_str),
+            Some("batch_per_sec")
+        );
+        assert_eq!(doc.get("rate").and_then(Json::as_f64), Some(5.7e8));
+        assert_eq!(doc.get("git_rev").and_then(Json::as_str), Some("abc1234"));
+        assert_eq!(
+            doc.get("unix_ts").and_then(Json::as_u64),
+            Some(1_754_000_000)
+        );
+        // The rendered line parses back — bench-diff reads these verbatim.
+        let back = Json::parse(&doc.render()).expect("bench_run line parses");
+        assert_eq!(back, doc);
+    }
+}

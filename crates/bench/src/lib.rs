@@ -8,6 +8,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod history;
 pub mod timing;
 
 use pp_engine::metrics;

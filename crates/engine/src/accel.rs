@@ -18,9 +18,11 @@
 
 use crate::collision::{self, BirthdayCdf, CollisionScratch};
 use crate::metrics::{self, record_batch, BatchScratch};
+use crate::prof::{self, Section};
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
 use crate::sim::{BatchOutcome, Simulator, StepOutcome};
+use crate::trace::{self, DispatchRecord};
 
 /// Minimum expected reactive interactions per collision-free epoch for the
 /// contingency-table path to engage (same dispatch rule as
@@ -261,14 +263,21 @@ impl<P: Protocol> Simulator for AcceleratedPopulation<P> {
     /// provably no-ops) or the configuration goes silent. The reactive-pair
     /// consistency recount runs once per batch instead of per change.
     fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
-        // One relaxed load per batch; the loop branches on the bool and
-        // accumulates into a local scratch flushed once at batch end.
+        // One relaxed load per batch (metrics, prof, dispatch); the loop
+        // branches on the bools and accumulates into local scratch flushed
+        // once at batch end.
         let rec = metrics::enabled();
+        let pf = prof::enabled();
+        let disp = trace::dispatch_enabled();
+        let _batch_span = prof::section_if(pf, Section::BatchAccel);
         let mut stats = BatchScratch::new();
         let mut out = BatchOutcome::default();
         let n = self.n;
         let total_pairs = n * (n - 1);
         let epoch_len = (std::f64::consts::PI * n as f64 / 8.0).sqrt();
+        let entry_pairs = self.reactive_pairs;
+        let mut first_regime: Option<&'static str> = None;
+        let (mut d_epochs, mut d_leaps) = (0u64, 0u64);
         while out.executed < max_steps {
             if self.reactive_pairs == 0 {
                 out.silent = true;
@@ -292,7 +301,16 @@ impl<P: Protocol> Simulator for AcceleratedPopulation<P> {
                 if rec {
                     stats.record_epoch(ep.executed);
                 }
+                if disp {
+                    first_regime.get_or_insert("collision");
+                    d_epochs += 1;
+                }
                 continue;
+            }
+            let _leap_span = prof::section_if(pf, Section::Leap);
+            if disp {
+                first_regime.get_or_insert("leap");
+                d_leaps += 1;
             }
             let skip = if p < 1.0 { rng.geometric(p) } else { 0 };
             if skip >= remaining {
@@ -321,6 +339,20 @@ impl<P: Protocol> Simulator for AcceleratedPopulation<P> {
         if rec {
             stats.flush();
             record_batch(&out);
+        }
+        if disp {
+            trace::record_dispatch(DispatchRecord {
+                backend: "AcceleratedPopulation",
+                n,
+                pairs: entry_pairs,
+                p: entry_pairs as f64 / total_pairs as f64,
+                expected_epoch: epoch_len,
+                regime: first_regime.unwrap_or("silent"),
+                executed: out.executed,
+                collision_epochs: d_epochs,
+                leaps: d_leaps,
+                per_steps: 0,
+            });
         }
         out
     }

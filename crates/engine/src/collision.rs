@@ -21,6 +21,7 @@
 //! paying (see their three-regime dispatch); the chi-square suite in
 //! `tests/backend_equivalence.rs` pins the step-vs-epoch equivalence.
 
+use crate::prof::{self, Section};
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
 
@@ -274,6 +275,8 @@ pub fn run_epoch<P: Protocol + ?Sized>(
     rng: &mut SimRng,
     remaining: u64,
 ) -> EpochOutcome {
+    let pf = prof::enabled();
+    let _epoch_span = prof::section_if(pf, Section::CollisionEpoch);
     let n = cdf.n();
     debug_assert_eq!(counts.iter().sum::<u64>(), n);
     debug_assert!(remaining >= 1);
@@ -290,7 +293,9 @@ pub fn run_epoch<P: Protocol + ?Sized>(
     }
     let kq = scratch.occupied.len();
 
+    let len_span = prof::section_if(pf, Section::EpochLenSample);
     let t = cdf.sample_t(rng);
+    drop(len_span);
     let full_l = t / 2;
     let (l, boundary) = if full_l >= remaining {
         (remaining, false)
@@ -302,6 +307,7 @@ pub fn run_epoch<P: Protocol + ?Sized>(
     // Margins: W = state counts of all 2ℓ distinct drawn agents, then the
     // initiator split M | W (any fixed ℓ positions of an exchangeable
     // without-replacement sample are again a uniform subsample).
+    let margin_span = prof::section_if(pf, Section::EpochMargins);
     scratch.w.resize(kq, 0);
     rng.multivariate_hypergeometric_into(&scratch.c_start, draws, &mut scratch.w);
     scratch.m.resize(kq, 0);
@@ -310,6 +316,7 @@ pub fn run_epoch<P: Protocol + ?Sized>(
     for i in 0..kq {
         scratch.rem_r.push(scratch.w[i] - scratch.m[i]);
     }
+    drop(margin_span);
 
     for x in &mut scratch.v {
         *x = 0;
@@ -330,7 +337,10 @@ pub fn run_epoch<P: Protocol + ?Sized>(
             continue;
         }
         let a = scratch.occupied[i];
+        let row_span = prof::section_if(pf, Section::EpochRows);
         rng.multivariate_hypergeometric_into(&scratch.rem_r, mi, &mut scratch.row);
+        drop(row_span);
+        let settle_span = prof::section_if(pf, Section::EpochSettle);
         for j in 0..kq {
             let t_ab = scratch.row[j];
             if t_ab == 0 {
@@ -350,6 +360,7 @@ pub fn run_epoch<P: Protocol + ?Sized>(
                 rng,
             );
         }
+        drop(settle_span);
     }
     debug_assert_eq!(scratch.rem_r.iter().sum::<u64>(), 0);
     debug_assert_eq!(scratch.v.iter().sum::<u64>(), draws);
@@ -363,6 +374,7 @@ pub fn run_epoch<P: Protocol + ?Sized>(
 
     let mut executed = l;
     if boundary {
+        let _boundary_span = prof::section_if(pf, Section::EpochBoundary);
         // The (ℓ+1)-th interaction contains the colliding draw. Touched
         // agents are exchangeable, so the repeated agent's state is ∝ v;
         // untouched agents still hold their epoch-start states.

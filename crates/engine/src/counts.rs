@@ -16,9 +16,11 @@
 use crate::collision::{self, BirthdayCdf, CollisionScratch};
 use crate::fenwick::Fenwick;
 use crate::metrics::{self, record_batch, BatchScratch, Counter};
+use crate::prof::{self, Section};
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
 use crate::sim::{BatchOutcome, Simulator, StepOutcome};
+use crate::trace::{self, DispatchRecord};
 
 /// Largest state space for which [`CountPopulation`] builds the `k × k`
 /// reactivity cache that powers batched no-op leaping. Above this, the
@@ -341,16 +343,22 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
     /// equivalence is pinned in `tests/backend_equivalence.rs`). Reports
     /// silence when no reactive pair remains.
     fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
-        // One relaxed load per batch; inner loops branch on the cached bool
-        // and accumulate into a local scratch flushed once at batch end.
+        // One relaxed load per batch (for each of metrics, prof, dispatch);
+        // inner loops branch on the cached bools and accumulate into local
+        // scratch flushed once at batch end.
         let rec = metrics::enabled();
+        let pf = prof::enabled();
+        let disp = trace::dispatch_enabled();
+        let _batch_span = prof::section_if(pf, Section::BatchCount);
         let mut stats = BatchScratch::new();
         let mut out = BatchOutcome::default();
         if !self.ensure_batch_cache() {
             // Huge state space: no reactivity cache, just a tight loop.
             if rec {
                 metrics::add(Counter::DenseFallbackEntries, 1);
+                metrics::add(Counter::RegimeDenseFallback, 1);
             }
+            let _fallback_span = prof::section_if(pf, Section::DenseFallback);
             while out.executed < max_steps {
                 let (a, b) = self.sample_pair(rng);
                 out.executed += 1;
@@ -364,11 +372,31 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
             if rec {
                 record_batch(&out);
             }
+            if disp {
+                trace::record_dispatch(DispatchRecord {
+                    backend: "CountPopulation",
+                    n: self.n,
+                    // No reactivity cache exists in this regime, so the
+                    // dispatch inputs p and E[epoch] are unknown (NaN
+                    // serializes as JSON null).
+                    pairs: 0,
+                    p: f64::NAN,
+                    expected_epoch: f64::NAN,
+                    regime: "dense_fallback",
+                    executed: out.executed,
+                    collision_epochs: 0,
+                    leaps: 0,
+                    per_steps: out.executed,
+                });
+            }
             return out;
         }
         let n = self.n;
         let total_pairs = n * (n - 1);
         let epoch_len = estimated_epoch_len(n);
+        let entry_pairs = self.batch.as_ref().expect("cache built above").pairs;
+        let mut first_regime: Option<&'static str> = None;
+        let (mut d_epochs, mut d_leaps, mut d_steps) = (0u64, 0u64, 0u64);
         while out.executed < max_steps {
             let cache = self.batch.as_mut().expect("cache built above");
             let pairs = cache.pairs;
@@ -391,12 +419,14 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
                 );
                 // Sync the Fenwick tree and reactive-pair count from the
                 // epoch's net movement (touches only the states that moved).
+                let sync_span = prof::section_if(pf, Section::FenwickSync);
                 for (s, &d) in self.scratch.delta().iter().enumerate() {
                     if d != 0 {
                         self.counts.add(s, d);
                     }
                 }
                 cache.pairs = self.scratch.reactive_pairs(&cache.reactive, &cache.dense);
+                drop(sync_span);
                 debug_assert!(
                     cache.pairs == cache.recount() && cache.dense == self.counts.to_weights()
                 );
@@ -405,11 +435,16 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
                 if rec {
                     stats.record_epoch(ep.executed);
                 }
+                if disp {
+                    first_regime.get_or_insert("collision");
+                    d_epochs += 1;
+                }
                 continue;
             }
             if pairs.saturating_mul(2) >= total_pairs {
                 // Reactive-dense but small n: a geometric draw per step
                 // would cost more than it skips, and epochs don't pay yet.
+                let _step_span = prof::section_if(pf, Section::PerStep);
                 let (a, b) = self.sample_pair(rng);
                 out.executed += 1;
                 let (a2, b2) = self.protocol.interact(a, b, rng);
@@ -420,7 +455,16 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
                 if rec {
                     stats.record_dense_step();
                 }
+                if disp {
+                    first_regime.get_or_insert("per_step");
+                    d_steps += 1;
+                }
                 continue;
+            }
+            let _leap_span = prof::section_if(pf, Section::Leap);
+            if disp {
+                first_regime.get_or_insert("leap");
+                d_leaps += 1;
             }
             let skip = rng.geometric(p);
             if skip >= remaining {
@@ -451,6 +495,20 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
         if rec {
             stats.flush();
             record_batch(&out);
+        }
+        if disp {
+            trace::record_dispatch(DispatchRecord {
+                backend: "CountPopulation",
+                n,
+                pairs: entry_pairs,
+                p: entry_pairs as f64 / total_pairs as f64,
+                expected_epoch: epoch_len,
+                regime: first_regime.unwrap_or("silent"),
+                executed: out.executed,
+                collision_epochs: d_epochs,
+                leaps: d_leaps,
+                per_steps: d_steps,
+            });
         }
         out
     }
@@ -765,6 +823,7 @@ impl<P: Protocol> Simulator for SparseCountPopulation<P> {
     /// each step `O(occupied)`, so batching here only removes per-step
     /// dispatch and outcome plumbing. Never reports silence.
     fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
+        let _batch_span = prof::section(Section::BatchSparse);
         let n = self.n;
         let mut changed = 0u64;
         for _ in 0..max_steps {

@@ -738,9 +738,14 @@ impl<S: Simulator> Simulator for FaultyPopulation<S> {
     /// inner outcome ends the batch — step-indexed triggers can never fire
     /// in a configuration whose step count no longer advances.
     fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
+        let pf = crate::prof::enabled();
         let target = self.inner.steps() + max_steps;
         let mut out = BatchOutcome::default();
         loop {
+            // Attribute the split bookkeeping (injection application and
+            // boundary computation) separately from the inner backend's own
+            // sections — the guard drops before the inner batch runs.
+            let split_span = crate::prof::section_if(pf, crate::prof::Section::FaultSplit);
             self.plan.apply_due(&mut self.inner);
             let now = self.inner.steps();
             if now >= target {
@@ -750,6 +755,7 @@ impl<S: Simulator> Simulator for FaultyPopulation<S> {
                 Some(t) if t < target => (t - now).max(1),
                 _ => target - now,
             };
+            drop(split_span);
             let part = self.inner.step_batch(rng, sub);
             out.executed += part.executed;
             out.changed += part.changed;

@@ -45,6 +45,7 @@ impl Fenwick {
     #[must_use]
     pub fn from_weights(weights: &[u64]) -> Self {
         crate::metrics::add(crate::metrics::Counter::FenwickRebuilds, 1);
+        let _span = crate::prof::section(crate::prof::Section::FenwickRebuild);
         let len = weights.len();
         let mut tree = vec![0u64; len + 1];
         let mut total = 0u64;

@@ -37,8 +37,11 @@
 //!
 //! Every backend hot path carries capture points for the global [`metrics`]
 //! registry (counters + log₂ histograms; near-zero cost while disabled,
-//! which is the default), and [`trace`] records span/event timelines as
-//! JSON Lines via the in-repo [`json`] writer/reader. See `DESIGN.md` §10.
+//! which is the default), scoped timers for the hierarchical [`prof`]
+//! section profiler (same single-flag cost model), and [`trace`] records
+//! span/event timelines — plus per-batch regime-dispatch decision records —
+//! as JSON Lines via the in-repo [`json`] writer/reader. See `DESIGN.md`
+//! §10 and §14.
 //!
 //! ## Example
 //!
@@ -72,6 +75,7 @@ pub mod metrics;
 pub mod obj;
 pub mod observe;
 pub mod population;
+pub mod prof;
 pub mod protocol;
 pub mod report;
 pub mod rng;

@@ -167,6 +167,7 @@ impl<P: Protocol> Simulator for MatchingPopulation<P> {
     /// one round minus one interaction; `executed` reports the true step
     /// delta. Never reports silence.
     fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
+        let _batch_span = crate::prof::section(crate::prof::Section::BatchMatching);
         let start = self.inner.steps();
         let start_rounds = self.rounds;
         let mut changed = 0u64;

@@ -98,11 +98,21 @@ pub enum Counter {
     /// Activations settled in bulk via contingency-table epochs (includes
     /// the per-epoch boundary interaction processed individually).
     CollisionBatchedSteps,
+    /// Dispatch decisions that chose the collision-epoch regime (one per
+    /// epoch run by the dense batch loops).
+    RegimeCollision,
+    /// Dispatch decisions that chose the geometric no-op-leap regime.
+    RegimeLeap,
+    /// Dispatch decisions that chose the per-step Fenwick-sampled regime.
+    RegimePerStep,
+    /// Dispatch decisions that fell back to the uncached dense loop (one
+    /// per `step_batch` call with `k` over the batch-cache limit).
+    RegimeDenseFallback,
 }
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 24] = [
         Counter::InteractionsExecuted,
         Counter::InteractionsChanged,
         Counter::NoopLeaps,
@@ -123,6 +133,10 @@ impl Counter {
         Counter::SweepTimeouts,
         Counter::CollisionEpochs,
         Counter::CollisionBatchedSteps,
+        Counter::RegimeCollision,
+        Counter::RegimeLeap,
+        Counter::RegimePerStep,
+        Counter::RegimeDenseFallback,
     ];
 
     /// Stable snake_case name used in reports.
@@ -149,6 +163,10 @@ impl Counter {
             Counter::SweepTimeouts => "sweep_timeouts",
             Counter::CollisionEpochs => "collision_epochs",
             Counter::CollisionBatchedSteps => "collision_batched_steps",
+            Counter::RegimeCollision => "regime_collision",
+            Counter::RegimeLeap => "regime_leap",
+            Counter::RegimePerStep => "regime_per_step",
+            Counter::RegimeDenseFallback => "regime_dense_fallback",
         }
     }
 }
@@ -352,6 +370,7 @@ impl BatchScratch {
     pub fn flush(&mut self) {
         if self.leaps > 0 {
             add(Counter::NoopLeaps, self.leaps);
+            add(Counter::RegimeLeap, self.leaps);
             add(Counter::NoopStepsLeaped, self.leaped_steps);
             for (bucket, &count) in self.leap_hist.iter().enumerate() {
                 if count > 0 {
@@ -361,9 +380,11 @@ impl BatchScratch {
         }
         if self.dense_steps > 0 {
             add(Counter::ReactiveDenseSteps, self.dense_steps);
+            add(Counter::RegimePerStep, self.dense_steps);
         }
         if self.collision_epochs > 0 {
             add(Counter::CollisionEpochs, self.collision_epochs);
+            add(Counter::RegimeCollision, self.collision_epochs);
             add(Counter::CollisionBatchedSteps, self.collision_steps);
             for (bucket, &count) in self.epoch_hist.iter().enumerate() {
                 if count > 0 {
@@ -380,6 +401,10 @@ impl BatchScratch {
 pub struct MetricsReport {
     counters: Vec<(&'static str, u64)>,
     hists: Vec<(&'static str, Vec<u64>)>,
+    /// Free-form header describing the run that produced the snapshot
+    /// (backend name, command, …) — set by the harness via
+    /// [`MetricsReport::set_meta`], round-tripped through the JSON form.
+    meta: Vec<(String, String)>,
 }
 
 /// Freezes the current registry contents into a [`MetricsReport`].
@@ -406,7 +431,23 @@ pub fn snapshot() -> MetricsReport {
             (h.name(), buckets)
         })
         .collect();
-    MetricsReport { counters, hists }
+    MetricsReport {
+        counters,
+        hists,
+        meta: Vec::new(),
+    }
+}
+
+/// Upper-exclusive value bound of log₂ bucket `i`: bucket 0 holds only the
+/// value 0 (bound 1 = 2⁰), bucket `i ≥ 1` holds `[2^(i−1), 2^i)` (bound
+/// `2^i`, saturating at `u64::MAX` for the last bucket).
+#[must_use]
+pub fn bucket_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
 }
 
 impl MetricsReport {
@@ -435,9 +476,39 @@ impl MetricsReport {
         self.hist(name).map_or(0, |b| b.iter().sum())
     }
 
+    /// Attaches (or overwrites) a header entry describing the run — e.g.
+    /// which backend executed it. Meta entries render under `"meta"` in the
+    /// JSON form and survive [`MetricsReport::parse`].
+    pub fn set_meta(&mut self, key: &str, value: &str) {
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value.to_string();
+        } else {
+            self.meta.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// A header entry by key, if set.
+    #[must_use]
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Renders the report as a JSON document.
+    ///
+    /// Each histogram carries its `log2_buckets` counts alongside
+    /// `bucket_bounds`, the explicit upper-exclusive value bound of every
+    /// bucket ([`bucket_bound`]) — the bucketing scheme is part of the
+    /// document, not an implicit convention of the reader.
     #[must_use]
     pub fn to_json(&self) -> Json {
+        let meta = Json::obj(
+            self.meta
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from(v.clone()))),
+        );
         let counters = Json::obj(self.counters.iter().map(|&(name, v)| (name, Json::from(v))));
         let hists = Json::obj(self.hists.iter().map(|(name, buckets)| {
             (
@@ -448,11 +519,16 @@ impl MetricsReport {
                         "log2_buckets",
                         Json::arr(buckets.iter().map(|&b| Json::from(b))),
                     ),
+                    (
+                        "bucket_bounds",
+                        Json::arr((0..buckets.len()).map(|i| Json::from(bucket_bound(i)))),
+                    ),
                 ]),
             )
         }));
         Json::obj([
             ("kind", Json::from("metrics_report")),
+            ("meta", meta),
             ("counters", counters),
             ("histograms", hists),
         ])
@@ -508,9 +584,42 @@ impl MetricsReport {
                 .iter()
                 .map(|b| b.as_u64().ok_or_else(|| bad("non-integer bucket")))
                 .collect::<Result<Vec<u64>, _>>()?;
+            // Bucket bounds are explicit in the document (when present, as
+            // every writer since they were added emits them): verify they
+            // describe the log₂ scheme this reader assumes.
+            if let Some(bounds) = doc
+                .get("histograms")
+                .and_then(|h| h.get(known.name()))
+                .and_then(|h| h.get("bucket_bounds"))
+                .and_then(Json::as_arr)
+            {
+                if bounds.len() != buckets.len() {
+                    return Err(bad("bucket_bounds length mismatch"));
+                }
+                // Compare as f64: JSON numbers are f64, and every bound is a
+                // power of two ≤ 2⁶³, all of which f64 represents exactly —
+                // whereas `as_u64` refuses integers above 2⁵³.
+                #[allow(clippy::cast_precision_loss)]
+                for (i, b) in bounds.iter().enumerate() {
+                    if b.as_f64() != Some(bucket_bound(i) as f64) {
+                        return Err(bad("bucket_bounds disagree with the log2 scheme"));
+                    }
+                }
+            }
             hists.push((known.name(), buckets));
         }
-        Ok(MetricsReport { counters, hists })
+        let mut meta = Vec::new();
+        if let Some(pairs) = doc.get("meta").and_then(Json::as_obj) {
+            for (k, v) in pairs {
+                let v = v.as_str().ok_or_else(|| bad("non-string meta value"))?;
+                meta.push((k.clone(), v.to_string()));
+            }
+        }
+        Ok(MetricsReport {
+            counters,
+            hists,
+            meta,
+        })
     }
 }
 
@@ -549,7 +658,7 @@ mod tests {
 
     #[test]
     fn report_roundtrips_through_json() {
-        let report = MetricsReport {
+        let mut report = MetricsReport {
             counters: Counter::ALL
                 .iter()
                 .enumerate()
@@ -559,11 +668,78 @@ mod tests {
                 .iter()
                 .map(|&h| (h.name(), vec![1, 0, 3]))
                 .collect(),
+            meta: Vec::new(),
         };
+        report.set_meta("backend", "CountPopulation");
         let text = report.to_json().render();
         let back = MetricsReport::parse(&text).unwrap();
         assert_eq!(back, report);
         assert_eq!(back.hist_count("leap_len"), 4);
+        assert_eq!(back.meta("backend"), Some("CountPopulation"));
+    }
+
+    #[test]
+    fn report_roundtrip_property_seeded() {
+        // Randomized round-trip: any report the writer can produce must
+        // parse back bit-identically — counters, every histogram shape the
+        // snapshot trimmer can emit, and meta headers included.
+        let mut rng = crate::rng::SimRng::seed_from(0x5eed_4e7a);
+        for case in 0..200 {
+            let counters: Vec<(&'static str, u64)> = Counter::ALL
+                .iter()
+                .map(|&c| {
+                    // JSON numbers are f64, so counters are exact only up to
+                    // 2⁵³ — the writer/reader contract covers that range.
+                    let v = match rng.below(4) {
+                        0 => 0,
+                        1 => rng.below(1 << 20),
+                        2 => (1u64 << 53) - 1 - rng.below(5),
+                        _ => rng.below(1 << 53),
+                    };
+                    (c.name(), v)
+                })
+                .collect();
+            let hists: Vec<(&'static str, Vec<u64>)> = Hist::ALL
+                .iter()
+                .map(|&h| {
+                    // Snapshot trims trailing zeros but never below length
+                    // 1; mirror that shape family.
+                    let len = 1 + rng.below(HIST_BUCKETS as u64) as usize;
+                    let mut buckets: Vec<u64> = (0..len).map(|_| rng.below(1 << 30)).collect();
+                    if len > 1 && *buckets.last().unwrap() == 0 {
+                        *buckets.last_mut().unwrap() = 1;
+                    }
+                    (h.name(), buckets)
+                })
+                .collect();
+            let mut report = MetricsReport {
+                counters,
+                hists,
+                meta: Vec::new(),
+            };
+            for m in 0..rng.below(4) {
+                report.set_meta(
+                    &format!("key{m}"),
+                    &format!("value {} #{case}", rng.below(99)),
+                );
+            }
+            let text = report.to_json().render();
+            let back = MetricsReport::parse(&text)
+                .unwrap_or_else(|e| panic!("case {case} failed to parse: {e:?}"));
+            assert_eq!(back, report, "case {case} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_wrong_bucket_bounds() {
+        let report = snapshot();
+        let text = report.to_json().render();
+        assert!(MetricsReport::parse(&text).is_ok());
+        // Corrupt one bound: the reader must notice the scheme mismatch.
+        let corrupt = text.replacen("\"bucket_bounds\":[1", "\"bucket_bounds\":[3", 1);
+        if corrupt != text {
+            assert!(MetricsReport::parse(&corrupt).is_err());
+        }
     }
 
     #[test]

@@ -201,6 +201,7 @@ impl<P: Protocol> Simulator for Population<P> {
     /// size hoisted out of the loop, avoiding per-step dispatch. Never
     /// reports silence (this backend has no reactivity information).
     fn step_batch(&mut self, rng: &mut SimRng, max_steps: u64) -> BatchOutcome {
+        let _batch_span = crate::prof::section(crate::prof::Section::BatchAgents);
         let n = self.agents.len();
         let mut changed = 0u64;
         for _ in 0..max_steps {

@@ -301,6 +301,7 @@ impl SimRng {
         }
         // Work on q = min(p, 1−p) so the mode stays in the lower half, and
         // reflect the sample back at the end.
+        let _pmf_span = crate::prof::section(crate::prof::Section::PmfInversion);
         let flipped = p > 0.5;
         let q = if flipped { 1.0 - p } else { p };
         let mode = (((count + 1) as f64) * q) as u64;
@@ -359,6 +360,7 @@ impl SimRng {
         if draws * 2 > total {
             return tagged - self.hypergeometric(total, tagged, total - draws);
         }
+        let _pmf_span = crate::prof::section(crate::prof::Section::PmfInversion);
         let lo_min = (tagged + draws).saturating_sub(total);
         let hi_max = tagged.min(draws);
         // u64 division suffices whenever the numerator cannot overflow

@@ -12,6 +12,16 @@
 //! thread. Code that wants tracing takes a `&mut Tracer` (or an
 //! `Option<&mut Tracer>`); code that doesn't pays nothing.
 //!
+//! The one global piece is the *regime-dispatch log*: the dense backends
+//! cannot take a `&mut Tracer` through `Simulator::step_batch`, so when
+//! [`dispatch_enabled`] is switched on (same single-atomic-flag pattern as
+//! [`crate::metrics`]) each batch records one [`DispatchRecord`] carrying
+//! the inputs that drove the three-regime dispatch decision — `n`, the
+//! reactive-pair probability `p`, the expected collision-epoch length — and
+//! the regime(s) actually executed. Drain with [`drain_dispatch`] and emit
+//! as JSONL via [`DispatchRecord::to_json`]. The schema is documented in
+//! `DESIGN.md` §14.
+//!
 //! # Examples
 //!
 //! ```
@@ -28,7 +38,97 @@
 //! ```
 
 use crate::json::{to_jsonl, Json};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// One regime-dispatch decision: why a dense backend's `step_batch` picked
+/// the regime it did, and what then actually ran.
+///
+/// `regime` is the first regime chosen at batch entry; a long batch may
+/// cross regime boundaries as counts evolve, so the per-regime tallies
+/// (`collision_epochs`, `leaps`, `per_steps`) describe the whole batch.
+/// Serialized as a `{"kind":"dispatch",...}` JSONL record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchRecord {
+    /// Backend type name (e.g. `"CountPopulation"`).
+    pub backend: &'static str,
+    /// Population size `n`.
+    pub n: u64,
+    /// Reactive (non-null) ordered agent pairs at batch entry.
+    pub pairs: u64,
+    /// Probability `p = pairs / (n(n−1))` that one interaction is reactive.
+    pub p: f64,
+    /// Expected collision-epoch length `√(πn/8)` (birthday bound).
+    pub expected_epoch: f64,
+    /// First regime chosen at batch entry: `"collision"`, `"per_step"`,
+    /// `"leap"`, or `"dense_fallback"`.
+    pub regime: &'static str,
+    /// Interactions executed by the batch.
+    pub executed: u64,
+    /// Collision epochs run during the batch.
+    pub collision_epochs: u64,
+    /// Geometric no-op leaps taken during the batch.
+    pub leaps: u64,
+    /// Individually sampled (per-step / dense-fallback) interactions.
+    pub per_steps: u64,
+}
+
+impl DispatchRecord {
+    /// Renders the record as a `{"kind":"dispatch",...}` JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::from("dispatch")),
+            ("backend", Json::from(self.backend)),
+            ("n", Json::from(self.n)),
+            ("pairs", Json::from(self.pairs)),
+            ("p", Json::from(self.p)),
+            ("expected_epoch", Json::from(self.expected_epoch)),
+            ("regime", Json::from(self.regime)),
+            ("executed", Json::from(self.executed)),
+            ("collision_epochs", Json::from(self.collision_epochs)),
+            ("leaps", Json::from(self.leaps)),
+            ("per_steps", Json::from(self.per_steps)),
+        ])
+    }
+}
+
+static DISPATCH_ENABLED: AtomicBool = AtomicBool::new(false);
+static DISPATCH_LOG: Mutex<Vec<DispatchRecord>> = Mutex::new(Vec::new());
+
+/// Whether dispatch recording is on. Hot paths read this once per batch
+/// (relaxed load — same cost model as [`crate::metrics::enabled`]).
+#[inline]
+#[must_use]
+pub fn dispatch_enabled() -> bool {
+    DISPATCH_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Switches dispatch recording on (process-global).
+pub fn enable_dispatch() {
+    DISPATCH_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Switches dispatch recording off. Buffered records stay until drained.
+pub fn disable_dispatch() {
+    DISPATCH_ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Appends one dispatch record to the global log. Callers gate on
+/// [`dispatch_enabled`] so the disabled path never touches the mutex.
+pub fn record_dispatch(rec: DispatchRecord) {
+    DISPATCH_LOG
+        .lock()
+        .expect("dispatch log poisoned")
+        .push(rec);
+}
+
+/// Removes and returns all buffered dispatch records, in arrival order.
+#[must_use]
+pub fn drain_dispatch() -> Vec<DispatchRecord> {
+    std::mem::take(&mut *DISPATCH_LOG.lock().expect("dispatch log poisoned"))
+}
 
 /// Handle to an open span, returned by [`Tracer::begin_span`] and consumed
 /// by [`Tracer::end_span`].
@@ -259,6 +359,40 @@ mod tests {
             records[0].get("name").and_then(Json::as_str),
             Some("dangling")
         );
+    }
+
+    #[test]
+    fn dispatch_log_records_and_drains() {
+        let _guard = crate::metrics::TEST_MUTEX
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = drain_dispatch();
+        assert!(!dispatch_enabled());
+        enable_dispatch();
+        assert!(dispatch_enabled());
+        record_dispatch(DispatchRecord {
+            backend: "CountPopulation",
+            n: 1_000_000,
+            pairs: 999_999_000_000,
+            p: 0.999_999,
+            expected_epoch: 626.657,
+            regime: "collision",
+            executed: 1_000_000,
+            collision_epochs: 1595,
+            leaps: 0,
+            per_steps: 0,
+        });
+        disable_dispatch();
+        let drained = drain_dispatch();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].regime, "collision");
+        let doc = drained[0].to_json();
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("dispatch"));
+        assert_eq!(doc.get("n").and_then(Json::as_u64), Some(1_000_000));
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("regime").and_then(Json::as_str), Some("collision"));
+        assert!(drain_dispatch().is_empty());
     }
 
     #[test]

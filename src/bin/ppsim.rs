@@ -11,11 +11,21 @@
 //! ppsim parity        --n 200 --a 7
 //! ppsim oscillator    --n 50000 --rounds 300
 //! ppsim faults        --n 4000 --byz-count 1600 --byz-every 120
+//! ppsim profile       --builtin oscillator --n 100000 --json
+//! ppsim bench-diff    BENCH_history.jsonl new_history.jsonl --tolerance-pct 25
 //! ```
 //!
 //! Every command additionally accepts `--metrics <path>` (write an engine
 //! metrics snapshot as JSON) and `--trace <path>` (write a span/event run
-//! trace as JSON Lines). Unknown flags are errors.
+//! trace as JSON Lines; regime-dispatch decision records ride along as
+//! `dispatch` events). Unknown flags are errors.
+//!
+//! `profile` runs a built-in protocol with the in-engine section profiler
+//! switched on and renders a self-time/total-time tree of where the hot
+//! paths spent their wall time, plus regime counters, dispatch-decision
+//! tallies, and streaming (P²) percentiles of the observable the protocol
+//! produces. `bench-diff` compares two `BENCH_history.jsonl` snapshots and
+//! exits non-zero when any shared metric regressed beyond the tolerance.
 //!
 //! `faults` runs the oscillator under an injection schedule (a JSON spec
 //! file via `--spec`, or composed from `--corrupt-*` / `--churn-*` /
@@ -29,11 +39,14 @@ use population_protocols::core::clocks::diag::rotation_recovery;
 use population_protocols::core::clocks::oscillator::{central_init, Dk18Oscillator, Oscillator};
 use population_protocols::core::engine::counts::CountPopulation;
 use population_protocols::core::engine::faults::{CorruptMode, FaultSpec, FaultyPopulation};
-use population_protocols::core::engine::json::Json;
+use population_protocols::core::engine::json::{parse_jsonl, Json};
 use population_protocols::core::engine::metrics;
+use population_protocols::core::engine::prof;
+use population_protocols::core::engine::protocol::TableProtocol;
 use population_protocols::core::engine::rng::SimRng;
-use population_protocols::core::engine::sim::Simulator;
-use population_protocols::core::engine::trace::Tracer;
+use population_protocols::core::engine::sim::{run_until, Simulator};
+use population_protocols::core::engine::stats::P2Quantile;
+use population_protocols::core::engine::trace::{self, DispatchRecord, Tracer};
 use population_protocols::core::lang::ast::Program;
 use population_protocols::core::lang::interp::Executor;
 use population_protocols::core::lang::parse::parse_program;
@@ -214,6 +227,366 @@ fn run_lint(args: &[String]) -> u8 {
     u8::from(failed)
 }
 
+/// Backend a run command executes on, for the `--metrics` snapshot header.
+fn backend_name(command: &str) -> &'static str {
+    match command {
+        "oscillator" => "CountPopulation",
+        "faults" => "FaultyPopulation<CountPopulation>",
+        "run-file" | "leader" | "leader-exact" | "majority" | "plurality" | "parity" => {
+            "Executor (CountPopulation; SparseCountPopulation above the state-space threshold)"
+        }
+        _ => "none",
+    }
+}
+
+/// Runs the DK18 oscillator with the profiler on; returns the run-loop wall
+/// time, the label of the streamed observable, and its samples (dominance
+/// periods in rounds).
+fn profile_oscillator(n: u64, rounds: u64, seed: u64) -> (u64, &'static str, Vec<f64>) {
+    let x = ((n as f64).powf(0.3) as u64).max(1);
+    let osc = Dk18Oscillator::new();
+    let mut pop = CountPopulation::from_counts(&osc, &central_init(&osc, n, x));
+    let mut rng = SimRng::seed_from(seed);
+    let mut rows = Vec::new();
+    let wall = std::time::Instant::now();
+    while pop.time() < rounds as f64 {
+        let out = pop.step_batch(&mut rng, n);
+        {
+            // Measurement work is part of the run loop's wall time; give it
+            // its own section so it cannot masquerade as engine time.
+            let _obs = prof::section(prof::Section::Observer);
+            rows.push((pop.time(), osc.species_counts(&pop.counts())));
+        }
+        if out.silent && out.executed == 0 {
+            break;
+        }
+    }
+    let wall_ns = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let events = dominance_events(&rows, 0.8);
+    (wall_ns, "oscillator period (rounds)", periods(&events))
+}
+
+/// Runs 10 seeded epidemic trials with the profiler on; the streamed
+/// observable is the per-trial convergence time in parallel rounds.
+fn profile_epidemic(n: u64, rounds: u64, seed: u64) -> (u64, &'static str, Vec<f64>) {
+    let p = TableProtocol::new(2, "epidemic")
+        .rule(1, 0, 1, 1)
+        .rule(0, 1, 1, 1);
+    let mut times = Vec::new();
+    let wall = std::time::Instant::now();
+    for trial in 0..10 {
+        let mut pop = CountPopulation::from_counts(&p, &[n - 1, 1]);
+        let mut rng = SimRng::seed_from(seed.wrapping_add(trial));
+        if let Some(t) = run_until(&mut pop, &mut rng, rounds as f64, n, |s| s.count(0) == 0) {
+            let _obs = prof::section(prof::Section::Observer);
+            times.push(t);
+        }
+    }
+    let wall_ns = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    (wall_ns, "convergence time (rounds)", times)
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.2} ms", ns as f64 / 1e6)
+}
+
+/// `ppsim profile`: run a built-in protocol under the section profiler and
+/// report a self-time/total-time tree, regime dispatch, and P² percentiles.
+///
+/// Own grammar (like `lint`): `--builtin oscillator|epidemic`, `--n N`,
+/// `--rounds R`, `--seed S`, `--dispatch FILE` (write the per-batch
+/// dispatch-decision records as JSONL), `--json`.
+#[allow(clippy::too_many_lines)]
+fn run_profile(args: &[String]) -> u8 {
+    let mut builtin: &str = "oscillator";
+    let mut n = 100_000u64;
+    let mut rounds = 300u64;
+    let mut seed = 42u64;
+    let mut json = false;
+    let mut dispatch_path: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            key @ ("--builtin" | "--n" | "--rounds" | "--seed" | "--dispatch") => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("error: flag {key} is missing a value");
+                    return 1;
+                };
+                match key {
+                    "--builtin" => builtin = value,
+                    "--dispatch" => dispatch_path = Some(value),
+                    _ => {
+                        let Ok(parsed) = value.parse() else {
+                            eprintln!("error: flag {key} needs an integer value, got {value:?}");
+                            return 1;
+                        };
+                        match key {
+                            "--n" => n = parsed,
+                            "--rounds" => rounds = parsed,
+                            _ => seed = parsed,
+                        }
+                    }
+                }
+                i += 1;
+            }
+            other => {
+                eprintln!(
+                    "error: unknown profile argument {other:?} (usage: ppsim profile \
+                     [--builtin oscillator|epidemic] [--n N] [--rounds R] [--seed S] \
+                     [--dispatch FILE] [--json])"
+                );
+                return 1;
+            }
+        }
+        i += 1;
+    }
+    if !matches!(builtin, "oscillator" | "epidemic") {
+        eprintln!("error: unknown profile builtin {builtin:?} (oscillator or epidemic)");
+        return 1;
+    }
+    if n < 2 {
+        eprintln!("error: profile needs --n >= 2");
+        return 1;
+    }
+
+    prof::reset();
+    prof::enable();
+    metrics::reset();
+    metrics::enable();
+    let _ = trace::drain_dispatch();
+    trace::enable_dispatch();
+    let (wall_ns, quantile_label, samples) = if builtin == "oscillator" {
+        profile_oscillator(n, rounds, seed)
+    } else {
+        profile_epidemic(n, rounds, seed)
+    };
+    prof::disable();
+    metrics::disable();
+    trace::disable_dispatch();
+    let report = prof::snapshot();
+    let snap = metrics::snapshot();
+    let dispatch = trace::drain_dispatch();
+
+    if let Some(path) = dispatch_path {
+        let text: String = dispatch
+            .iter()
+            .map(|d| {
+                let mut line = d.to_json().render();
+                line.push('\n');
+                line
+            })
+            .collect();
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write dispatch log {path}: {e}");
+            return 1;
+        }
+    }
+
+    let mut sketches = [
+        P2Quantile::new(0.5),
+        P2Quantile::new(0.9),
+        P2Quantile::new(0.99),
+    ];
+    for &s in &samples {
+        for sk in &mut sketches {
+            sk.observe(s);
+        }
+    }
+    let regimes = [
+        ("collision", snap.counter("regime_collision")),
+        ("leap", snap.counter("regime_leap")),
+        ("per_step", snap.counter("regime_per_step")),
+        ("dense_fallback", snap.counter("regime_dense_fallback")),
+    ];
+    let first_regime = dispatch.first().map_or("none", |d| d.regime);
+    let attributed = report.attributed_ns();
+    let frac = attributed as f64 / wall_ns.max(1) as f64;
+
+    if json {
+        let Json::Obj(mut pairs) = report.to_json(Some(wall_ns)) else {
+            unreachable!("ProfReport::to_json returns an object");
+        };
+        pairs.push(("builtin".to_string(), Json::from(builtin)));
+        pairs.push(("n".to_string(), Json::from(n)));
+        pairs.push(("rounds".to_string(), Json::from(rounds)));
+        pairs.push(("seed".to_string(), Json::from(seed)));
+        pairs.push((
+            "regimes".to_string(),
+            Json::obj(regimes.map(|(k, v)| (k, Json::from(v)))),
+        ));
+        pairs.push((
+            "dispatch_records".to_string(),
+            Json::from(dispatch.len() as u64),
+        ));
+        pairs.push(("first_regime".to_string(), Json::from(first_regime)));
+        let quant = |sk: &P2Quantile| {
+            if sk.count() == 0 {
+                Json::Null
+            } else {
+                Json::from(sk.value())
+            }
+        };
+        pairs.push((
+            "quantiles".to_string(),
+            Json::obj([
+                ("label", Json::from(quantile_label)),
+                ("count", Json::from(samples.len() as u64)),
+                ("p50", quant(&sketches[0])),
+                ("p90", quant(&sketches[1])),
+                ("p99", quant(&sketches[2])),
+            ]),
+        ));
+        println!("{}", Json::Obj(pairs).render());
+        return 0;
+    }
+
+    println!("profile: builtin={builtin} n={n} rounds={rounds} seed={seed}");
+    println!(
+        "wall {} · attributed {} ({:.1}%)",
+        fmt_ms(wall_ns),
+        fmt_ms(attributed),
+        frac * 100.0
+    );
+    print!("{}", report.render_tree());
+    let regime_line: Vec<String> = regimes.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!("regimes: {}", regime_line.join(" "));
+    println!(
+        "dispatch: {} records (first regime: {first_regime})",
+        dispatch.len()
+    );
+    if samples.is_empty() {
+        println!("{quantile_label}: no samples");
+    } else {
+        println!(
+            "{quantile_label} over {} samples (P²): p50={:.1} p90={:.1} p99={:.1}",
+            samples.len(),
+            sketches[0].value(),
+            sketches[1].value(),
+            sketches[2].value()
+        );
+    }
+    0
+}
+
+/// Loads the `(bench/scenario/n/metric, rate)` rows of a
+/// `BENCH_history.jsonl` snapshot, keeping the last occurrence of each key
+/// (histories append, so the newest run is the snapshot value).
+fn bench_history_rates(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let docs = parse_jsonl(&text).map_err(|e| format!("{path}: invalid JSONL: {e:?}"))?;
+    let mut rates: Vec<(String, f64)> = Vec::new();
+    for doc in &docs {
+        if doc.get("kind").and_then(Json::as_str) != Some("bench_run") {
+            continue;
+        }
+        let fields = (
+            doc.get("bench").and_then(Json::as_str),
+            doc.get("scenario").and_then(Json::as_str),
+            doc.get("n").and_then(Json::as_u64),
+            doc.get("metric").and_then(Json::as_str),
+            doc.get("rate").and_then(Json::as_f64),
+        );
+        let (Some(bench), Some(scenario), Some(n), Some(metric), Some(rate)) = fields else {
+            return Err(format!(
+                "{path}: bench_run record is missing bench/scenario/n/metric/rate"
+            ));
+        };
+        let key = format!("{bench}/{scenario}/n={n}/{metric}");
+        if let Some(slot) = rates.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = rate;
+        } else {
+            rates.push((key, rate));
+        }
+    }
+    Ok(rates)
+}
+
+/// `ppsim bench-diff`: compare two `BENCH_history.jsonl` snapshots.
+///
+/// Exit 0 when every shared metric is within tolerance, 1 when any shared
+/// metric's current rate fell more than `--tolerance-pct` (default 25)
+/// below its baseline, 2 on usage or input errors (including snapshots
+/// that share no keys — a silent empty comparison must not pass CI).
+fn run_bench_diff(args: &[String]) -> u8 {
+    let mut tolerance_pct = 25.0f64;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance-pct" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("error: --tolerance-pct is missing a value");
+                    return 2;
+                };
+                match v.parse::<f64>() {
+                    Ok(t) if (0.0..100.0).contains(&t) => tolerance_pct = t,
+                    _ => {
+                        eprintln!("error: --tolerance-pct needs a number in [0, 100), got {v:?}");
+                        return 2;
+                    }
+                }
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown bench-diff flag {flag}");
+                return 2;
+            }
+            p => paths.push(p),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        eprintln!("usage: ppsim bench-diff <baseline.jsonl> <current.jsonl> [--tolerance-pct T]");
+        return 2;
+    };
+    let base = match bench_history_rates(baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let cur = match bench_history_rates(current_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let mut shared = 0usize;
+    let mut regressed = 0usize;
+    for (key, base_rate) in &base {
+        let Some((_, cur_rate)) = cur.iter().find(|(k, _)| k == key) else {
+            println!("  {key}: missing from current snapshot");
+            continue;
+        };
+        shared += 1;
+        if *base_rate <= 0.0 {
+            println!("  {key}: baseline rate is zero, skipping comparison");
+            continue;
+        }
+        let delta_pct = (cur_rate - base_rate) / base_rate * 100.0;
+        let floor = base_rate * (1.0 - tolerance_pct / 100.0);
+        let verdict = if *cur_rate < floor {
+            regressed += 1;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!("  {key}: {base_rate:.3e} -> {cur_rate:.3e} ({delta_pct:+.1}%) {verdict}");
+    }
+    if shared == 0 {
+        eprintln!("error: the snapshots share no bench keys (nothing was compared)");
+        return 2;
+    }
+    println!(
+        "bench-diff: {shared} shared metric(s), {regressed} regression(s) beyond \
+         {tolerance_pct}% tolerance"
+    );
+    u8::from(regressed > 0)
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ppsim <command> [--n N] [--seed S] [--metrics FILE] [--trace FILE] [...]\n\
@@ -232,9 +605,14 @@ fn usage() -> ExitCode {
          \t              --churn-every R --churn-pct P --churn-state S\n\
          \t              --byz-count K --byz-state S --byz-every R --window R]\n\
          \t             oscillator under fault injection + recovery report\n\
+         \tprofile      [--builtin oscillator|epidemic --n --rounds --seed --dispatch FILE --json]\n\
+         \t             run with the section profiler on; self/total-time tree report\n\
+         \tbench-diff   <baseline.jsonl> <current.jsonl> [--tolerance-pct T]\n\
+         \t             compare two BENCH_history.jsonl snapshots (exit 1 on regression)\n\
          global flags:\n\
          \t--metrics FILE   write an engine metrics snapshot (JSON) on exit\n\
-         \t--trace FILE     write a span/event run trace (JSON Lines) on exit"
+         \t--trace FILE     write a span/event run trace (JSON Lines) on exit,\n\
+         \t                 including per-batch regime-dispatch decision events"
     );
     ExitCode::FAILURE
 }
@@ -476,8 +854,22 @@ fn run_command(
             let events = dominance_events(&trace, 0.8);
             let per = periods(&events);
             let mean = per.iter().sum::<f64>() / per.len().max(1) as f64;
+            // Stream the periods through P² sketches — the same online
+            // estimator observers use, so the printed percentiles match
+            // what a long sweep would report without buffering samples.
+            let mut p50 = P2Quantile::new(0.5);
+            let mut p90 = P2Quantile::new(0.9);
+            for &p in &per {
+                p50.observe(p);
+                p90.observe(p);
+            }
+            let (q50, q90) = if per.is_empty() {
+                (f64::NAN, f64::NAN)
+            } else {
+                (p50.value(), p90.value())
+            };
             println!(
-                "oscillator n={n} #X={x}: {} dominance events, {} rotation violations, mean period {:.1} rounds (log2 n = {:.1})",
+                "oscillator n={n} #X={x}: {} dominance events, {} rotation violations, mean period {:.1} rounds, p50 {q50:.1}, p90 {q90:.1} (log2 n = {:.1})",
                 events.len(),
                 rotation_violations(&events),
                 mean,
@@ -631,6 +1023,13 @@ fn main() -> ExitCode {
     if command == "lint" {
         return ExitCode::from(run_lint(&args[1..]));
     }
+    // `profile` and `bench-diff` also carry their own grammars.
+    if command == "profile" {
+        return ExitCode::from(run_profile(&args[1..]));
+    }
+    if command == "bench-diff" {
+        return ExitCode::from(run_bench_diff(&args[1..]));
+    }
     // `run-file` takes a positional path before the flags.
     let (path, flag_args) = if command == "run-file" {
         match args.get(1) {
@@ -655,6 +1054,11 @@ fn main() -> ExitCode {
         metrics::enable();
     }
     let mut tracer = trace_path.is_some().then(Tracer::new);
+    if tracer.is_some() {
+        // Dispatch decisions ride along in the trace as `dispatch` events.
+        let _ = trace::drain_dispatch();
+        trace::enable_dispatch();
+    }
     let root = tracer.as_mut().map(|tr| {
         tr.begin_span(
             "run",
@@ -668,6 +1072,12 @@ fn main() -> ExitCode {
 
     let code = run_command(command, path, &flags, &mut tracer);
 
+    if let Some(tr) = tracer.as_mut() {
+        trace::disable_dispatch();
+        for d in trace::drain_dispatch() {
+            tr.event("dispatch", &dispatch_fields(&d));
+        }
+    }
     if let (Some(tr), Some(span)) = (tracer.as_mut(), root) {
         tr.end_span(span, &[("exit_code", Json::from(u64::from(code)))]);
     }
@@ -678,12 +1088,41 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = metrics_path {
-        let snapshot = metrics::snapshot();
+        let mut snapshot = metrics::snapshot();
         metrics::disable();
+        // Header: which backend executed the run, and how the three-regime
+        // dispatcher split the work, both in the snapshot meta and echoed
+        // on stdout.
+        snapshot.set_meta("command", command);
+        snapshot.set_meta("backend", backend_name(command));
+        println!(
+            "metrics: backend={} | regimes: collision={} leap={} per_step={} dense_fallback={}",
+            backend_name(command),
+            snapshot.counter("regime_collision"),
+            snapshot.counter("regime_leap"),
+            snapshot.counter("regime_per_step"),
+            snapshot.counter("regime_dense_fallback"),
+        );
         if let Err(e) = snapshot.write_json(&path) {
             eprintln!("cannot write metrics {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
     ExitCode::from(code)
+}
+
+/// Flattens a [`DispatchRecord`] into tracer event fields.
+fn dispatch_fields(d: &DispatchRecord) -> Vec<(&'static str, Json)> {
+    vec![
+        ("backend", Json::from(d.backend)),
+        ("n", Json::from(d.n)),
+        ("pairs", Json::from(d.pairs)),
+        ("p", Json::from(d.p)),
+        ("expected_epoch", Json::from(d.expected_epoch)),
+        ("regime", Json::from(d.regime)),
+        ("executed", Json::from(d.executed)),
+        ("collision_epochs", Json::from(d.collision_epochs)),
+        ("leaps", Json::from(d.leaps)),
+        ("per_steps", Json::from(d.per_steps)),
+    ]
 }

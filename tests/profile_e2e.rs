@@ -1,0 +1,171 @@
+//! End-to-end checks on `ppsim profile`: the JSON report must attribute
+//! nearly all dense-run wall time to named sections, keep the pmf-inversion
+//! chain separately visible, and carry the regime-dispatch evidence.
+
+use population_protocols::core::engine::json::{parse_jsonl, Json};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ppsim-profile-{}-{name}", std::process::id()))
+}
+
+fn profile_json(args: &[&str]) -> Json {
+    let out = Command::new(env!("CARGO_BIN_EXE_ppsim"))
+        .arg("profile")
+        .args(args)
+        .arg("--json")
+        .output()
+        .expect("spawn ppsim profile");
+    assert!(
+        out.status.success(),
+        "ppsim profile failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf8 stdout");
+    Json::parse(text.trim()).expect("profile --json emits one JSON document")
+}
+
+fn sections(doc: &Json) -> Vec<&Json> {
+    doc.get("sections")
+        .and_then(Json::as_arr)
+        .expect("profile report carries sections")
+        .iter()
+        .collect()
+}
+
+#[test]
+fn oscillator_profile_attributes_dense_wall_time() {
+    let doc = profile_json(&["--builtin", "oscillator", "--n", "50000", "--rounds", "200"]);
+    assert_eq!(
+        doc.get("kind").and_then(Json::as_str),
+        Some("profile_report")
+    );
+
+    // Acceptance bar: ≥ 90% of the dense-run wall time lands in named
+    // sections. (In practice the top-level batch section alone covers it.)
+    let frac = doc
+        .get("attributed_frac")
+        .and_then(Json::as_f64)
+        .expect("attributed_frac present");
+    assert!(
+        frac >= 0.9,
+        "profile attributed only {:.1}% of wall time",
+        frac * 100.0
+    );
+
+    // The pmf-inversion chain is separately visible, attributed under the
+    // collision-epoch stages rather than folded into them.
+    let secs = sections(&doc);
+    let pmf_calls: u64 = secs
+        .iter()
+        .filter(|s| s.get("name").and_then(Json::as_str) == Some("pmf_inversion"))
+        .filter_map(|s| s.get("calls").and_then(Json::as_u64))
+        .sum();
+    assert!(pmf_calls > 0, "pmf_inversion sections never fired");
+    let pmf_parents: Vec<&str> = secs
+        .iter()
+        .filter(|s| s.get("name").and_then(Json::as_str) == Some("pmf_inversion"))
+        .filter_map(|s| s.get("parent").and_then(Json::as_str))
+        .collect();
+    assert!(
+        pmf_parents
+            .iter()
+            .any(|p| ["epoch_margins", "epoch_rows", "epoch_settle"].contains(p)),
+        "pmf_inversion not attributed under the epoch chain: {pmf_parents:?}"
+    );
+    for name in ["count_step_batch", "collision_epoch", "epoch_len_sample"] {
+        assert!(
+            secs.iter()
+                .any(|s| s.get("name").and_then(Json::as_str) == Some(name)),
+            "section {name} missing from the report"
+        );
+    }
+
+    // Dense oscillator at this size runs in the collision regime, and the
+    // dispatch records agree with the regime counters.
+    let regimes = doc.get("regimes").expect("regimes present");
+    assert!(regimes.get("collision").and_then(Json::as_u64) > Some(0));
+    assert!(doc.get("dispatch_records").and_then(Json::as_u64) > Some(0));
+    assert_eq!(
+        doc.get("first_regime").and_then(Json::as_str),
+        Some("collision")
+    );
+
+    // The P² percentiles of the oscillator period came out of the run.
+    let q = doc.get("quantiles").expect("quantiles present");
+    assert_eq!(
+        q.get("label").and_then(Json::as_str),
+        Some("oscillator period (rounds)")
+    );
+    assert!(q.get("count").and_then(Json::as_u64) > Some(0));
+    let p50 = q.get("p50").and_then(Json::as_f64).expect("p50 present");
+    let p99 = q.get("p99").and_then(Json::as_f64).expect("p99 present");
+    assert!(
+        p50 > 0.0 && p99 >= p50,
+        "percentiles disordered: {p50} {p99}"
+    );
+}
+
+#[test]
+fn profile_dispatch_log_is_valid_jsonl() {
+    let path = tmp("dispatch.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_ppsim"))
+        .args([
+            "profile",
+            "--builtin",
+            "epidemic",
+            "--n",
+            "20000",
+            "--rounds",
+            "80",
+        ])
+        .arg("--dispatch")
+        .arg(&path)
+        .output()
+        .expect("spawn ppsim profile");
+    assert!(
+        out.status.success(),
+        "ppsim profile failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("dispatch log written");
+    let _ = std::fs::remove_file(&path);
+    let records = parse_jsonl(&text).expect("dispatch log parses as JSONL");
+    assert!(!records.is_empty(), "no dispatch records for a dense run");
+    for rec in &records {
+        assert_eq!(rec.get("kind").and_then(Json::as_str), Some("dispatch"));
+        assert_eq!(
+            rec.get("backend").and_then(Json::as_str),
+            Some("CountPopulation")
+        );
+        let regime = rec.get("regime").and_then(Json::as_str).expect("regime");
+        assert!(
+            ["collision", "leap", "per_step", "dense_fallback", "silent"].contains(&regime),
+            "unexpected regime {regime:?}"
+        );
+        let executed = rec
+            .get("executed")
+            .and_then(Json::as_u64)
+            .expect("executed");
+        let parts = rec.get("collision_epochs").and_then(Json::as_u64).unwrap()
+            + rec.get("leaps").and_then(Json::as_u64).unwrap()
+            + rec.get("per_steps").and_then(Json::as_u64).unwrap();
+        // Every non-silent batch decomposes into at least one regime event.
+        assert!(
+            executed == 0 || parts > 0,
+            "batch executed {executed} steps with no regime tallies"
+        );
+    }
+    // The epidemic run crosses from the leap regime into collision epochs
+    // as the infection spreads — the decision inputs must show p rising.
+    let ps: Vec<f64> = records
+        .iter()
+        .filter_map(|r| r.get("p").and_then(Json::as_f64))
+        .collect();
+    assert!(ps.len() >= 2, "too few dispatch records with p");
+    assert!(
+        ps.last().unwrap() > ps.first().unwrap(),
+        "reactive probability did not rise over the epidemic: {ps:?}"
+    );
+}
