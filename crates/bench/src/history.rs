@@ -87,21 +87,27 @@ pub fn append(records: &[HistoryRecord]) {
     let unix_ts = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
-    let mut text = String::new();
-    for rec in records {
-        text.push_str(&record_json(rec, &rev, unix_ts).render());
-        text.push('\n');
-    }
     let path = history_path();
     if let Some(parent) = path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
     use std::io::Write as _;
+    // One O_APPEND write per record line: a crash mid-append tears at most
+    // the record being written — always the file's final line, which
+    // `ppsim bench-diff` skips with a warning — and every earlier record
+    // in the batch is already durable on its own line.
     let appended = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open(&path)
-        .and_then(|mut f| f.write_all(text.as_bytes()));
+        .and_then(|mut f| {
+            for rec in records {
+                let mut line = record_json(rec, &rev, unix_ts).render();
+                line.push('\n');
+                f.write_all(line.as_bytes())?;
+            }
+            Ok(())
+        });
     match appended {
         Ok(()) => println!(
             "appended {} bench_run record(s) to {}",

@@ -17,11 +17,13 @@
 //! react are skipped, which is what keeps the acceleration exact.
 
 use crate::collision::{self, BirthdayCdf, CollisionScratch};
+use crate::json::Json;
 use crate::metrics::{self, record_batch, BatchScratch};
 use crate::prof::{self, Section};
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
 use crate::sim::{BatchOutcome, Simulator, StepOutcome};
+use crate::snapshot::{hex_u64, parse_hex_u64};
 use crate::trace::{self, DispatchRecord};
 
 /// Minimum expected reactive interactions per collision-free epoch for the
@@ -355,6 +357,55 @@ impl<P: Protocol> Simulator for AcceleratedPopulation<P> {
             });
         }
         out
+    }
+
+    fn backend_tag(&self) -> &'static str {
+        "accel"
+    }
+
+    /// Serializes the count vector and step counter. The reactivity table
+    /// depends only on the protocol, and the reactive-pair count, birthday
+    /// table, and collision scratch derive RNG-free from the counts, so all
+    /// are rebuilt on restore.
+    fn snapshot(&self) -> Result<Json, String> {
+        Ok(Json::obj([
+            (
+                "counts",
+                Json::Arr(self.counts.iter().map(|&c| hex_u64(c)).collect()),
+            ),
+            ("steps", hex_u64(self.steps)),
+        ]))
+    }
+
+    fn restore(&mut self, state: &Json) -> Result<(), String> {
+        let arr = state
+            .get("counts")
+            .and_then(Json::as_arr)
+            .ok_or("accel snapshot missing count array")?;
+        if arr.len() != self.counts.len() {
+            return Err(format!(
+                "snapshot has {} states, simulator protocol has {}",
+                arr.len(),
+                self.counts.len()
+            ));
+        }
+        let steps = parse_hex_u64(state.get("steps").unwrap_or(&Json::Null))?;
+        let mut counts = Vec::with_capacity(arr.len());
+        for j in arr {
+            counts.push(parse_hex_u64(j)?);
+        }
+        let total: u64 = counts.iter().sum();
+        if total != self.n {
+            return Err(format!(
+                "snapshot population {total} does not match simulator population {}",
+                self.n
+            ));
+        }
+        self.counts = counts;
+        self.steps = steps;
+        self.reactive_pairs = self.recount_reactive_pairs();
+        self.birthday = None;
+        Ok(())
     }
 }
 

@@ -15,11 +15,13 @@
 
 use crate::collision::{self, BirthdayCdf, CollisionScratch};
 use crate::fenwick::Fenwick;
+use crate::json::Json;
 use crate::metrics::{self, record_batch, BatchScratch, Counter};
 use crate::prof::{self, Section};
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
 use crate::sim::{BatchOutcome, Simulator, StepOutcome};
+use crate::snapshot::{hex_u64, parse_hex_u64};
 use crate::trace::{self, DispatchRecord};
 
 /// Largest state space for which [`CountPopulation`] builds the `k × k`
@@ -512,6 +514,73 @@ impl<P: Protocol> Simulator for CountPopulation<P> {
         }
         out
     }
+
+    fn backend_tag(&self) -> &'static str {
+        "counts"
+    }
+
+    /// Serializes the count vector and step counter. The Fenwick tree,
+    /// batch cache, birthday table, and collision scratch are all derived
+    /// deterministically (and RNG-free) from the counts, so they are
+    /// rebuilt on restore rather than stored — only the *presence* of the
+    /// batch cache is recorded, so that a resumed run rebuilds it at exactly
+    /// the same point in its metrics stream as the uninterrupted run.
+    fn snapshot(&self) -> Result<Json, String> {
+        Ok(Json::obj([
+            (
+                "counts",
+                Json::Arr(
+                    self.counts
+                        .to_weights()
+                        .iter()
+                        .map(|&c| hex_u64(c))
+                        .collect(),
+                ),
+            ),
+            ("steps", hex_u64(self.steps)),
+            ("cached", Json::Bool(self.batch.is_some())),
+        ]))
+    }
+
+    fn restore(&mut self, state: &Json) -> Result<(), String> {
+        let arr = state
+            .get("counts")
+            .and_then(Json::as_arr)
+            .ok_or("counts snapshot missing count array")?;
+        if arr.len() != self.protocol.num_states() {
+            return Err(format!(
+                "snapshot has {} states, simulator protocol has {}",
+                arr.len(),
+                self.protocol.num_states()
+            ));
+        }
+        let steps = parse_hex_u64(state.get("steps").unwrap_or(&Json::Null))?;
+        let mut weights = Vec::with_capacity(arr.len());
+        for j in arr {
+            weights.push(parse_hex_u64(j)?);
+        }
+        let total: u64 = weights.iter().sum();
+        if total != self.n {
+            return Err(format!(
+                "snapshot population {total} does not match simulator population {}",
+                self.n
+            ));
+        }
+        let cached = state.get("cached").and_then(Json::as_bool).unwrap_or(false);
+        self.counts = Fenwick::from_weights(&weights);
+        self.steps = steps;
+        self.batch = None;
+        self.birthday = None;
+        if cached {
+            // Rebuild eagerly so the rebuild's metrics bump lands during
+            // restore (before any saved metrics registry is reloaded),
+            // keeping a resumed run's counters identical to the
+            // uninterrupted run's — which had the cache live at this point
+            // and so will not rebuild it on its next batch.
+            let _ = self.ensure_batch_cache();
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -848,6 +917,69 @@ impl<P: Protocol> Simulator for SparseCountPopulation<P> {
             record_batch(&out);
         }
         out
+    }
+
+    fn backend_tag(&self) -> &'static str {
+        "sparse"
+    }
+
+    /// Serializes the occupied list *in insertion order* plus the step
+    /// counter. The order is RNG-visible — `sample` scans it linearly and
+    /// `add` swap-removes vacated entries — so a dense round-trip would
+    /// change which agents later draws land on; the state → slot index map
+    /// is derived and rebuilt on restore.
+    fn snapshot(&self) -> Result<Json, String> {
+        Ok(Json::obj([
+            (
+                "occupied",
+                Json::Arr(
+                    self.occupied
+                        .iter()
+                        .map(|&(s, c)| Json::Arr(vec![Json::from(s as u64), hex_u64(c)]))
+                        .collect(),
+                ),
+            ),
+            ("steps", hex_u64(self.steps)),
+        ]))
+    }
+
+    fn restore(&mut self, state: &Json) -> Result<(), String> {
+        let arr = state
+            .get("occupied")
+            .and_then(Json::as_arr)
+            .ok_or("sparse snapshot missing occupied list")?;
+        let steps = parse_hex_u64(state.get("steps").unwrap_or(&Json::Null))?;
+        let k = self.protocol.num_states();
+        let mut occupied = Vec::with_capacity(arr.len());
+        let mut index = std::collections::HashMap::new();
+        let mut n = 0u64;
+        for j in arr {
+            let pair = j
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or("bad occupied entry")?;
+            let s = pair[0].as_u64().ok_or("occupied state is not an integer")? as usize;
+            let c = parse_hex_u64(&pair[1])?;
+            if s >= k {
+                return Err(format!("occupied state {s} out of range (k = {k})"));
+            }
+            if c == 0 || index.contains_key(&s) {
+                return Err(format!("occupied state {s} empty or repeated"));
+            }
+            index.insert(s, occupied.len());
+            occupied.push((s, c));
+            n += c;
+        }
+        if n != self.n {
+            return Err(format!(
+                "snapshot population {n} does not match simulator population {}",
+                self.n
+            ));
+        }
+        self.occupied = occupied;
+        self.index = index;
+        self.steps = steps;
+        Ok(())
     }
 }
 

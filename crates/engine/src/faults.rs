@@ -49,6 +49,7 @@ use crate::population::Population;
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
 use crate::sim::{BatchOutcome, Simulator, StepOutcome};
+use crate::snapshot::{hex_u64, parse_hex_u64};
 
 /// What corruption writes into a corrupted agent's state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -495,6 +496,113 @@ impl FaultPlan {
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
     }
+
+    /// Serializes the plan's resumable state: the fault RNG, each trigger's
+    /// next firing step (`u64::MAX` = disarmed one-shot), and the event log.
+    /// The faults themselves are *not* stored — they are recompiled from the
+    /// spec when the restoring process reconstructs the plan.
+    fn snapshot(&self) -> Json {
+        Json::obj([
+            (
+                "rng",
+                Json::obj([
+                    (
+                        "words",
+                        Json::Arr(self.rng.state_words().iter().map(|&w| hex_u64(w)).collect()),
+                    ),
+                    (
+                        "spare_normal",
+                        self.rng.spare_normal_bits().map_or(Json::Null, hex_u64),
+                    ),
+                ]),
+            ),
+            (
+                "triggers",
+                Json::Arr(self.triggers.iter().map(|t| hex_u64(t.next)).collect()),
+            ),
+            (
+                "events",
+                Json::Arr(
+                    self.events
+                        .iter()
+                        .map(|e| {
+                            Json::obj([
+                                ("step", hex_u64(e.step)),
+                                ("time", Json::from(e.time)),
+                                ("fault", Json::from(e.kind)),
+                                ("hit", hex_u64(e.hit)),
+                                ("moved", hex_u64(e.moved)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Restores trigger progress, the fault RNG, and the event log into a
+    /// freshly compiled plan for the same spec.
+    fn restore(&mut self, state: &Json) -> Result<(), String> {
+        let rng_obj = state.get("rng").ok_or("fault plan snapshot missing rng")?;
+        let words_arr = rng_obj
+            .get("words")
+            .and_then(Json::as_arr)
+            .filter(|w| w.len() == 4)
+            .ok_or("fault plan rng needs exactly 4 state words")?;
+        let mut words = [0u64; 4];
+        for (slot, j) in words.iter_mut().zip(words_arr) {
+            *slot = parse_hex_u64(j)?;
+        }
+        let spare = match rng_obj.get("spare_normal") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(parse_hex_u64(j)?),
+        };
+        let rng = SimRng::from_state(words, spare).ok_or("fault plan rng state is all-zero")?;
+        let trigger_arr = state
+            .get("triggers")
+            .and_then(Json::as_arr)
+            .ok_or("fault plan snapshot missing triggers")?;
+        if trigger_arr.len() != self.triggers.len() {
+            return Err(format!(
+                "snapshot has {} triggers, compiled plan has {} (different spec?)",
+                trigger_arr.len(),
+                self.triggers.len()
+            ));
+        }
+        let mut nexts = Vec::with_capacity(trigger_arr.len());
+        for j in trigger_arr {
+            nexts.push(parse_hex_u64(j)?);
+        }
+        let event_arr = state
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or("fault plan snapshot missing events")?;
+        let mut events = Vec::with_capacity(event_arr.len());
+        for e in event_arr {
+            let kind = match e.get("fault").and_then(Json::as_str) {
+                Some("corrupt") => "corrupt",
+                Some("churn") => "churn",
+                Some("byzantine") => "byzantine",
+                other => return Err(format!("unknown fault event kind {other:?}")),
+            };
+            events.push(FaultEvent {
+                step: parse_hex_u64(e.get("step").unwrap_or(&Json::Null))?,
+                time: e
+                    .get("time")
+                    .and_then(Json::as_f64)
+                    .ok_or("fault event missing time")?,
+                kind,
+                hit: parse_hex_u64(e.get("hit").unwrap_or(&Json::Null))?,
+                moved: parse_hex_u64(e.get("moved").unwrap_or(&Json::Null))?,
+            });
+        }
+        self.rng = rng;
+        for (t, next) in self.triggers.iter_mut().zip(nexts) {
+            t.next = next;
+        }
+        self.events = events;
+        Ok(())
+    }
 }
 
 /// Transient corruption: each agent independently corrupted with
@@ -765,6 +873,45 @@ impl<S: Simulator> Simulator for FaultyPopulation<S> {
             }
         }
         out
+    }
+
+    fn backend_tag(&self) -> &'static str {
+        "faulty"
+    }
+
+    /// Serializes the inner backend's state (tagged, so a restore into a
+    /// wrapper over a different backend is rejected) together with the fault
+    /// plan's resumable state: its RNG, per-trigger progress, and the event
+    /// log. The fault *spec* is not stored; restore targets a freshly built
+    /// wrapper compiled from the same spec.
+    fn snapshot(&self) -> Result<Json, String> {
+        Ok(Json::obj([
+            ("inner_backend", Json::from(self.inner.backend_tag())),
+            ("inner", self.inner.snapshot()?),
+            ("plan", self.plan.snapshot()),
+        ]))
+    }
+
+    fn restore(&mut self, state: &Json) -> Result<(), String> {
+        let tag = state
+            .get("inner_backend")
+            .and_then(Json::as_str)
+            .ok_or("faulty snapshot missing inner backend tag")?;
+        if tag != self.inner.backend_tag() {
+            return Err(format!(
+                "snapshot wraps backend \"{tag}\", simulator wraps \"{}\"",
+                self.inner.backend_tag()
+            ));
+        }
+        let inner_state = state.get("inner").ok_or("faulty snapshot missing inner")?;
+        let plan_state = state.get("plan").ok_or("faulty snapshot missing plan")?;
+        // Restore the plan first into a scratch clone so a failure in either
+        // half leaves the simulator untouched.
+        let mut plan = self.plan.clone();
+        plan.restore(plan_state)?;
+        self.inner.restore(inner_state)?;
+        self.plan = plan;
+        Ok(())
     }
 }
 

@@ -80,6 +80,7 @@ pub mod protocol;
 pub mod report;
 pub mod rng;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 pub mod sweep;
 pub mod trace;

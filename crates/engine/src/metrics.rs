@@ -438,6 +438,26 @@ pub fn snapshot() -> MetricsReport {
     }
 }
 
+/// Overwrites the registry with the contents of a previously captured
+/// report, so a resumed process continues counting exactly where the
+/// interrupted one stopped ([`crate::snapshot`] stores a report alongside
+/// the simulator state). Counters and histogram buckets absent from the
+/// report are zeroed; the `enabled` flag and the report's meta entries are
+/// untouched (meta describes a run, not the registry).
+pub fn load(report: &MetricsReport) {
+    for &c in &Counter::ALL {
+        COUNTERS[c as usize].store(report.counter(c.name()), Ordering::Relaxed);
+    }
+    for &h in &Hist::ALL {
+        let base = h as usize * HIST_BUCKETS;
+        let buckets = report.hist(h.name()).unwrap_or(&[]);
+        for i in 0..HIST_BUCKETS {
+            let v = buckets.get(i).copied().unwrap_or(0);
+            HISTS[base + i].store(v, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Upper-exclusive value bound of log₂ bucket `i`: bucket 0 holds only the
 /// value 0 (bound 1 = 2⁰), bucket `i ≥ 1` holds `[2^(i−1), 2^i)` (bound
 /// `2^i`, saturating at `u64::MAX` for the last bucket).

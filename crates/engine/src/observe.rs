@@ -15,7 +15,9 @@
 //! later than the declared stride; implementations must re-check their own
 //! schedule, as all the built-in observers do.
 
+use crate::json::Json;
 use crate::sim::Simulator;
+use crate::snapshot::{hex_u64, parse_hex_u64};
 
 /// Receives checkpoint callbacks during a simulation run.
 pub trait Observer {
@@ -91,6 +93,59 @@ impl TraceRecorder {
     #[must_use]
     pub fn series(&self, i: usize) -> Vec<(f64, u64)> {
         self.rows.iter().map(|(t, c)| (*t, c[i])).collect()
+    }
+
+    /// Serializes the recorder's resumable position: the next sampling step
+    /// and the rows recorded so far. Together with the same constructor
+    /// arguments, [`TraceRecorder::restore_position`] reproduces the exact
+    /// sampling grid of an uninterrupted run.
+    #[must_use]
+    pub fn position_json(&self) -> Json {
+        Json::obj([
+            ("next_step", hex_u64(self.next_step)),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(t, c)| {
+                            Json::Arr(vec![
+                                Json::from(*t),
+                                Json::Arr(c.iter().map(|&v| hex_u64(v)).collect()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Restores a position captured by [`TraceRecorder::position_json`] into
+    /// a recorder built with the same constructor arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the position payload is malformed.
+    pub fn restore_position(&mut self, position: &Json) -> Result<(), String> {
+        let next_step = parse_hex_u64(position.get("next_step").unwrap_or(&Json::Null))?;
+        let rows_arr = position
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or("trace position missing rows")?;
+        let mut rows = Vec::with_capacity(rows_arr.len());
+        for r in rows_arr {
+            let pair = r.as_arr().filter(|p| p.len() == 2).ok_or("bad trace row")?;
+            let t = pair[0].as_f64().ok_or("trace row time is not a number")?;
+            let counts_arr = pair[1].as_arr().ok_or("trace row missing counts")?;
+            let mut counts = Vec::with_capacity(counts_arr.len());
+            for c in counts_arr {
+                counts.push(parse_hex_u64(c)?);
+            }
+            rows.push((t, counts));
+        }
+        self.next_step = next_step;
+        self.rows = rows;
+        Ok(())
     }
 }
 

@@ -145,6 +145,41 @@ impl SimRng {
         Self::seed_from(self.next_u64())
     }
 
+    /// The four xoshiro256\*\* state words, exactly as they are now.
+    ///
+    /// Together with [`SimRng::spare_normal_bits`] this is the *complete*
+    /// generator state: reconstructing via [`SimRng::from_state`] continues
+    /// the identical output stream word-for-word. Used by the snapshot
+    /// layer ([`crate::snapshot`]) for exact resume.
+    #[must_use]
+    pub fn state_words(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Bit pattern of the banked Box–Muller sine-branch sample, if the last
+    /// [`SimRng::normal`] call left one unconsumed.
+    #[must_use]
+    pub fn spare_normal_bits(&self) -> Option<u64> {
+        self.spare_normal
+    }
+
+    /// Reconstructs a generator from state previously read with
+    /// [`SimRng::state_words`] / [`SimRng::spare_normal_bits`].
+    ///
+    /// Returns `None` for the all-zero word vector: that is the one
+    /// forbidden xoshiro fixed point and can never arise from a genuine
+    /// running generator, so it only appears in corrupted input.
+    #[must_use]
+    pub fn from_state(words: [u64; 4], spare_normal: Option<u64>) -> Option<Self> {
+        if words.iter().all(|&w| w == 0) {
+            return None;
+        }
+        Some(Self {
+            s: words,
+            spare_normal,
+        })
+    }
+
     /// Returns a uniformly random value in `0..bound`.
     ///
     /// Uses Lemire's multiply-shift rejection method, which is branch-light

@@ -20,6 +20,7 @@
 //! size batches from observer checkpoint strides, so measurement granularity
 //! — not per-step callbacks — bounds the batch length.
 
+use crate::json::Json;
 use crate::metrics::{self, record_batch, Counter};
 use crate::observe::Observer;
 use crate::rng::SimRng;
@@ -144,6 +145,59 @@ pub trait Simulator {
     /// Sum of counts over a set of states (a "boolean formula" count).
     fn count_any(&self, states: &[usize]) -> u64 {
         states.iter().map(|&s| self.count(s)).sum()
+    }
+
+    /// Stable tag naming this backend in snapshot headers (`"agents"`,
+    /// `"counts"`, `"sparse"`, `"accel"`, `"matching"`, `"faulty"`).
+    ///
+    /// [`Simulator::restore`] refuses state saved under a different tag, so
+    /// a snapshot can never be silently deserialized into the wrong backend
+    /// shape. The default marks the backend as snapshot-incapable.
+    fn backend_tag(&self) -> &'static str {
+        "unsupported"
+    }
+
+    /// Serializes the complete resumable simulation state as a JSON value.
+    ///
+    /// "Complete" means: restoring this value into a freshly constructed
+    /// simulator of the same protocol and initial shape (via
+    /// [`Simulator::restore`]) and driving it with the same RNG stream
+    /// continues the run *exactly* — identical counts, step counter, and
+    /// RNG consumption — as if the run had never been interrupted. Derived
+    /// caches (Fenwick trees, reactivity tables, batch caches) are *not*
+    /// serialized; restore rebuilds them deterministically.
+    ///
+    /// The RNG itself is external to the simulator and saved separately by
+    /// [`crate::snapshot::RunSnapshot`].
+    ///
+    /// # Errors
+    ///
+    /// The default implementation reports that the backend has no snapshot
+    /// support; the five native backends and
+    /// [`crate::faults::FaultyPopulation`] never fail.
+    fn snapshot(&self) -> Result<Json, String> {
+        Err(format!(
+            "backend {:?} does not support snapshots",
+            self.backend_tag()
+        ))
+    }
+
+    /// Restores state previously produced by [`Simulator::snapshot`] into
+    /// this simulator, which must have been constructed with the same
+    /// protocol and population size as the saved run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when `state` was saved by a
+    /// different backend, disagrees with this simulator's population size
+    /// or state space, or is structurally malformed. On error the
+    /// simulator is left unchanged.
+    fn restore(&mut self, state: &Json) -> Result<(), String> {
+        let _ = state;
+        Err(format!(
+            "backend {:?} does not support snapshots",
+            self.backend_tag()
+        ))
     }
 }
 

@@ -11,6 +11,7 @@
 //! ppsim parity        --n 200 --a 7
 //! ppsim oscillator    --n 50000 --rounds 300
 //! ppsim faults        --n 4000 --byz-count 1600 --byz-every 120
+//! ppsim resume        /tmp/ck --metrics out.json
 //! ppsim profile       --builtin oscillator --n 100000 --json
 //! ppsim bench-diff    BENCH_history.jsonl new_history.jsonl --tolerance-pct 25
 //! ```
@@ -19,6 +20,12 @@
 //! metrics snapshot as JSON) and `--trace <path>` (write a span/event run
 //! trace as JSON Lines; regime-dispatch decision records ride along as
 //! `dispatch` events). Unknown flags are errors.
+//!
+//! The long-running commands (`oscillator`, `faults`) accept
+//! `--checkpoint-every <steps> --checkpoint-dir <dir>` to write crash-safe
+//! rotating snapshots; `ppsim resume <dir|snapshot.snap>` continues an
+//! interrupted run byte-identically (DESIGN.md §15), degrading gracefully
+//! past corrupt generations.
 //!
 //! `profile` runs a built-in protocol with the in-engine section profiler
 //! switched on and renders a self-time/total-time tree of where the hot
@@ -36,15 +43,20 @@
 use population_protocols::core::analyze::{lint_builtin, lint_source};
 use population_protocols::core::clocks::detect::{dominance_events, periods, rotation_violations};
 use population_protocols::core::clocks::diag::rotation_recovery;
-use population_protocols::core::clocks::oscillator::{central_init, Dk18Oscillator, Oscillator};
+use population_protocols::core::clocks::oscillator::{
+    central_init, Dk18Oscillator, Oscillator, NUM_SPECIES,
+};
 use population_protocols::core::engine::counts::CountPopulation;
 use population_protocols::core::engine::faults::{CorruptMode, FaultSpec, FaultyPopulation};
-use population_protocols::core::engine::json::{parse_jsonl, Json};
+use population_protocols::core::engine::json::Json;
 use population_protocols::core::engine::metrics;
 use population_protocols::core::engine::prof;
 use population_protocols::core::engine::protocol::TableProtocol;
 use population_protocols::core::engine::rng::SimRng;
 use population_protocols::core::engine::sim::{run_until, Simulator};
+use population_protocols::core::engine::snapshot::{
+    hex_u64, load_path, parse_hex_u64, RunSnapshot, SnapshotStore,
+};
 use population_protocols::core::engine::stats::P2Quantile;
 use population_protocols::core::engine::trace::{self, DispatchRecord, Tracer};
 use population_protocols::core::lang::ast::Program;
@@ -58,6 +70,7 @@ use population_protocols::core::protocols::semilinear::{
 };
 use population_protocols::core::rules::Guard;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Integer-valued flags any command may take (`in-*` is also allowed for
@@ -80,9 +93,17 @@ const NUM_FLAGS: &[&str] = &[
     "byz-state",
     "byz-every",
     "window",
+    "checkpoint-every",
 ];
 /// String-valued flags (paths plus `--corrupt-mode randomize|zero`).
-const STR_FLAGS: &[&str] = &["metrics", "trace", "spec", "faults-log", "corrupt-mode"];
+const STR_FLAGS: &[&str] = &[
+    "metrics",
+    "trace",
+    "spec",
+    "faults-log",
+    "corrupt-mode",
+    "checkpoint-dir",
+];
 
 #[derive(Default)]
 struct Flags {
@@ -228,6 +249,144 @@ fn run_lint(args: &[String]) -> u8 {
 }
 
 /// Backend a run command executes on, for the `--metrics` snapshot header.
+/// Periodic crash-safe checkpointing for the long-running commands
+/// (`oscillator`, `faults`), configured by `--checkpoint-every <steps>` plus
+/// `--checkpoint-dir <dir>`. Snapshots are written atomically and rotated
+/// ([`SnapshotStore`]); `ppsim resume <dir|file>` continues from the newest
+/// valid generation.
+struct Checkpointer {
+    store: SnapshotStore,
+    /// Checkpoint cadence in scheduler steps.
+    every: u64,
+    /// Next step threshold at which to save.
+    next: u64,
+}
+
+/// Generations kept per checkpoint directory (newest K survive rotation).
+const CHECKPOINT_KEEP: usize = 3;
+
+impl Checkpointer {
+    /// Builds a checkpointer from the CLI flags; the two checkpoint flags
+    /// must be given together.
+    fn from_flags(flags: &Flags) -> Result<Option<Self>, String> {
+        match (
+            flags.nums.get("checkpoint-every"),
+            flags.strs.get("checkpoint-dir"),
+        ) {
+            (None, None) => Ok(None),
+            (Some(&every), Some(dir)) => {
+                if every == 0 {
+                    return Err("--checkpoint-every must be > 0 steps".to_string());
+                }
+                let store = SnapshotStore::open(dir, CHECKPOINT_KEEP)
+                    .map_err(|e| format!("cannot open checkpoint dir {dir}: {e}"))?;
+                Ok(Some(Self {
+                    store,
+                    every,
+                    next: every,
+                }))
+            }
+            _ => Err("--checkpoint-every and --checkpoint-dir must be given together".to_string()),
+        }
+    }
+
+    /// Saves a checkpoint when `steps` crossed the cadence threshold. The
+    /// builder receives `(every, next_threshold_after_this_save)` so the
+    /// cadence position rides along in the snapshot meta and a resumed run
+    /// checkpoints at the same step boundaries. Save failures are warnings:
+    /// losing a checkpoint must not kill the run it protects.
+    fn maybe_save<F>(&mut self, steps: u64, snap: F)
+    where
+        F: FnOnce(u64, u64) -> Result<RunSnapshot, String>,
+    {
+        if steps < self.next {
+            return;
+        }
+        while self.next <= steps {
+            self.next += self.every;
+        }
+        let saved = snap(self.every, self.next)
+            .and_then(|s| self.store.save(&s).map(|_| ()).map_err(|e| e.to_string()));
+        if let Err(e) = saved {
+            eprintln!("warning: checkpoint save failed: {e}");
+        }
+    }
+}
+
+/// Encodes oscillator trace rows for the snapshot meta (times as JSON
+/// numbers, counts hex-encoded like every other u64 in the format).
+fn rows_to_json(rows: &[(f64, [u64; NUM_SPECIES])]) -> Json {
+    Json::arr(rows.iter().map(|(t, sp)| {
+        Json::Arr(vec![
+            Json::from(*t),
+            Json::Arr(sp.iter().map(|&c| hex_u64(c)).collect()),
+        ])
+    }))
+}
+
+/// Decodes trace rows written by [`rows_to_json`].
+fn rows_from_json(j: Option<&Json>) -> Result<Vec<(f64, [u64; NUM_SPECIES])>, String> {
+    let arr = j
+        .and_then(Json::as_arr)
+        .ok_or("snapshot meta is missing its trace rows")?;
+    let mut rows = Vec::with_capacity(arr.len());
+    for row in arr {
+        let pair = row
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or("bad trace row in snapshot meta")?;
+        let t = pair[0].as_f64().ok_or("trace row time is not a number")?;
+        let counts = pair[1].as_arr().ok_or("trace row is missing counts")?;
+        if counts.len() != NUM_SPECIES {
+            return Err(format!("trace row holds {} species counts", counts.len()));
+        }
+        let mut sp = [0u64; NUM_SPECIES];
+        for (slot, c) in sp.iter_mut().zip(counts) {
+            *slot = parse_hex_u64(c)?;
+        }
+        rows.push((t, sp));
+    }
+    Ok(rows)
+}
+
+/// Builds the snapshot meta for a checkpointable run: everything `resume`
+/// needs to reconstruct the simulator shape and continue byte-identically.
+#[allow(clippy::too_many_arguments)]
+fn checkpoint_meta(
+    command: &str,
+    n: u64,
+    x: u64,
+    rounds: u64,
+    seed: u64,
+    every: u64,
+    next: u64,
+    rows: &[(f64, [u64; NUM_SPECIES])],
+    spec: Option<&FaultSpec>,
+) -> Json {
+    let mut fields = vec![
+        ("command", Json::from(command)),
+        ("n", hex_u64(n)),
+        ("x", hex_u64(x)),
+        ("rounds", hex_u64(rounds)),
+        ("seed", hex_u64(seed)),
+        ("checkpoint_every", hex_u64(every)),
+        ("next_checkpoint", hex_u64(next)),
+        ("rows", rows_to_json(rows)),
+    ];
+    if let Some(spec) = spec {
+        fields.push(("spec", spec.to_json()));
+    }
+    Json::obj(fields)
+}
+
+/// Reads a required hex-encoded u64 field from the snapshot meta.
+fn meta_u64(meta: &Json, key: &str) -> Result<u64, String> {
+    parse_hex_u64(
+        meta.get(key)
+            .ok_or_else(|| format!("snapshot meta is missing {key:?}"))?,
+    )
+}
+
 fn backend_name(command: &str) -> &'static str {
     match command {
         "oscillator" => "CountPopulation",
@@ -474,9 +633,27 @@ fn run_profile(args: &[String]) -> u8 {
 /// (histories append, so the newest run is the snapshot value).
 fn bench_history_rates(path: &str) -> Result<Vec<(String, f64)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let docs = parse_jsonl(&text).map_err(|e| format!("{path}: invalid JSONL: {e:?}"))?;
+    // Histories are appended to by concurrently running benches; a crash
+    // mid-append leaves a torn final line (no trailing newline). That line
+    // is skipped with a warning — a malformed line anywhere *else* in the
+    // file is real corruption and stays a hard error.
+    let complete = text.ends_with('\n');
+    let line_count = text.lines().count();
     let mut rates: Vec<(String, f64)> = Vec::new();
-    for doc in &docs {
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = match Json::parse(line) {
+            Ok(d) => d,
+            Err(e) => {
+                if idx + 1 == line_count && !complete {
+                    eprintln!("warning: {path}: skipping torn trailing line ({e:?})");
+                    continue;
+                }
+                return Err(format!("{path}: invalid JSONL on line {}: {e:?}", idx + 1));
+            }
+        };
         if doc.get("kind").and_then(Json::as_str) != Some("bench_run") {
             continue;
         }
@@ -600,6 +777,8 @@ fn usage() -> ExitCode {
          \tplurality    [--n --colors --seed] plurality consensus\n\
          \tparity       [--n --a --seed]      #A odd? (slow blackbox)\n\
          \toscillator   [--n --x --rounds --seed]  the DK18-style oscillator\n\
+         \tresume       <snapshot.snap|checkpoint-dir>  continue an interrupted\n\
+         \t             checkpointed oscillator/faults run, byte-identically\n\
          \tfaults       [--n --x --rounds --seed --spec FILE --faults-log FILE\n\
          \t              --corrupt-at R --corrupt-pct P --corrupt-mode randomize|zero\n\
          \t              --churn-every R --churn-pct P --churn-state S\n\
@@ -612,7 +791,10 @@ fn usage() -> ExitCode {
          global flags:\n\
          \t--metrics FILE   write an engine metrics snapshot (JSON) on exit\n\
          \t--trace FILE     write a span/event run trace (JSON Lines) on exit,\n\
-         \t                 including per-batch regime-dispatch decision events"
+         \t                 including per-batch regime-dispatch decision events\n\
+         \t--checkpoint-every N --checkpoint-dir DIR  (oscillator, faults)\n\
+         \t                 write a crash-safe rotating snapshot every N steps;\n\
+         \t                 resume with `ppsim resume DIR`"
     );
     ExitCode::FAILURE
 }
@@ -623,13 +805,14 @@ fn run_command(
     path: Option<&str>,
     flags: &Flags,
     tracer: &mut Option<Tracer>,
+    meta_command: &mut String,
 ) -> u8 {
     let n = flags.num("n", 1_000);
     let seed = flags.num("seed", 42);
     match command {
         "list" => {
             println!(
-                "leader leader-exact majority plurality parity oscillator faults run-file lint"
+                "leader leader-exact majority plurality parity oscillator faults run-file resume lint"
             );
             0
         }
@@ -828,56 +1011,17 @@ fn run_command(
         "oscillator" => {
             let x = flags.num("x", ((n as f64).powf(0.3) as u64).max(1));
             let rounds = flags.num("rounds", 300);
-            let osc = Dk18Oscillator::new();
-            let mut pop = CountPopulation::from_counts(&osc, &central_init(&osc, n, x));
-            let mut rng = SimRng::seed_from(seed);
-            let mut trace = Vec::new();
-            while pop.time() < rounds as f64 {
-                let out = pop.step_batch(&mut rng, n);
-                let sp = osc.species_counts(&pop.counts());
-                trace.push((pop.time(), sp));
-                if let Some(tr) = tracer.as_mut() {
-                    tr.event(
-                        "batch",
-                        &[
-                            ("time", Json::from(pop.time())),
-                            ("a1", Json::from(sp[0])),
-                            ("a2", Json::from(sp[1])),
-                            ("a3", Json::from(sp[2])),
-                        ],
-                    );
+            let ckpt = match Checkpointer::from_flags(flags) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
                 }
-                if out.silent && out.executed == 0 {
-                    break;
-                }
-            }
-            let events = dominance_events(&trace, 0.8);
-            let per = periods(&events);
-            let mean = per.iter().sum::<f64>() / per.len().max(1) as f64;
-            // Stream the periods through P² sketches — the same online
-            // estimator observers use, so the printed percentiles match
-            // what a long sweep would report without buffering samples.
-            let mut p50 = P2Quantile::new(0.5);
-            let mut p90 = P2Quantile::new(0.9);
-            for &p in &per {
-                p50.observe(p);
-                p90.observe(p);
-            }
-            let (q50, q90) = if per.is_empty() {
-                (f64::NAN, f64::NAN)
-            } else {
-                (p50.value(), p90.value())
             };
-            println!(
-                "oscillator n={n} #X={x}: {} dominance events, {} rotation violations, mean period {:.1} rounds, p50 {q50:.1}, p90 {q90:.1} (log2 n = {:.1})",
-                events.len(),
-                rotation_violations(&events),
-                mean,
-                (n as f64).log2()
-            );
-            0
+            run_oscillator(n, x, rounds, seed, None, ckpt, tracer)
         }
         "faults" => run_faults(flags, tracer),
+        "resume" => run_resume(path, flags, tracer, meta_command),
         _ => {
             let _ = usage();
             1
@@ -928,6 +1072,128 @@ fn fault_spec_from_flags(flags: &Flags, n: u64, seed: u64) -> Result<FaultSpec, 
     Ok(spec)
 }
 
+/// Restores a snapshot into a freshly built simulator and hands back the
+/// resumed RNG plus the trace rows recorded before the checkpoint. When the
+/// current process is recording metrics, the saved registry is loaded
+/// **after** [`RunSnapshot::resume_into`], so any counters the restore
+/// itself bumped (cache rebuilds) are overwritten and the continued stream
+/// matches the uninterrupted run exactly.
+fn resume_run_state<S: Simulator + ?Sized>(
+    snap: &RunSnapshot,
+    sim: &mut S,
+    trace: &mut Vec<(f64, [u64; NUM_SPECIES])>,
+) -> Result<SimRng, String> {
+    let rng = snap.resume_into(sim)?;
+    *trace = rows_from_json(snap.meta.get("rows"))?;
+    if metrics::enabled() {
+        if let Some(report) = &snap.metrics {
+            metrics::load(report);
+        }
+    }
+    Ok(rng)
+}
+
+/// Captures a checkpoint of `sim`/`rng`, attaching the live metrics
+/// registry when this run is recording metrics.
+fn capture_checkpoint<S: Simulator + ?Sized>(sim: &S, rng: &SimRng) -> Result<RunSnapshot, String> {
+    let snap = RunSnapshot::capture(sim, rng)?;
+    Ok(if metrics::enabled() {
+        snap.with_metrics(metrics::snapshot())
+    } else {
+        snap
+    })
+}
+
+/// `ppsim oscillator` (and its `resume` continuation): run the DK18-style
+/// oscillator, optionally checkpointing every `--checkpoint-every` steps,
+/// and print the dominance summary over the whole run — including rows
+/// carried over in a resumed snapshot's meta.
+fn run_oscillator(
+    n: u64,
+    x: u64,
+    rounds: u64,
+    seed: u64,
+    resume: Option<&RunSnapshot>,
+    mut ckpt: Option<Checkpointer>,
+    tracer: &mut Option<Tracer>,
+) -> u8 {
+    let osc = Dk18Oscillator::new();
+    let mut pop = CountPopulation::from_counts(&osc, &central_init(&osc, n, x));
+    let mut trace: Vec<(f64, [u64; NUM_SPECIES])> = Vec::new();
+    let mut rng = if let Some(snap) = resume {
+        match resume_run_state(snap, &mut pop, &mut trace) {
+            Ok(rng) => rng,
+            Err(e) => {
+                eprintln!("error: cannot resume: {e}");
+                return 1;
+            }
+        }
+    } else {
+        SimRng::seed_from(seed)
+    };
+    while pop.time() < rounds as f64 {
+        let out = pop.step_batch(&mut rng, n);
+        let sp = osc.species_counts(&pop.counts());
+        trace.push((pop.time(), sp));
+        if let Some(tr) = tracer.as_mut() {
+            tr.event(
+                "batch",
+                &[
+                    ("time", Json::from(pop.time())),
+                    ("a1", Json::from(sp[0])),
+                    ("a2", Json::from(sp[1])),
+                    ("a3", Json::from(sp[2])),
+                ],
+            );
+        }
+        if let Some(c) = ckpt.as_mut() {
+            c.maybe_save(pop.steps(), |every, next| {
+                capture_checkpoint(&pop, &rng).map(|s| {
+                    s.with_meta(checkpoint_meta(
+                        "oscillator",
+                        n,
+                        x,
+                        rounds,
+                        seed,
+                        every,
+                        next,
+                        &trace,
+                        None,
+                    ))
+                })
+            });
+        }
+        if out.silent && out.executed == 0 {
+            break;
+        }
+    }
+    let events = dominance_events(&trace, 0.8);
+    let per = periods(&events);
+    let mean = per.iter().sum::<f64>() / per.len().max(1) as f64;
+    // Stream the periods through P² sketches — the same online
+    // estimator observers use, so the printed percentiles match
+    // what a long sweep would report without buffering samples.
+    let mut p50 = P2Quantile::new(0.5);
+    let mut p90 = P2Quantile::new(0.9);
+    for &p in &per {
+        p50.observe(p);
+        p90.observe(p);
+    }
+    let (q50, q90) = if per.is_empty() {
+        (f64::NAN, f64::NAN)
+    } else {
+        (p50.value(), p90.value())
+    };
+    println!(
+        "oscillator n={n} #X={x}: {} dominance events, {} rotation violations, mean period {:.1} rounds, p50 {q50:.1}, p90 {q90:.1} (log2 n = {:.1})",
+        events.len(),
+        rotation_violations(&events),
+        mean,
+        (n as f64).log2()
+    );
+    0
+}
+
 /// `ppsim faults`: run the oscillator under an injection schedule and
 /// report, per injection, whether dominance rotation returned to its
 /// pre-fault period statistics. Exit code 1 if any injection failed to
@@ -944,20 +1210,71 @@ fn run_faults(flags: &Flags, tracer: &mut Option<Tracer>) -> u8 {
             return 1;
         }
     };
+    let ckpt = match Checkpointer::from_flags(flags) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    run_faults_core(n, x, rounds, seed, &spec, None, ckpt, flags, tracer)
+}
+
+/// The checkpointable faults run loop, shared by `ppsim faults` and its
+/// `resume` continuation.
+#[allow(clippy::too_many_arguments)]
+fn run_faults_core(
+    n: u64,
+    x: u64,
+    rounds: u64,
+    seed: u64,
+    spec: &FaultSpec,
+    resume: Option<&RunSnapshot>,
+    mut ckpt: Option<Checkpointer>,
+    flags: &Flags,
+    tracer: &mut Option<Tracer>,
+) -> u8 {
     let osc = Dk18Oscillator::new();
     let inner = CountPopulation::from_counts(&osc, &central_init(&osc, n, x));
-    let mut pop = match FaultyPopulation::new(inner, &spec) {
+    let mut pop = match FaultyPopulation::new(inner, spec) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: invalid fault spec: {e}");
             return 1;
         }
     };
-    let mut rng = SimRng::seed_from(seed);
-    let mut trace = Vec::new();
+    let mut trace: Vec<(f64, [u64; NUM_SPECIES])> = Vec::new();
+    let mut rng = if let Some(snap) = resume {
+        match resume_run_state(snap, &mut pop, &mut trace) {
+            Ok(rng) => rng,
+            Err(e) => {
+                eprintln!("error: cannot resume: {e}");
+                return 1;
+            }
+        }
+    } else {
+        SimRng::seed_from(seed)
+    };
     while pop.time() < rounds as f64 {
         let out = pop.step_batch(&mut rng, n);
         trace.push((pop.time(), osc.species_counts(&pop.counts())));
+        if let Some(c) = ckpt.as_mut() {
+            c.maybe_save(pop.steps(), |every, next| {
+                capture_checkpoint(&pop, &rng).map(|s| {
+                    s.with_meta(checkpoint_meta(
+                        "faults",
+                        n,
+                        x,
+                        rounds,
+                        seed,
+                        every,
+                        next,
+                        &trace,
+                        Some(spec),
+                    ))
+                })
+            });
+        }
         if out.silent && out.executed == 0 {
             break;
         }
@@ -1013,6 +1330,172 @@ fn run_faults(flags: &Flags, tracer: &mut Option<Tracer>) -> u8 {
     u8::from(failed > 0)
 }
 
+/// Generation number encoded in a rotating-store file name, if it is one.
+fn snapshot_generation(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix("gen-")?
+        .strip_suffix(".snap")?
+        .parse()
+        .ok()
+}
+
+/// Loads the snapshot to resume from, degrading gracefully past corruption:
+/// a directory resumes from its newest valid generation (each rejected one
+/// is reported and skipped); a corrupt file falls back to older generations
+/// in its own directory. Returns the snapshot plus the checkpoint directory
+/// the continued run should keep writing into.
+fn load_resume_snapshot(path: &str) -> Option<(RunSnapshot, Option<PathBuf>)> {
+    let p = Path::new(path);
+    if p.is_dir() {
+        let store = match SnapshotStore::open(p, CHECKPOINT_KEEP) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot open checkpoint dir {path}: {e}");
+                return None;
+            }
+        };
+        let (found, incidents) = store.load_latest();
+        for inc in &incidents {
+            eprintln!("warning: {}: {}", inc.cause, inc.detail);
+        }
+        return match found {
+            Some((gen, file, snap)) => {
+                eprintln!("resuming from {} (generation {gen})", file.display());
+                Some((snap, Some(p.to_path_buf())))
+            }
+            None => {
+                eprintln!("error: no valid snapshot generation in {path}; start a fresh run");
+                None
+            }
+        };
+    }
+    match load_path(p) {
+        Ok(snap) => {
+            // A generation file keeps checkpointing into its own store;
+            // a free-standing snapshot continues without checkpoints.
+            let dir = snapshot_generation(p)
+                .and_then(|_| p.parent())
+                .map(Path::to_path_buf);
+            Some((snap, dir))
+        }
+        Err(detail) => {
+            eprintln!("warning: snapshot_corrupt: {path}: {detail}");
+            let (Some(dir), Some(prev)) = (
+                p.parent(),
+                snapshot_generation(p).and_then(|g| g.checked_sub(1)),
+            ) else {
+                eprintln!("error: corrupt snapshot has no older generation to fall back to");
+                return None;
+            };
+            let store = match SnapshotStore::open(dir, CHECKPOINT_KEEP) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot open checkpoint dir {}: {e}", dir.display());
+                    return None;
+                }
+            };
+            let (found, incidents) = store.load_latest_at_most(Some(prev));
+            for inc in &incidents {
+                eprintln!("warning: {}: {}", inc.cause, inc.detail);
+            }
+            match found {
+                Some((gen, file, snap)) => {
+                    eprintln!("falling back to {} (generation {gen})", file.display());
+                    Some((snap, Some(dir.to_path_buf())))
+                }
+                None => {
+                    eprintln!(
+                        "error: no older generation survives in {}; start a fresh run",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// `ppsim resume <snapshot.snap|checkpoint-dir>`: continue an interrupted
+/// checkpointed run. The run shape (command, n, x, rounds, seed, fault
+/// spec, checkpoint cadence) comes from the snapshot meta, so the
+/// continuation is byte-identical to the uninterrupted run; `--metrics` /
+/// `--trace` / `--faults-log` / `--window` are given on the resume command
+/// line as usual.
+fn run_resume(
+    path: Option<&str>,
+    flags: &Flags,
+    tracer: &mut Option<Tracer>,
+    meta_command: &mut String,
+) -> u8 {
+    let Some(path) = path else {
+        eprintln!("usage: ppsim resume <snapshot.snap|checkpoint-dir> [--metrics FILE] [...]");
+        return 1;
+    };
+    let Some((snap, store_dir)) = load_resume_snapshot(path) else {
+        return 1;
+    };
+    let meta = &snap.meta;
+    let command = meta
+        .get("command")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
+    let shape = meta_u64(meta, "n").and_then(|n| {
+        Ok((
+            n,
+            meta_u64(meta, "x")?,
+            meta_u64(meta, "rounds")?,
+            meta_u64(meta, "seed")?,
+            meta_u64(meta, "checkpoint_every")?,
+            meta_u64(meta, "next_checkpoint")?,
+        ))
+    });
+    let (n, x, rounds, seed, every, next) = match shape {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    // Report the ORIGINAL command in the metrics meta: a resumed run's
+    // metrics file must diff byte-identically against the uninterrupted
+    // reference run.
+    *meta_command = command.clone();
+    let ckpt = store_dir.and_then(|dir| match SnapshotStore::open(&dir, CHECKPOINT_KEEP) {
+        Ok(store) => Some(Checkpointer { store, every, next }),
+        Err(e) => {
+            eprintln!(
+                "warning: cannot reopen checkpoint dir {}: {e}; continuing without checkpoints",
+                dir.display()
+            );
+            None
+        }
+    });
+    match command.as_str() {
+        "oscillator" => run_oscillator(n, x, rounds, seed, Some(&snap), ckpt, tracer),
+        "faults" => {
+            let spec = match meta.get("spec") {
+                Some(j) => match FaultSpec::parse(&j.render()) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: snapshot carries an invalid fault spec: {e}");
+                        return 1;
+                    }
+                },
+                None => {
+                    eprintln!("error: faults snapshot is missing its fault spec");
+                    return 1;
+                }
+            };
+            run_faults_core(n, x, rounds, seed, &spec, Some(&snap), ckpt, flags, tracer)
+        }
+        other => {
+            eprintln!("error: snapshot was produced by non-resumable command {other:?}");
+            1
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
@@ -1030,8 +1513,8 @@ fn main() -> ExitCode {
     if command == "bench-diff" {
         return ExitCode::from(run_bench_diff(&args[1..]));
     }
-    // `run-file` takes a positional path before the flags.
-    let (path, flag_args) = if command == "run-file" {
+    // `run-file` and `resume` take a positional path before the flags.
+    let (path, flag_args) = if command == "run-file" || command == "resume" {
         match args.get(1) {
             Some(p) if !p.starts_with("--") => (Some(p.as_str()), &args[2..]),
             _ => (None, &args[1..]),
@@ -1070,7 +1553,11 @@ fn main() -> ExitCode {
         )
     });
 
-    let code = run_command(command, path, &flags, &mut tracer);
+    // `resume` rewrites this to the command that produced the snapshot, so
+    // the metrics meta (and backend header) of a resumed run match the
+    // uninterrupted reference byte for byte.
+    let mut meta_command = command.to_string();
+    let code = run_command(command, path, &flags, &mut tracer, &mut meta_command);
 
     if let Some(tr) = tracer.as_mut() {
         trace::disable_dispatch();
@@ -1093,11 +1580,11 @@ fn main() -> ExitCode {
         // Header: which backend executed the run, and how the three-regime
         // dispatcher split the work, both in the snapshot meta and echoed
         // on stdout.
-        snapshot.set_meta("command", command);
-        snapshot.set_meta("backend", backend_name(command));
+        snapshot.set_meta("command", &meta_command);
+        snapshot.set_meta("backend", backend_name(&meta_command));
         println!(
             "metrics: backend={} | regimes: collision={} leap={} per_step={} dense_fallback={}",
-            backend_name(command),
+            backend_name(&meta_command),
             snapshot.counter("regime_collision"),
             snapshot.counter("regime_leap"),
             snapshot.counter("regime_per_step"),

@@ -19,6 +19,7 @@ use population_protocols::core::engine::population::Population;
 use population_protocols::core::engine::protocol::TableProtocol;
 use population_protocols::core::engine::rng::SimRng;
 use population_protocols::core::engine::sim::Simulator;
+use population_protocols::core::engine::snapshot::RunSnapshot;
 
 /// Rock-paper-scissors cycling: never silent, touches every state.
 fn rps() -> TableProtocol {
@@ -36,6 +37,17 @@ fn spec() -> FaultSpec {
         .byzantine(100, 0, 3.0)
 }
 
+/// One `(steps, counts)` trace row.
+fn row_json<S: Simulator + ?Sized>(pop: &S) -> Json {
+    Json::obj([
+        ("steps", Json::from(pop.steps())),
+        (
+            "counts",
+            Json::arr(pop.counts().into_iter().map(Json::from)),
+        ),
+    ])
+}
+
 /// Runs a faulty population for `rounds` rounds and returns every
 /// deterministic artifact: a JSONL trace of `(steps, counts)` rows, the
 /// fault-event JSONL, and the rendered metrics snapshot.
@@ -47,13 +59,62 @@ fn run_once<S: Simulator>(inner: S, seed: u64, n: u64, rounds: u64) -> (String, 
     let mut rows = Vec::new();
     for _ in 0..rounds {
         let out = pop.step_batch(&mut rng, n);
-        rows.push(Json::obj([
-            ("steps", Json::from(pop.steps())),
-            (
-                "counts",
-                Json::arr(pop.counts().into_iter().map(Json::from)),
-            ),
-        ]));
+        rows.push(row_json(&pop));
+        if out.silent && out.executed == 0 {
+            break;
+        }
+    }
+    let report = metrics::snapshot().to_json().render();
+    metrics::disable();
+    (to_jsonl(&rows), pop.events_jsonl(), report)
+}
+
+/// Runs the same scenario but "crashes" at round `cut`: checkpoints there
+/// (metrics attached, via the full on-disk text encoding), discards the
+/// simulator and the metrics registry, then restores into a freshly built
+/// simulator — exactly what `ppsim resume` does after a SIGKILL — and
+/// finishes the run. The returned artifacts must be byte-identical to
+/// [`run_once`]'s.
+fn run_interrupted<S: Simulator>(
+    make: impl Fn() -> S,
+    seed: u64,
+    n: u64,
+    rounds: u64,
+    cut: u64,
+) -> (String, String, String) {
+    // Build before enabling metrics, matching `run_once`'s call-site
+    // argument evaluation — construction-time counter bumps are not part
+    // of the recorded run in either flow.
+    let inner = make();
+    metrics::reset();
+    metrics::enable();
+    let mut pop = FaultyPopulation::new(inner, &spec()).expect("valid spec");
+    let mut rng = SimRng::seed_from(seed);
+    let mut rows = Vec::new();
+    for _ in 0..cut {
+        let out = pop.step_batch(&mut rng, n);
+        rows.push(row_json(&pop));
+        assert!(!(out.silent && out.executed == 0), "rps never goes silent");
+    }
+    let text = RunSnapshot::capture(&pop, &rng)
+        .expect("faulty wrapper snapshots")
+        .with_metrics(metrics::snapshot())
+        .encode();
+    // The "process" dies here: simulator and registry both start over.
+    drop(pop);
+    metrics::reset();
+    metrics::enable();
+    let snap = RunSnapshot::decode(&text).expect("snapshot survives the disk round-trip");
+    let mut pop = FaultyPopulation::new(make(), &spec()).expect("valid spec");
+    let mut rng = snap
+        .resume_into(&mut pop)
+        .expect("resume into a fresh simulator");
+    // Load the saved registry AFTER restore, so restore-time counter bumps
+    // (cache rebuilds) cannot desynchronize the metrics stream.
+    metrics::load(snap.metrics.as_ref().expect("metrics attached"));
+    for _ in cut..rounds {
+        let out = pop.step_batch(&mut rng, n);
+        rows.push(row_json(&pop));
         if out.silent && out.executed == 0 {
             break;
         }
@@ -117,6 +178,87 @@ fn assert_replay_byte_identical(scenario: &str, counts: &[u64], seed: u64, round
     }
 }
 
+/// Interrupts every backend at round `cut`, resumes from the checkpoint,
+/// and asserts the continued run's trace, fault events, and metrics are
+/// byte-identical to the uninterrupted run's.
+fn assert_interrupt_resume_byte_identical(
+    scenario: &str,
+    counts: &[u64],
+    seed: u64,
+    rounds: u64,
+    cut: u64,
+) {
+    let n: u64 = counts.iter().sum();
+    let backends: &[&str] = &["agents", "counts", "sparse", "accel", "matching"];
+    for &backend in backends {
+        let p = rps();
+        let full = match backend {
+            "agents" => run_once(Population::from_counts(&p, counts), seed, n, rounds),
+            "counts" => run_once(CountPopulation::from_counts(&p, counts), seed, n, rounds),
+            "sparse" => run_once(
+                SparseCountPopulation::from_dense(&p, counts),
+                seed,
+                n,
+                rounds,
+            ),
+            "accel" => run_once(
+                AcceleratedPopulation::from_counts(&p, counts),
+                seed,
+                n,
+                rounds,
+            ),
+            "matching" => run_once(MatchingPopulation::from_counts(&p, counts), seed, n, rounds),
+            _ => unreachable!("unknown backend"),
+        };
+        let resumed = match backend {
+            "agents" => {
+                run_interrupted(|| Population::from_counts(&p, counts), seed, n, rounds, cut)
+            }
+            "counts" => run_interrupted(
+                || CountPopulation::from_counts(&p, counts),
+                seed,
+                n,
+                rounds,
+                cut,
+            ),
+            "sparse" => run_interrupted(
+                || SparseCountPopulation::from_dense(&p, counts),
+                seed,
+                n,
+                rounds,
+                cut,
+            ),
+            "accel" => run_interrupted(
+                || AcceleratedPopulation::from_counts(&p, counts),
+                seed,
+                n,
+                rounds,
+                cut,
+            ),
+            "matching" => run_interrupted(
+                || MatchingPopulation::from_counts(&p, counts),
+                seed,
+                n,
+                rounds,
+                cut,
+            ),
+            _ => unreachable!("unknown backend"),
+        };
+        assert_eq!(
+            full.0, resumed.0,
+            "{scenario}/{backend}: resumed trace must be byte-identical"
+        );
+        assert_eq!(
+            full.1, resumed.1,
+            "{scenario}/{backend}: resumed fault events must be byte-identical"
+        );
+        assert_eq!(
+            full.2, resumed.2,
+            "{scenario}/{backend}: resumed metrics must be byte-identical"
+        );
+    }
+}
+
 #[test]
 fn same_seed_same_backend_is_byte_identical() {
     // Sparse-ish scenario: n = 1000 keeps the count backends on the
@@ -127,4 +269,10 @@ fn same_seed_same_backend_is_byte_identical() {
     // triggers split contingency-table batches deterministically (epoch
     // truncation at the trigger boundary included).
     assert_replay_byte_identical("dense", &[1_600, 1_200, 1_200], 3141, 12);
+    // Crash-and-resume at a mid-run checkpoint must be invisible in every
+    // artifact, on both dispatch regimes. The cut lands after fault
+    // triggers have partially fired, so trigger progress, the event log,
+    // and the metrics registry all ride through the snapshot.
+    assert_interrupt_resume_byte_identical("leap", &[400, 300, 300], 2718, 12, 7);
+    assert_interrupt_resume_byte_identical("dense", &[1_600, 1_200, 1_200], 3141, 12, 5);
 }

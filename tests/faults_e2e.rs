@@ -98,16 +98,17 @@ fn sweep_survives_panicking_and_hanging_tasks() {
     let policy = ResiliencePolicy {
         deadline: Duration::from_millis(400),
         retries: 0,
+        ..ResiliencePolicy::default()
     };
-    let (results, incidents) = run_indexed_resilient(6, 3, policy, |index, _attempt| {
-        match index {
-            2 => panic!("injected failure in task {index}"),
+    let (results, incidents) = run_indexed_resilient(6, 3, policy, |ctx| {
+        match ctx.index {
+            2 => panic!("injected failure in task {}", ctx.index),
             4 => {
                 // Far past the deadline: the attempt is abandoned, not joined.
                 std::thread::sleep(Duration::from_secs(30));
                 unreachable!("hung task must be abandoned at its deadline")
             }
-            _ => index * 10,
+            _ => ctx.index * 10,
         }
     });
 
