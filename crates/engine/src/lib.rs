@@ -74,6 +74,7 @@ pub mod meanfield;
 pub mod metrics;
 pub mod obj;
 pub mod observe;
+pub mod pardense;
 pub mod population;
 pub mod prof;
 pub mod protocol;

@@ -1,0 +1,343 @@
+//! Sharded parallel collision epochs ("super-epochs") for the dense engine.
+//!
+//! One collision epoch settles Θ(√n) interactions in O(q²) distribution
+//! draws ([`crate::collision`]), but consecutive epochs form a serial
+//! chain: each epoch's margins are drawn from the counts its predecessor
+//! produced. This module breaks that chain over a bounded *window* of
+//! `≤ n/16` interactions: the window is split into [`LOGICAL_SHARDS`]
+//! fixed budgets, every shard runs its own exact sequential epoch chain
+//! from the window-start counts on a private RNG stream, and the per-shard
+//! net deltas are merged back in fixed shard order. Within the window the
+//! count vector can drift by at most `n/8` agent-slots in total variation,
+//! so each shard's frozen-start chain tracks the true law closely; the
+//! chi-square suite in `tests/parallel_dense.rs` pins the step-vs-batch
+//! agreement at the scales where sharding engages.
+//!
+//! **Determinism is thread-count independent by construction.** The shard
+//! count, budgets, seeds, and merge order are pure functions of the main
+//! RNG stream and the window — worker threads only decide *who computes*
+//! a shard, never *what* it computes. Running the same shards on 1, 2, or
+//! 4 threads (or inline with no pool at all) produces byte-identical
+//! results; `tests/parallel_dense.rs` and DESIGN.md §16 pin this contract.
+//!
+//! The merge accepts the longest prefix of shards whose cumulative delta
+//! keeps every state count non-negative. Shard 0 always merges (its chain
+//! evolved from the real window-start counts, so its delta is feasible by
+//! construction); a dropped suffix shard simply contributes nothing and
+//! its budget is re-dispatched by the caller's outer batch loop, which
+//! keeps `step_batch`'s exact executed-step accounting intact.
+
+use crate::collision::{run_epoch_planned, BirthdayCdf, CollisionScratch, PlanTable};
+use crate::rng::SimRng;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of logical shards per super-epoch — a constant, *not* the worker
+/// count, so the work decomposition (and therefore every byte of output)
+/// is identical no matter how many threads execute it. Eight saturates the
+/// 4-thread scaling target with two waves while keeping the frozen-start
+/// window drift per shard small.
+pub const LOGICAL_SHARDS: usize = 8;
+
+/// Interactions per super-epoch window, as a fraction of `n`: the window
+/// is `min(remaining, n / SHARD_WINDOW_DIVISOR)`. At n/16, total count
+/// drift within a window is bounded by n/8 agent-slots, keeping every
+/// shard's frozen-start approximation tight.
+pub const SHARD_WINDOW_DIVISOR: u64 = 16;
+
+/// Minimum expected collision epochs in a window for sharding to engage
+/// (two per shard). Below this the per-shard chains are too short to
+/// amortize the merge, and the sequential exact path is used instead.
+/// With the n/16 window this bound engages around n ≳ 3·10⁴.
+pub const SHARD_MIN_EPOCHS: f64 = 16.0;
+
+/// The window (interaction budget) of one super-epoch.
+#[must_use]
+pub fn shard_window(n: u64, remaining: u64) -> u64 {
+    remaining.min((n / SHARD_WINDOW_DIVISOR).max(1))
+}
+
+/// The scale half of the eligibility test: whether the window is long
+/// enough for sharding to pay. Backends check this *before* building the
+/// plan table, so small populations never pay the O(k²) table build.
+#[must_use]
+pub fn scale_eligible(n: u64, remaining: u64, expected_interactions: f64) -> bool {
+    let window = shard_window(n, remaining);
+    window >= LOGICAL_SHARDS as u64 && window as f64 >= SHARD_MIN_EPOCHS * expected_interactions
+}
+
+/// Whether a super-epoch should run, given the dispatch state the caller
+/// already computed. Pure function of its arguments — never of thread
+/// count — so the dispatch decision replays identically everywhere.
+#[must_use]
+pub fn eligible(table: &PlanTable, n: u64, remaining: u64, expected_interactions: f64) -> bool {
+    table.complete() && scale_eligible(n, remaining, expected_interactions)
+}
+
+/// Deterministic per-shard RNG seed: one main-stream word decorrelated per
+/// shard index by the SplitMix64 golden-ratio stride (the seed is then
+/// further expanded by `SimRng::seed_from`). Because every shard stream is
+/// derived from `epoch_seed` — a single word drawn from the main stream
+/// inside the batch — snapshots at batch boundaries capture the complete
+/// RNG state with the four main-stream words alone (DESIGN.md §16).
+#[must_use]
+pub fn shard_seed(epoch_seed: u64, shard: usize) -> u64 {
+    epoch_seed ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// What one merged super-epoch produced.
+#[derive(Debug, Clone)]
+pub struct SuperEpochOutcome {
+    /// Interactions executed by the accepted shard prefix.
+    pub executed: u64,
+    /// Interactions that changed at least one agent's state.
+    pub changed: u64,
+    /// Merged per-state count movement (accepted shards only), dense over
+    /// all states.
+    pub delta: Vec<i64>,
+    /// Per-epoch executed-interaction counts of the accepted shards, in
+    /// shard order — the caller records these into the metrics histogram
+    /// on the main thread so the metrics stream stays deterministic.
+    pub epoch_lens: Vec<u64>,
+    /// Logical shards run (= [`LOGICAL_SHARDS`]).
+    pub shards_run: usize,
+    /// Suffix shards dropped by the non-negativity merge check.
+    pub shards_dropped: usize,
+}
+
+/// One shard's private chain result.
+struct ShardResult {
+    delta: Vec<i64>,
+    executed: u64,
+    changed: u64,
+    epoch_lens: Vec<u64>,
+}
+
+/// Runs one shard: an exact sequential epoch chain from the frozen
+/// window-start counts until the budget is spent.
+fn run_shard(
+    table: &PlanTable,
+    frozen: &[u64],
+    cdf: &BirthdayCdf,
+    seed: u64,
+    budget: u64,
+) -> ShardResult {
+    debug_assert!(budget >= 1);
+    let mut rng = SimRng::seed_from(seed);
+    let mut counts = frozen.to_vec();
+    let mut scratch = CollisionScratch::new();
+    let mut delta = vec![0i64; frozen.len()];
+    let mut executed = 0u64;
+    let mut changed = 0u64;
+    let mut epoch_lens = Vec::new();
+    while executed < budget {
+        let out = run_epoch_planned(
+            table,
+            &mut counts,
+            cdf,
+            &mut scratch,
+            &mut rng,
+            budget - executed,
+        );
+        for (t, &d) in delta.iter_mut().zip(scratch.delta()) {
+            *t += d;
+        }
+        executed += out.executed;
+        changed += out.changed;
+        epoch_lens.push(out.executed);
+    }
+    ShardResult {
+        delta,
+        executed,
+        changed,
+        epoch_lens,
+    }
+}
+
+/// Write-once result slots claimed by ticket, one per shard — the same
+/// idiom as `sweep::Slots`.
+struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
+
+// SAFETY: each slot is written at most once, by the worker that claimed
+// its index from the ticket counter (fetch_add hands every index to
+// exactly one worker), and all workers are joined by the enclosing
+// `thread::scope` before the slots are drained on the calling thread.
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+/// Runs every logical shard and merges the results in fixed shard order.
+///
+/// `workers` is the *physical* thread count (from
+/// `sweep::resolve_workers`); values ≤ 1 run the shards inline on the
+/// calling thread. The result is byte-identical for every `workers` value.
+///
+/// # Panics
+///
+/// Panics if `window < LOGICAL_SHARDS` or the table is incomplete —
+/// callers gate on [`eligible`] first.
+#[must_use]
+pub fn run_super_epoch(
+    table: &PlanTable,
+    counts: &[u64],
+    cdf: &BirthdayCdf,
+    epoch_seed: u64,
+    window: u64,
+    workers: usize,
+) -> SuperEpochOutcome {
+    assert!(
+        table.complete(),
+        "sharded epochs need a complete plan table"
+    );
+    assert!(
+        window >= LOGICAL_SHARDS as u64,
+        "window shorter than the shard count"
+    );
+    let shards = LOGICAL_SHARDS;
+    let base = window / shards as u64;
+    let extra = (window % shards as u64) as usize;
+    // Budgets and seeds are fixed before any thread runs: the work list is
+    // data, the pool is just labor.
+    let budgets: Vec<u64> = (0..shards).map(|s| base + u64::from(s < extra)).collect();
+    let seeds: Vec<u64> = (0..shards).map(|s| shard_seed(epoch_seed, s)).collect();
+
+    let results: Vec<ShardResult> = if workers <= 1 {
+        seeds
+            .iter()
+            .zip(&budgets)
+            .map(|(&seed, &budget)| run_shard(table, counts, cdf, seed, budget))
+            .collect()
+    } else {
+        let slots: Slots<ShardResult> = Slots((0..shards).map(|_| UnsafeCell::new(None)).collect());
+        let ticket = AtomicUsize::new(0);
+        // Capture the `Sync` wrapper, not its inner Vec (2021 disjoint
+        // closure capture would otherwise reach through it).
+        let slots_ref = &slots;
+        let work = || loop {
+            let s = ticket.fetch_add(1, Ordering::Relaxed);
+            if s >= shards {
+                break;
+            }
+            let result = run_shard(table, counts, cdf, seeds[s], budgets[s]);
+            // SAFETY: index `s` was claimed from the ticket counter, so
+            // no other worker writes this slot, and the scope joins all
+            // workers before the slots are read.
+            unsafe { *slots_ref.0[s].get() = Some(result) };
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..workers.min(shards) {
+                scope.spawn(work);
+            }
+            // The calling thread is a full crew member, not a supervisor.
+            work();
+        });
+        slots
+            .0
+            .into_iter()
+            .map(|c| c.into_inner().expect("every shard ticket was claimed"))
+            .collect()
+    };
+
+    // Fixed-order prefix merge: accept shards 0, 1, … while the cumulative
+    // counts stay non-negative; drop the rest. The acceptance decision
+    // depends only on the shard results, which depend only on
+    // (epoch_seed, counts) — never on the thread count.
+    let k = counts.len();
+    let mut cum: Vec<i64> = counts.iter().map(|&c| c as i64).collect();
+    let mut merged = SuperEpochOutcome {
+        executed: 0,
+        changed: 0,
+        delta: vec![0i64; k],
+        epoch_lens: Vec::new(),
+        shards_run: shards,
+        shards_dropped: 0,
+    };
+    let mut accepted = 0usize;
+    for r in &results {
+        if r.delta.iter().zip(&cum).any(|(&d, &c)| c + d < 0) {
+            break;
+        }
+        for ((c, m), &d) in cum.iter_mut().zip(&mut merged.delta).zip(&r.delta) {
+            *c += d;
+            *m += d;
+        }
+        merged.executed += r.executed;
+        merged.changed += r.changed;
+        merged.epoch_lens.extend_from_slice(&r.epoch_lens);
+        accepted += 1;
+    }
+    merged.shards_dropped = shards - accepted;
+    debug_assert!(accepted >= 1, "shard 0 is always feasible");
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::TableProtocol;
+
+    fn cycle3() -> TableProtocol {
+        TableProtocol::new(3, "cycle3")
+            .rule(0, 1, 1, 1)
+            .rule(1, 2, 2, 2)
+            .rule(2, 0, 0, 0)
+    }
+
+    #[test]
+    fn super_epoch_is_workers_invariant_and_conserves_population() {
+        let p = cycle3();
+        let table = PlanTable::build(&p, 3);
+        assert!(table.complete());
+        let n = 48_000u64;
+        let counts = vec![20_000u64, 14_000, 14_000];
+        let cdf = BirthdayCdf::new(n);
+        let window = shard_window(n, u64::MAX);
+        assert!(eligible(&table, n, u64::MAX, cdf.expected_interactions()));
+        let seq = run_super_epoch(&table, &counts, &cdf, 0xfeed, window, 1);
+        for workers in [2usize, 4, 8] {
+            let par = run_super_epoch(&table, &counts, &cdf, 0xfeed, window, workers);
+            assert_eq!(seq.delta, par.delta, "workers={workers}");
+            assert_eq!(seq.executed, par.executed, "workers={workers}");
+            assert_eq!(seq.changed, par.changed, "workers={workers}");
+            assert_eq!(seq.epoch_lens, par.epoch_lens, "workers={workers}");
+            assert_eq!(seq.shards_dropped, par.shards_dropped, "workers={workers}");
+        }
+        assert_eq!(seq.delta.iter().sum::<i64>(), 0, "population conserved");
+        assert!(seq.executed >= window - window / LOGICAL_SHARDS as u64);
+        assert_eq!(
+            seq.epoch_lens.iter().sum::<u64>(),
+            seq.executed,
+            "epoch lengths account for every executed interaction"
+        );
+    }
+
+    #[test]
+    fn eligibility_needs_scale_and_complete_table() {
+        let p = cycle3();
+        let table = PlanTable::build(&p, 3);
+        let small = BirthdayCdf::new(4_000);
+        assert!(
+            !eligible(&table, 4_000, u64::MAX, small.expected_interactions()),
+            "n=4000 stays on the sequential exact path"
+        );
+        let big = BirthdayCdf::new(1_000_000);
+        assert!(eligible(
+            &table,
+            1_000_000,
+            u64::MAX,
+            big.expected_interactions()
+        ));
+        assert!(
+            !eligible(&table, 1_000_000, 4, big.expected_interactions()),
+            "tiny remaining budget stays sequential"
+        );
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..LOGICAL_SHARDS).map(|s| shard_seed(7, s)).collect();
+        for i in 0..seeds.len() {
+            for j in i + 1..seeds.len() {
+                assert_ne!(seeds[i], seeds[j]);
+            }
+        }
+    }
+}

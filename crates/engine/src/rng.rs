@@ -86,6 +86,63 @@ pub(crate) fn ln_fact(x: u64) -> f64 {
     ln_fact_in(ln_fact_table(), x)
 }
 
+/// Candidates evaluated per frontier advance in [`SimRng::invert_from_mode`].
+///
+/// Eight keeps the ratio scratch array in registers / L1 and gives the
+/// compiler a straight-line, unrolled fill loop whose divisions are
+/// mutually independent — the serial divide-after-divide dependency of a
+/// scalar scan becomes a batch the hardware can pipeline (or vectorize as
+/// packed `fdiv`), while the dependent multiply/compare chain stays as
+/// short as the scalar code's.
+const PMF_BLOCK: usize = 8;
+
+/// Evaluates one block of `b ≤ PMF_BLOCK` pmf candidates outward from a
+/// frontier and tests them against the remaining inversion mass `u`.
+///
+/// `ratio(x)` returns the pmf step ratio from `x` to its successor in scan
+/// direction as a `(numerator, denominator)` pair. The block first fills
+/// all `b` ratios in one tight loop — the divisions carry no loop-to-loop
+/// dependency, so they overlap in the divider pipeline instead of
+/// serializing behind the running-probability chain — then walks the short
+/// dependent multiply/compare chain exactly as a scalar scan would.
+/// Returns the sampled value on a hit; on a miss, subtracts the block mass
+/// from `u` and advances `p_frontier` to the block's last pmf value.
+#[inline]
+fn pmf_scan_block(
+    b: usize,
+    start: u64,
+    dir_up: bool,
+    p_frontier: &mut f64,
+    u: &mut f64,
+    ratio: &impl Fn(u64) -> (f64, f64),
+) -> Option<u64> {
+    debug_assert!(0 < b && b <= PMF_BLOCK);
+    let mut r = [0.0f64; PMF_BLOCK];
+    for (j, rj) in r[..b].iter_mut().enumerate() {
+        let x = if dir_up {
+            start + j as u64
+        } else {
+            start - j as u64
+        };
+        let (num, den) = ratio(x);
+        *rj = num / den;
+    }
+    let mut p = *p_frontier;
+    for (j, &rj) in r[..b].iter().enumerate() {
+        p *= rj;
+        if *u < p {
+            return Some(if dir_up {
+                start + 1 + j as u64
+            } else {
+                start - 1 - j as u64
+            });
+        }
+        *u -= p;
+    }
+    *p_frontier = p;
+    None
+}
+
 /// SplitMix64 stepper, used to expand a 64-bit seed into xoshiro state.
 ///
 /// This is the seeding procedure recommended by the xoshiro authors: it
@@ -231,21 +288,27 @@ impl SimRng {
     }
 
     /// Consumes one uniform and inverts a unimodal discrete distribution by
-    /// scanning outward from its mode, alternating between the two
-    /// frontiers. The enumeration order is irrelevant to correctness (any
-    /// order of the exact masses inverts the same distribution); the
-    /// mode-out order makes the expected scan length `O(sd)`.
+    /// scanning outward from its mode in blocks, alternating between the
+    /// two frontiers. The enumeration order is irrelevant to correctness
+    /// (any order of the exact masses inverts the same distribution); the
+    /// mode-out order makes the expected scan length `O(sd)`, and the
+    /// blocked layout ([`pmf_scan_block`]) batches the per-candidate
+    /// divisions into independent groups the divider can pipeline. Blocks
+    /// grow geometrically (2 → 4 → [`PMF_BLOCK`]) per frontier so the
+    /// common short scans — most mass sits within a couple of candidates
+    /// of the mode — do not pay for divisions past the hit.
     ///
     /// `ratio_up(x)` must return `pmf(x+1)/pmf(x)` and `ratio_down(x)` must
-    /// return `pmf(x−1)/pmf(x)`, both exact as f64 expressions.
+    /// return `pmf(x−1)/pmf(x)`, each as an exact `(numerator, denominator)`
+    /// f64 pair with a strictly positive denominator.
     fn invert_from_mode(
         &mut self,
         mode: u64,
         lo_min: u64,
         hi_max: u64,
         ln_pmf_mode: f64,
-        ratio_up: impl Fn(u64) -> f64,
-        ratio_down: impl Fn(u64) -> f64,
+        ratio_up: impl Fn(u64) -> (f64, f64),
+        ratio_down: impl Fn(u64) -> (f64, f64),
     ) -> u64 {
         let pm = ln_pmf_mode.exp();
         let mut u = self.f64();
@@ -255,41 +318,27 @@ impl SimRng {
         u -= pm;
         let (mut lo, mut hi) = (mode, mode);
         let (mut pl, mut ph) = (pm, pm);
-        // Main phase, both frontiers open: strict up/down alternation. The
-        // branch pattern is predictable and there are no balance checks.
-        // (Enumeration order never affects which distribution is inverted,
-        // only the scan length, and near the mode both frontiers carry
-        // comparable mass anyway.)
-        while lo > lo_min && hi < hi_max {
-            ph *= ratio_up(hi);
-            hi += 1;
-            if u < ph {
-                return hi;
+        let (mut bu, mut bd) = (2usize, 2usize);
+        // Alternate one up-block and one down-block per round; a closed
+        // frontier simply drops out, so the drain phase needs no separate
+        // loops. Every round advances at least one frontier.
+        while lo > lo_min || hi < hi_max {
+            if hi < hi_max {
+                let b = ((hi_max - hi) as usize).min(bu);
+                if let Some(x) = pmf_scan_block(b, hi, true, &mut ph, &mut u, &ratio_up) {
+                    return x;
+                }
+                hi += b as u64;
+                bu = (bu * 2).min(PMF_BLOCK);
             }
-            u -= ph;
-            pl *= ratio_down(lo);
-            lo -= 1;
-            if u < pl {
-                return lo;
+            if lo > lo_min {
+                let b = ((lo - lo_min) as usize).min(bd);
+                if let Some(x) = pmf_scan_block(b, lo, false, &mut pl, &mut u, &ratio_down) {
+                    return x;
+                }
+                lo -= b as u64;
+                bd = (bd * 2).min(PMF_BLOCK);
             }
-            u -= pl;
-        }
-        // Drain whichever frontier is still open.
-        while hi < hi_max {
-            ph *= ratio_up(hi);
-            hi += 1;
-            if u < ph {
-                return hi;
-            }
-            u -= ph;
-        }
-        while lo > lo_min {
-            pl *= ratio_down(lo);
-            lo -= 1;
-            if u < pl {
-                return lo;
-            }
-            u -= pl;
         }
         // The support is exhausted and the accumulated mass fell short of
         // u by float dust (< 1e-15); settle on the heavier frontier.
@@ -336,7 +385,6 @@ impl SimRng {
         }
         // Work on q = min(p, 1−p) so the mode stays in the lower half, and
         // reflect the sample back at the end.
-        let _pmf_span = crate::prof::section(crate::prof::Section::PmfInversion);
         let flipped = p > 0.5;
         let q = if flipped { 1.0 - p } else { p };
         let mode = (((count + 1) as f64) * q) as u64;
@@ -352,8 +400,8 @@ impl SimRng {
             0,
             count,
             ln_pmf_mode,
-            |x| (count - x) as f64 / (x + 1) as f64 * odds,
-            |x| x as f64 / ((count - x + 1) as f64 * odds),
+            |x| ((count - x) as f64 * odds, (x + 1) as f64),
+            |x| (x as f64, (count - x + 1) as f64 * odds),
         );
         if flipped {
             count - x
@@ -395,7 +443,6 @@ impl SimRng {
         if draws * 2 > total {
             return tagged - self.hypergeometric(total, tagged, total - draws);
         }
-        let _pmf_span = crate::prof::section(crate::prof::Section::PmfInversion);
         let lo_min = (tagged + draws).saturating_sub(total);
         let hi_max = tagged.min(draws);
         // u64 division suffices whenever the numerator cannot overflow
@@ -422,12 +469,16 @@ impl SimRng {
             hi_max,
             ln_pmf_mode,
             |x| {
-                ((tagged - x) as f64 * (draws - x) as f64)
-                    / ((x + 1) as f64 * (nt + x + 1 - draws) as f64)
+                (
+                    (tagged - x) as f64 * (draws - x) as f64,
+                    (x + 1) as f64 * (nt + x + 1 - draws) as f64,
+                )
             },
             |x| {
-                (x as f64 * (nt + x - draws) as f64)
-                    / ((tagged - x + 1) as f64 * (draws - x + 1) as f64)
+                (
+                    x as f64 * (nt + x - draws) as f64,
+                    (tagged - x + 1) as f64 * (draws - x + 1) as f64,
+                )
             },
         )
     }

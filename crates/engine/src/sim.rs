@@ -147,6 +147,20 @@ pub trait Simulator {
         states.iter().map(|&s| self.count(s)).sum()
     }
 
+    /// Sets the worker-thread count for backends with internal parallelism
+    /// (the dense backends' sharded collision epochs, see
+    /// [`crate::pardense`]). `0` (the default) resolves automatically via
+    /// `sweep::resolve_workers` (`PP_THREADS` env, then available
+    /// parallelism); explicit values pin the physical thread count.
+    ///
+    /// This is an execution knob, not simulation state: results are
+    /// byte-identical for every thread count, so it is neither
+    /// snapshotted nor restored. Backends without internal parallelism
+    /// ignore it.
+    fn set_threads(&mut self, threads: usize) {
+        let _ = threads;
+    }
+
     /// Stable tag naming this backend in snapshot headers (`"agents"`,
     /// `"counts"`, `"sparse"`, `"accel"`, `"matching"`, `"faulty"`).
     ///

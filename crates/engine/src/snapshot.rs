@@ -51,8 +51,17 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Version tag of the on-disk snapshot format. Bumped on any change to the
-/// header or payload schema; [`RunSnapshot::decode`] refuses other versions.
-pub const FORMAT_VERSION: u64 = 1;
+/// header or payload schema — and on semantic boundaries: version 2 marks
+/// runs that may contain sharded super-epochs (`pardense`), whose
+/// trajectories a version-1 engine cannot reproduce. The payload schema is
+/// unchanged from version 1, so [`RunSnapshot::decode`] accepts both (see
+/// [`MIN_FORMAT_VERSION`]); shard RNG streams live and die inside a single
+/// `step_batch` call, so the four main-stream words still capture the
+/// complete resume state (DESIGN.md §16).
+pub const FORMAT_VERSION: u64 = 2;
+
+/// Oldest snapshot format version [`RunSnapshot::decode`] still reads.
+pub const MIN_FORMAT_VERSION: u64 = 1;
 
 /// CRC-64 (reflected ECMA-182 polynomial, as used by XZ) over `bytes`.
 ///
@@ -237,9 +246,10 @@ impl RunSnapshot {
         if header.get("kind").and_then(Json::as_str) != Some("pp_snapshot") {
             return Err("not a pp_snapshot document".to_string());
         }
-        if header.get("version").and_then(Json::as_u64) != Some(FORMAT_VERSION) {
+        let version = header.get("version").and_then(Json::as_u64);
+        if !version.is_some_and(|v| (MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&v)) {
             return Err(format!(
-                "unsupported snapshot version (reader supports {FORMAT_VERSION})"
+                "unsupported snapshot version (reader supports {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
             ));
         }
         let stored = header
@@ -567,10 +577,20 @@ mod tests {
     #[test]
     fn decode_rejects_version_and_kind_mismatch() {
         let text = sample_snapshot().encode();
-        let other = text.replacen("\"version\":1", "\"version\":999", 1);
+        let other = text.replacen("\"version\":2", "\"version\":999", 1);
         assert!(RunSnapshot::decode(&other).is_err());
         let foreign = text.replacen("pp_snapshot", "pp_snapshoT", 1);
         assert!(RunSnapshot::decode(&foreign).is_err());
+    }
+
+    #[test]
+    fn decode_accepts_previous_format_version() {
+        // Version-1 snapshots (pre-sharding) have the identical payload
+        // schema; the reader must keep accepting them.
+        let text = sample_snapshot().encode();
+        let v1 = text.replacen("\"version\":2", "\"version\":1", 1);
+        assert_ne!(text, v1, "header rewrite must take effect");
+        assert!(RunSnapshot::decode(&v1).is_ok());
     }
 
     #[test]

@@ -20,17 +20,37 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Resolves a requested worker count: 0 selects the OS-reported available
-/// parallelism, and the result never exceeds the task count (in particular,
-/// zero tasks spawn zero workers).
-fn resolve_workers(workers: usize, count: usize) -> usize {
+/// Reads the `PP_THREADS` environment override: a positive integer selects
+/// that worker count; unset, empty, zero, or unparsable values mean "no
+/// override".
+#[must_use]
+fn env_threads() -> Option<usize> {
+    std::env::var("PP_THREADS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&t| t > 0)
+}
+
+/// Resolves a requested worker count for `count` parallel tasks.
+///
+/// Precedence: an explicit `workers > 0` (the `--threads` flag) wins; then
+/// the `PP_THREADS` environment variable; then the OS-reported available
+/// parallelism. The result never exceeds the task count (in particular,
+/// zero tasks resolve to zero workers). Shared by the sweep harness and the
+/// dense shard pool ([`crate::pardense`]).
+#[must_use]
+pub fn resolve_workers(workers: usize, count: usize) -> usize {
     if count == 0 {
         return 0;
     }
-    let workers = if workers == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    } else {
+    let workers = if workers > 0 {
         workers
+    } else if let Some(env) = env_threads() {
+        env
+    } else {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
     };
     workers.min(count)
 }
@@ -697,6 +717,20 @@ mod tests {
         assert_eq!(resolve_workers(4, 2), 2);
         assert_eq!(resolve_workers(2, 4), 2);
         assert!(resolve_workers(0, 100) >= 1, "auto resolves to at least 1");
+    }
+
+    #[test]
+    fn pp_threads_env_sits_between_flag_and_auto() {
+        std::env::set_var("PP_THREADS", "3");
+        assert_eq!(resolve_workers(0, 100), 3, "env used when flag is auto");
+        assert_eq!(resolve_workers(2, 100), 2, "explicit flag beats env");
+        assert_eq!(resolve_workers(0, 2), 2, "env still capped by task count");
+        std::env::set_var("PP_THREADS", "junk");
+        assert!(
+            resolve_workers(0, 100) >= 1,
+            "junk env falls through to auto"
+        );
+        std::env::remove_var("PP_THREADS");
     }
 
     fn fast_policy(retries: u32) -> ResiliencePolicy {
