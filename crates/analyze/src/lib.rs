@@ -25,6 +25,7 @@
 //! | `PP105` | unreachable rule                 | warning         |
 //! | `PP106` | possible non-silent execution    | warning         |
 //! | `PP190` | a check was skipped              | info            |
+//! | `PP191` | enumeration compiles past the flag budget | info   |
 //! | `PP201` | use before assign                | warning         |
 //! | `PP202` | never-written output             | error / warning |
 //! | `PP203` | write to an input variable       | warning         |

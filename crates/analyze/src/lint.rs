@@ -13,20 +13,17 @@
 
 use crate::diag::{Diagnostic, Report, Severity};
 use crate::program::{analyze_program, ProgramLocator};
-use crate::reach::{
-    non_silent_cycles, support_closure, unreachable_rules, AbstractAssign, SupportModel,
-    REACH_VAR_CAP,
-};
+use crate::reach::{non_silent_cycles, support_closure, unreachable_rules, REACH_VAR_CAP};
 use crate::ruleset::{analyze_ruleset_with, RuleLocator};
-use pp_lang::ast::{AssignValue, Instr, Program, Thread};
+use pp_lang::ast::{Instr, Program, Thread};
+use pp_lang::enumerate::{collect_assigns, initial_supports};
 use pp_lang::parse::{
     parse_program_spanned, InstrSpan, ParseErrorKind, ParseProgramError, ProgramSpans, Span,
 };
-use pp_rules::{Ruleset, Var};
+use pp_rules::reach::SupportModel;
+use pp_rules::Ruleset;
 
-/// Maximum declared-input count for enumerating initial supports (each
-/// subset of inputs is one initial state; `2^k` subsets).
-pub const INPUT_ENUM_CAP: usize = 12;
+pub use pp_lang::enumerate::{ENUM_STATE_CAP, INPUT_ENUM_CAP};
 
 /// The diagnostic code for a parse error of the given kind.
 #[must_use]
@@ -144,60 +141,16 @@ fn collect_rulesets<'a>(
     out
 }
 
-/// Collects every population-wide assignment for the support abstraction.
-fn collect_assigns(program: &Program) -> Vec<AbstractAssign> {
-    fn walk(instrs: &[Instr], out: &mut Vec<AbstractAssign>) {
-        for instr in instrs {
-            match instr {
-                Instr::Assign { var, value } => out.push(match value {
-                    AssignValue::Formula(g) => AbstractAssign::Formula(*var, g.clone()),
-                    AssignValue::RandomBit => AbstractAssign::Coin(*var),
-                }),
-                Instr::IfExists {
-                    then_branch,
-                    else_branch,
-                    ..
-                } => {
-                    walk(then_branch, out);
-                    walk(else_branch, out);
-                }
-                Instr::RepeatLog { body, .. } => walk(body, out),
-                Instr::Execute { .. } => {}
-            }
-        }
-    }
-    let mut out = Vec::new();
-    for (_, body) in program.structured_threads() {
-        walk(body, &mut out);
-    }
-    out
-}
-
-/// The declared initial supports: one packed state per subset of the input
-/// variables (every agent carries some subset of the inputs), with `init`
-/// and `derived_init` applied. `None` when there are too many inputs to
-/// enumerate.
-fn initial_supports(program: &Program) -> Option<Vec<u32>> {
-    if program.inputs.len() > INPUT_ENUM_CAP {
-        return None;
-    }
-    let mut supports = Vec::with_capacity(1 << program.inputs.len());
-    for bits in 0u32..(1 << program.inputs.len()) {
-        let on: Vec<Var> = program
-            .inputs
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| bits & (1 << i) != 0)
-            .map(|(_, &v)| v)
-            .collect();
-        supports.push(program.initial_state(&on));
-    }
-    Some(supports)
-}
-
 /// Lints a program: `PP2xx` program checks, `PP10x` checks on every
 /// embedded ruleset, and support-reachability checks (`PP105`/`PP106`)
 /// from the declared initial supports.
+///
+/// When a program exceeds the precompile flag budget (`PP207`) but the
+/// support closure proves the live state space small enough for the
+/// `pp-lang` enumeration backend ([`ENUM_STATE_CAP`]), the `PP207`
+/// warnings are replaced by a single `PP191` info diagnostic reporting the
+/// live-state count, the compression ratio against `2^bits`, and the
+/// dead-rule stripping — the program compiles after all.
 #[must_use]
 pub fn lint_program(
     program: &Program,
@@ -207,9 +160,7 @@ pub fn lint_program(
     let mut report = Report::new();
 
     let locator = ProgramLocator { spans, source };
-    for d in analyze_program(program, &locator) {
-        report.push(d);
-    }
+    let program_diags = analyze_program(program, &locator);
 
     let sites = collect_rulesets(program, spans);
 
@@ -250,6 +201,50 @@ pub fn lint_program(
             }
         }
     };
+
+    // PP191: the enumeration backend compiles past the flag budget. When
+    // PP207 fired but the closure proved the live state space enumerable,
+    // the budget warnings are moot — replace them with one info line.
+    let over_budget = program_diags.iter().any(|d| d.code == "PP207");
+    let enumerable = closure
+        .as_ref()
+        .is_some_and(|c| !c.live.is_empty() && c.live.len() <= ENUM_STATE_CAP);
+    if over_budget && enumerable {
+        let closure = closure.as_ref().expect("enumerable implies closure");
+        let mut dead = 0usize;
+        let mut total = 0usize;
+        for site in &sites {
+            for rule in site.ruleset.rules() {
+                total += 1;
+                if !(closure.any_satisfies(&rule.guard_a) && closure.any_satisfies(&rule.guard_b)) {
+                    dead += 1;
+                }
+            }
+        }
+        let bits = program.vars.len();
+        let upper = 1u64 << bits;
+        let live = closure.live.len();
+        let ratio = upper as f64 / live as f64;
+        for d in program_diags {
+            if d.code != "PP207" {
+                report.push(d);
+            }
+        }
+        report.push(Diagnostic::new(
+            "PP191",
+            Severity::Info,
+            format!(
+                "enumeration compiles this protocol over {live} live states \
+                 (of {upper} possible with {bits} variables, {ratio:.0}x \
+                 compression); {dead} of {total} rules are dead and stripped; \
+                 the precompile flag budget does not apply"
+            ),
+        ));
+    } else {
+        for d in program_diags {
+            report.push(d);
+        }
+    }
 
     for site in &sites {
         let rule_locator = RuleLocator {
@@ -410,6 +405,67 @@ def protocol Raw
         let report = lint_source(source);
         assert!(codes(&report).contains(&"PP101"), "{report:?}");
         assert!(report.has_errors());
+    }
+
+    #[test]
+    fn over_budget_but_enumerable_program_reports_pp191_not_pp207() {
+        use pp_lang::ast::build;
+        use pp_rules::{Guard, VarSet};
+
+        let mut vars = VarSet::new();
+        let first = vars.add("V0");
+        for i in 1..15 {
+            let _ = vars.add(&format!("V{i}"));
+        }
+        // 15 declared + 6 lowering flags = 21 > 20: PP207 territory. But
+        // only two states are ever live ({} and {V0}), so enumeration
+        // compiles it and the budget warning is replaced by PP191.
+        let body: Vec<Instr> = (0..6).map(|_| build::assign(first, Guard::any())).collect();
+        let program = Program {
+            name: "big".into(),
+            vars,
+            inputs: vec![],
+            outputs: vec![first],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![Thread::Structured {
+                name: "Main".into(),
+                body,
+            }],
+        };
+        let report = lint_builtin(&program);
+        assert!(!codes(&report).contains(&"PP207"), "{report:?}");
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "PP191")
+            .expect("PP191");
+        assert_eq!(d.severity, Severity::Info);
+        assert!(
+            d.message.contains("2 live states"),
+            "live count: {}",
+            d.message
+        );
+        assert!(
+            d.message.contains("of 32768 possible with 15 variables"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn within_budget_program_gets_no_pp191() {
+        // Fits the flag budget: the hierarchy backend applies, so no
+        // enumeration info line even though the closure ran.
+        let source = "\
+def protocol Fits
+  var L <- on as output:
+  thread Elect:
+    execute ruleset:
+      > (L) + (L) -> (L) + (!L)
+";
+        let report = lint_source(source);
+        assert!(!codes(&report).contains(&"PP191"), "{report:?}");
     }
 
     #[test]

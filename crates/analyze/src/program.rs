@@ -16,7 +16,7 @@ use crate::diag::{Diagnostic, Severity};
 use pp_clocks::hierarchy::MAX_LEVELS;
 use pp_lang::ast::{AssignValue, Instr, Program, Thread};
 use pp_lang::parse::ProgramSpans;
-use pp_lang::precompile::precompile;
+use pp_lang::precompile::{lowering_flags, precompile};
 use pp_rules::{Ruleset, Var, MAX_VARS};
 
 /// Maximum `w_max` the clock-driven executor can schedule: minute count
@@ -323,72 +323,64 @@ pub fn analyze_program(program: &Program, locator: &ProgramLocator<'_>) -> Vec<D
         }
     }
 
-    // PP206 / PP207: budgets of the compiled execution substrate. Only the
-    // first structured thread is precompiled, matching `precompile`.
-    if let Some((_, body)) = program.structured_threads().next() {
-        let flags = count_flags(body);
+    // PP207: packed-variable budget, checked for *every* structured thread
+    // (each thread's lowering mints its own flags on top of the shared
+    // declared variables).
+    let mut first_thread_fits = None;
+    for (name, body) in program.structured_threads() {
+        let flags = lowering_flags(body);
         let projected = program.vars.len() + flags;
+        if first_thread_fits.is_none() {
+            first_thread_fits = Some(projected <= MAX_VARS);
+        }
         if projected > MAX_VARS {
             let d = Diagnostic::new(
                 "PP207",
                 Severity::Warning,
                 format!(
-                    "precompiling needs {projected} packed variables \
-                     ({} declared + {flags} lowering flags) but only \
-                     {MAX_VARS} bits are available",
+                    "precompiling thread {name} needs {projected} packed \
+                     variables ({} declared + {flags} lowering flags) but \
+                     only {MAX_VARS} bits are available",
                     program.vars.len()
                 ),
             );
             out.push(locator.at_decl(d));
-        } else {
-            let tree = precompile(program);
-            if tree.l_max > MAX_LEVELS {
-                let d = Diagnostic::new(
-                    "PP206",
-                    Severity::Warning,
-                    format!(
-                        "compiled tree has {} loop levels but the clock \
-                         hierarchy supports at most {MAX_LEVELS}: deepen \
-                         `repeat` nesting no further",
-                        tree.l_max
-                    ),
-                );
-                out.push(locator.at_decl(d));
-            }
-            if tree.w_max > MAX_TREE_WIDTH {
-                let d = Diagnostic::new(
-                    "PP206",
-                    Severity::Warning,
-                    format!(
-                        "compiled tree has width {} but the minute wheel caps \
-                         it at {MAX_TREE_WIDTH} (m = 4(w_max+1) must fit u8)",
-                        tree.w_max
-                    ),
-                );
-                out.push(locator.at_decl(d));
-            }
+        }
+    }
+
+    // PP206: tree-shape budgets of the clock hierarchy. Only the first
+    // structured thread is precompiled, matching `precompile` — and only
+    // when it fits the flag budget (otherwise lowering cannot even run).
+    if first_thread_fits == Some(true) {
+        let tree = precompile(program);
+        if tree.l_max > MAX_LEVELS {
+            let d = Diagnostic::new(
+                "PP206",
+                Severity::Warning,
+                format!(
+                    "compiled tree has {} loop levels but the clock \
+                     hierarchy supports at most {MAX_LEVELS}: deepen \
+                     `repeat` nesting no further",
+                    tree.l_max
+                ),
+            );
+            out.push(locator.at_decl(d));
+        }
+        if tree.w_max > MAX_TREE_WIDTH {
+            let d = Diagnostic::new(
+                "PP206",
+                Severity::Warning,
+                format!(
+                    "compiled tree has width {} but the minute wheel caps \
+                     it at {MAX_TREE_WIDTH} (m = 4(w_max+1) must fit u8)",
+                    tree.w_max
+                ),
+            );
+            out.push(locator.at_decl(d));
         }
     }
 
     out
-}
-
-/// Number of fresh lowering flags `precompile` would mint for this body:
-/// one `K#` per assignment, one `Z#` per `if exists`.
-fn count_flags(instrs: &[Instr]) -> usize {
-    instrs
-        .iter()
-        .map(|i| match i {
-            Instr::Assign { .. } => 1,
-            Instr::IfExists {
-                then_branch,
-                else_branch,
-                ..
-            } => 1 + count_flags(then_branch) + count_flags(else_branch),
-            Instr::RepeatLog { body, .. } => count_flags(body),
-            Instr::Execute { .. } => 0,
-        })
-        .sum()
 }
 
 #[cfg(test)]
@@ -598,6 +590,50 @@ mod tests {
         let d = diags.iter().find(|d| d.code == "PP207").expect("PP207");
         assert!(d.message.contains("21"), "{}", d.message);
         // PP207 suppresses the precompile-based PP206 checks.
+        assert!(!codes(&diags).contains(&"PP206"));
+    }
+
+    #[test]
+    fn variable_budget_checks_every_structured_thread() {
+        let mut vars = VarSet::new();
+        let first = vars.add("V0");
+        for i in 1..18 {
+            let _ = vars.add(&format!("V{i}"));
+        }
+        // Thread A: 18 declared + 1 flag = 19, fits. Thread B: 18 + 3 = 21,
+        // over budget. Thread C: 18 + 4 = 22, over budget.
+        let assigns = |k: usize| -> Vec<Instr> {
+            (0..k).map(|_| build::assign(first, Guard::any())).collect()
+        };
+        let program = Program {
+            name: "t".into(),
+            vars,
+            inputs: vec![],
+            outputs: vec![],
+            init: vec![],
+            derived_init: vec![],
+            threads: vec![
+                Thread::Structured {
+                    name: "A".into(),
+                    body: assigns(1),
+                },
+                Thread::Structured {
+                    name: "B".into(),
+                    body: assigns(3),
+                },
+                Thread::Structured {
+                    name: "C".into(),
+                    body: assigns(4),
+                },
+            ],
+        };
+        let diags = analyze_program(&program, &ProgramLocator::none());
+        let pp207: Vec<_> = diags.iter().filter(|d| d.code == "PP207").collect();
+        assert_eq!(pp207.len(), 2, "one diagnostic per over-budget thread");
+        assert!(pp207[0].message.contains("thread B needs 21 packed"));
+        assert!(pp207[1].message.contains("thread C needs 22 packed"));
+        // The first thread fits, so the PP206 tree checks still run (and
+        // pass silently here).
         assert!(!codes(&diags).contains(&"PP206"));
     }
 

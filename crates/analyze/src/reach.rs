@@ -1,159 +1,29 @@
-//! `{0, ≥1}`-support reachability: a sound abstraction of which packed
-//! agent states can ever occur, given the declared initial supports.
+//! Reachability-based diagnostics on top of the `{0, ≥1}`-support closure.
 //!
-//! The abstraction tracks only the *support* of a configuration — the set
-//! of states held by at least one agent — and closes it under all
-//! transitions, ignoring counts:
+//! The closure itself lives in [`pp_rules::reach`] (re-exported here), so
+//! the enumeration compiler in `pp-lang` and these lint checks run on the
+//! *same* abstraction — what the analyzer proves unreachable is exactly
+//! what the compiler strips, and the compiler's post-enumeration
+//! verification re-checks the analyzer's claims against the enumerated
+//! state set (see `pp_lang::enumerate`).
 //!
-//! * a rule can rewrite an initiator in state `a` whenever some state in
-//!   the support satisfies the responder guard (and symmetrically);
-//! * a population-wide assignment `X := Σ` maps every supported state
-//!   through the assignment (the old states are conservatively *kept*,
-//!   since threads interleave and agents may be mid-interaction);
-//! * a coin assignment adds both outcomes.
+//! Soundness of the diagnostics:
 //!
-//! Ignoring counts and keeping superseded states only ever *adds* states,
-//! so the closure over-approximates every real execution: if a state (or
-//! a rule's firing) is unreachable here, it is unreachable in every run
-//! from the declared initial supports. The converse does not hold — the
-//! abstraction may consider states reachable that no real run produces —
-//! which is why PP105/PP106 findings are warnings, not errors.
-//!
-//! The closure runs over the full `2^k` packed state space and is skipped
-//! (with an info diagnostic) when `k >` [`REACH_VAR_CAP`].
+//! * [`unreachable_rules`] (PP105) — the closure over-approximates
+//!   support, so a rule with no reachable witness for one of its guards
+//!   can never fire in any real run. The converse does not hold, hence a
+//!   warning.
+//! * [`non_silent_cycles`] (PP106) — if the per-agent rewrite graph over
+//!   reachable states is acyclic, every agent changes state finitely often
+//!   and all executions become silent; a closed cycle only indicates
+//!   *possible* perpetual activity.
 
 use crate::diag::{Diagnostic, Severity};
 use crate::ruleset::RuleLocator;
-use pp_rules::{Guard, Ruleset, Var, VarSet};
-
-/// Maximum variable count for the support closure (2^16 states).
-pub const REACH_VAR_CAP: usize = 16;
-
-/// An abstract population-wide assignment transition.
-#[derive(Debug, Clone)]
-pub enum AbstractAssign {
-    /// `var := formula` evaluated on each agent's own state.
-    Formula(Var, Guard),
-    /// `var := {on, off}` — both outcomes possible.
-    Coin(Var),
-}
-
-/// The model handed to the support closure: everything that can rewrite
-/// agent states, plus the initial supports.
-#[derive(Debug, Clone, Default)]
-pub struct SupportModel<'a> {
-    /// All rulesets that can ever run (raw threads, `execute` blocks).
-    pub rulesets: Vec<&'a Ruleset>,
-    /// All population-wide assignments that can ever run.
-    pub assigns: Vec<AbstractAssign>,
-    /// The declared initial supports (packed states present at time 0).
-    pub initial: Vec<u32>,
-}
-
-/// The result of the support closure.
-#[derive(Debug, Clone)]
-pub struct SupportClosure {
-    /// `reachable[s]` is true when packed state `s` may occur.
-    pub reachable: Vec<bool>,
-    /// True when the state space exceeded [`REACH_VAR_CAP`] and the
-    /// closure was not computed (all queries answer "reachable").
-    pub skipped: bool,
-}
-
-impl SupportClosure {
-    /// Whether packed state `s` may occur (always true when skipped).
-    #[must_use]
-    pub fn may_occur(&self, s: u32) -> bool {
-        self.skipped || self.reachable.get(s as usize).copied().unwrap_or(false)
-    }
-
-    /// Whether some reachable state satisfies the guard.
-    #[must_use]
-    pub fn any_satisfies(&self, guard: &Guard) -> bool {
-        if self.skipped {
-            return true;
-        }
-        self.reachable
-            .iter()
-            .enumerate()
-            .any(|(s, &r)| r && guard.eval(s as u32))
-    }
-
-    /// Number of reachable states (0 when skipped).
-    #[must_use]
-    pub fn count(&self) -> usize {
-        self.reachable.iter().filter(|&&r| r).count()
-    }
-}
-
-/// Computes the support closure for `model` over `vars`.
-#[must_use]
-pub fn support_closure(vars: &VarSet, model: &SupportModel<'_>) -> SupportClosure {
-    if vars.len() > REACH_VAR_CAP {
-        return SupportClosure {
-            reachable: Vec::new(),
-            skipped: true,
-        };
-    }
-    let n = vars.num_states();
-    let mut reachable = vec![false; n];
-    for &s in &model.initial {
-        reachable[(s as usize) % n] = true;
-    }
-    loop {
-        let mut changed = false;
-        let mut add = |reachable: &mut Vec<bool>, s: u32| {
-            let s = s as usize;
-            if !reachable[s] {
-                reachable[s] = true;
-                changed = true;
-            }
-        };
-        for ruleset in &model.rulesets {
-            for rule in ruleset.rules() {
-                let a_matches: Vec<u32> = (0..n as u32)
-                    .filter(|&s| reachable[s as usize] && rule.guard_a.eval(s))
-                    .collect();
-                let b_matches: Vec<u32> = (0..n as u32)
-                    .filter(|&s| reachable[s as usize] && rule.guard_b.eval(s))
-                    .collect();
-                if !b_matches.is_empty() {
-                    for &a in &a_matches {
-                        add(&mut reachable, rule.update_a.apply(a));
-                    }
-                }
-                if !a_matches.is_empty() {
-                    for &b in &b_matches {
-                        add(&mut reachable, rule.update_b.apply(b));
-                    }
-                }
-            }
-        }
-        for assign in &model.assigns {
-            for s in 0..n as u32 {
-                if !reachable[s as usize] {
-                    continue;
-                }
-                match assign {
-                    AbstractAssign::Formula(v, g) => {
-                        add(&mut reachable, v.assign(s, g.eval(s)));
-                    }
-                    AbstractAssign::Coin(v) => {
-                        add(&mut reachable, v.assign(s, true));
-                        add(&mut reachable, v.assign(s, false));
-                    }
-                }
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-    SupportClosure {
-        reachable,
-        skipped: false,
-    }
-}
+pub use pp_rules::reach::{
+    support_closure, AbstractAssign, SupportClosure, SupportModel, REACH_VAR_CAP,
+};
+use pp_rules::{Ruleset, VarSet};
 
 /// PP105: rules that can never fire from the declared initial supports.
 ///
@@ -218,27 +88,33 @@ pub fn non_silent_cycles(
     if closure.skipped {
         return Vec::new();
     }
-    let n = closure.reachable.len();
-    // Per-agent rewrite edges s -> s' (s' != s) enabled within the closure.
-    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // The rewrite graph is built over dense live-state indices (the closure
+    // is closed under enabled rewrites, so every target is itself live);
+    // work scales with the live count, not the 2^k space.
+    let live = &closure.live;
+    let idx_of = |t: u32| -> usize {
+        live.binary_search(&t)
+            .expect("closure is closed under enabled rewrites")
+    };
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); live.len()];
     for ruleset in rulesets {
         for rule in ruleset.rules() {
             let partner_a = closure.any_satisfies(&rule.guard_b);
             let partner_b = closure.any_satisfies(&rule.guard_a);
-            for s in 0..n as u32 {
-                if !closure.reachable[s as usize] {
-                    continue;
-                }
+            if !partner_a && !partner_b {
+                continue;
+            }
+            for (i, &s) in live.iter().enumerate() {
                 if partner_a && rule.guard_a.eval(s) {
                     let t = rule.update_a.apply(s);
                     if t != s {
-                        edges[s as usize].push(t as usize);
+                        edges[i].push(idx_of(t));
                     }
                 }
                 if partner_b && rule.guard_b.eval(s) {
                     let t = rule.update_b.apply(s);
                     if t != s {
-                        edges[s as usize].push(t as usize);
+                        edges[i].push(idx_of(t));
                     }
                 }
             }
@@ -253,7 +129,8 @@ pub fn non_silent_cycles(
     // A cycle over the varying bits recurs once per combination of the
     // untouched bits, so group components by their shape — the set of
     // varying bits plus the states projected onto them — and report each
-    // shape once (from its simplest representative).
+    // shape once (from its simplest representative). Components hold live
+    // indices; shapes are computed over the packed states behind them.
     struct CycleShape {
         varying: u32,
         projected: Vec<u32>,
@@ -271,18 +148,19 @@ pub fn non_silent_cycles(
         if escapes {
             continue;
         }
-        let or = component.iter().fold(0u32, |m, &s| m | s as u32);
-        let and = component.iter().fold(u32::MAX, |m, &s| m & s as u32);
+        let or = component.iter().fold(0u32, |m, &s| m | live[s]);
+        let and = component.iter().fold(u32::MAX, |m, &s| m & live[s]);
         let varying = or & !and;
-        let mut projected: Vec<u32> = component.iter().map(|&s| s as u32 & varying).collect();
+        let mut projected: Vec<u32> = component.iter().map(|&s| live[s] & varying).collect();
         projected.sort_unstable();
+        let packed_sum = |c: &[usize]| c.iter().map(|&s| live[s] as u64).sum::<u64>();
         match shapes
             .iter_mut()
             .find(|sh| sh.varying == varying && sh.projected == projected)
         {
             Some(shape) => {
                 shape.contexts += 1;
-                if component.iter().sum::<usize>() < shape.representative.iter().sum::<usize>() {
+                if packed_sum(component) < packed_sum(&shape.representative) {
                     shape.representative = component.clone();
                 }
             }
@@ -300,7 +178,7 @@ pub fn non_silent_cycles(
             .representative
             .iter()
             .take(4)
-            .map(|&s| vars.render_state(s as u32))
+            .map(|&s| vars.render_state(live[s]))
             .collect();
         names.sort();
         let more = if shape.representative.len() > 4 {
@@ -389,6 +267,7 @@ fn strongly_connected_components(edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
 mod tests {
     use super::*;
     use pp_rules::parse::parse_ruleset;
+    use pp_rules::{Guard, Var, MAX_VARS};
 
     fn closure_of(text: &str, initial_names: &[&[&str]]) -> (VarSet, Ruleset, SupportClosure) {
         let mut vars = VarSet::new();
@@ -460,20 +339,6 @@ mod tests {
     }
 
     #[test]
-    fn coin_assignment_adds_both_outcomes() {
-        let mut vars = VarSet::new();
-        let f = vars.add("F");
-        let model = SupportModel {
-            rulesets: Vec::new(),
-            assigns: vec![AbstractAssign::Coin(f)],
-            initial: vec![0],
-        };
-        let closure = support_closure(&vars, &model);
-        assert!(closure.may_occur(0));
-        assert!(closure.may_occur(f.mask()));
-    }
-
-    #[test]
     fn closed_cycle_reports_non_silence() {
         // {} -> {R} (spread) and {R} -> {} (skeptic clears): a closed
         // two-state cycle, nothing escapes.
@@ -504,9 +369,13 @@ mod tests {
     }
 
     #[test]
-    fn oversized_state_space_is_skipped() {
+    fn full_variable_budget_gets_a_closure() {
+        // The cap now equals the packing budget: a MAX_VARS-variable space
+        // (previously skipped above 16) computes a real closure, so
+        // reachability checks cover every representable protocol.
+        assert_eq!(REACH_VAR_CAP, MAX_VARS);
         let mut vars = VarSet::new();
-        for i in 0..(REACH_VAR_CAP + 1) {
+        for i in 0..MAX_VARS {
             vars.add(&format!("V{i}"));
         }
         let model = SupportModel {
@@ -515,8 +384,9 @@ mod tests {
             initial: vec![0],
         };
         let closure = support_closure(&vars, &model);
-        assert!(closure.skipped);
-        assert!(closure.may_occur(12345), "skipped closure answers 'maybe'");
+        assert!(!closure.skipped);
+        assert_eq!(closure.count(), 1);
+        assert!(!closure.may_occur(12345));
     }
 
     #[test]

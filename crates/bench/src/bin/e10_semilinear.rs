@@ -3,10 +3,13 @@
 //! predicates converge exactly via the stable blackbox. Measures
 //! correctness against ground truth over input sweeps.
 
+use pp_bench::history::{self, HistoryRecord};
+use pp_bench::timing::throughput;
 use pp_bench::{emit, Scale};
 use pp_engine::report::{fmt_f64, Table};
 use pp_engine::stats::Summary;
 use pp_engine::sweep::map_configs;
+use pp_lang::enumerate::EnumExecutor;
 use pp_lang::interp::Executor;
 use pp_protocols::semilinear::{parity_exact, semilinear_comparison_exact, Predicate};
 use pp_rules::Guard;
@@ -110,4 +113,57 @@ fn main() {
          parity relies on the stable slow blackbox: exact but polynomially slower, \
          per the documented reproduction scope)"
     );
+
+    // --- Compiled vs interpreted path ------------------------------------
+    // The exact comparison projects to 21 packed bits on its main thread;
+    // the enumeration backend compiles it over its live states. Record
+    // both rates plus their ratio so `bench-diff` gates the compiled path.
+    let program = semilinear_comparison_exact(1);
+    let a = program.vars.get("A").expect("A");
+    let b = program.vars.get("B").expect("B");
+    let groups = [
+        (vec![a], n / 2),
+        (vec![b], n / 3),
+        (vec![], n - n / 2 - n / 3),
+    ];
+    let mut interp = Executor::new(&program, &groups, 0xEA_F00D);
+    let interp_rate = throughput(|| {
+        interp.run_iteration();
+        1
+    });
+    let mut compiled = EnumExecutor::new(&program, &groups, 0xEA_F00D)
+        .expect("enumeration compiles the exact comparison");
+    let compiled_rate = throughput(|| {
+        compiled.run_iteration();
+        1
+    });
+    println!(
+        "\ncompiled path (enumeration, {} live states): {compiled_rate:.1} iter/s \
+         vs interpreted {interp_rate:.1} iter/s ({:.2}x)",
+        compiled.live_states().len(),
+        compiled_rate / interp_rate
+    );
+    history::append(&[
+        HistoryRecord {
+            bench: "e10_semilinear",
+            scenario: "interpreted",
+            n,
+            metric: "iter_per_sec",
+            rate: interp_rate,
+        },
+        HistoryRecord {
+            bench: "e10_semilinear",
+            scenario: "enumerated",
+            n,
+            metric: "iter_per_sec",
+            rate: compiled_rate,
+        },
+        HistoryRecord {
+            bench: "e10_semilinear",
+            scenario: "compiled_speedup",
+            n,
+            metric: "ratio",
+            rate: compiled_rate / interp_rate,
+        },
+    ]);
 }

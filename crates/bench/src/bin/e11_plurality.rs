@@ -3,10 +3,13 @@
 //!
 //! Sweeps the number of colors and the skew between the top two colors.
 
+use pp_bench::history::{self, HistoryRecord};
+use pp_bench::timing::throughput;
 use pp_bench::{emit, Scale};
 use pp_engine::report::{fmt_f64, Table};
 use pp_engine::stats::Summary;
 use pp_engine::sweep::map_configs;
+use pp_lang::enumerate::EnumExecutor;
 use pp_lang::interp::Executor;
 use pp_protocols::plurality::plurality;
 use pp_rules::Guard;
@@ -84,4 +87,60 @@ fn main() {
         "\n(theory: correct w.h.p. even at 1-point skew; rounds grow with l as \
          (l−1) duels run per iteration)"
     );
+
+    // --- Compiled vs interpreted path ------------------------------------
+    // Plurality projects to 26 packed bits and cannot precompile through
+    // the flag budget; the enumeration backend compiles it over its live
+    // support-reachable states instead. Measure full protocol iterations
+    // per second on both paths and record the trajectory so `bench-diff`
+    // gates the compiled rate.
+    let program = plurality(3, 2);
+    let colors: Vec<_> = (1..=3)
+        .map(|i| program.vars.get(&format!("C{i}")).unwrap())
+        .collect();
+    let groups = [
+        (vec![colors[0]], n * 3 / 10),
+        (vec![colors[1]], n * 4 / 10),
+        (vec![colors[2]], n - n * 3 / 10 - n * 4 / 10),
+    ];
+    let mut interp = Executor::new(&program, &groups, 0xEB_F00D);
+    let interp_rate = throughput(|| {
+        interp.run_iteration();
+        1
+    });
+    let mut compiled =
+        EnumExecutor::new(&program, &groups, 0xEB_F00D).expect("enumeration compiles plurality");
+    let compiled_rate = throughput(|| {
+        compiled.run_iteration();
+        1
+    });
+    println!(
+        "\ncompiled path (enumeration, {} live states): {compiled_rate:.1} iter/s \
+         vs interpreted {interp_rate:.1} iter/s ({:.2}x)",
+        compiled.live_states().len(),
+        compiled_rate / interp_rate
+    );
+    history::append(&[
+        HistoryRecord {
+            bench: "e11_plurality",
+            scenario: "interpreted",
+            n,
+            metric: "iter_per_sec",
+            rate: interp_rate,
+        },
+        HistoryRecord {
+            bench: "e11_plurality",
+            scenario: "enumerated",
+            n,
+            metric: "iter_per_sec",
+            rate: compiled_rate,
+        },
+        HistoryRecord {
+            bench: "e11_plurality",
+            scenario: "compiled_speedup",
+            n,
+            metric: "ratio",
+            rate: compiled_rate / interp_rate,
+        },
+    ]);
 }

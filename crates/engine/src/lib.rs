@@ -80,6 +80,7 @@ pub mod prof;
 pub mod protocol;
 pub mod report;
 pub mod rng;
+pub mod ruletable;
 pub mod sim;
 pub mod snapshot;
 pub mod stats;

@@ -246,6 +246,58 @@ impl<O: Oscillator, C: XControl> ObjProtocol for CompiledProtocol<O, C> {
     }
 }
 
+/// Which execution backend compiles a program, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendChoice {
+    /// Every structured thread fits the [`pp_rules::MAX_VARS`] packing
+    /// budget (declared variables + lowering flags): the precompile →
+    /// clock-hierarchy pipeline applies.
+    Hierarchy,
+    /// Some thread exceeds the flag budget, but the analyzer's support
+    /// closure enumerated the reachable states: the
+    /// [`crate::enumerate`] backend compiles it over dense ids.
+    Enumerated {
+        /// Live packed states (the dense state-space size).
+        live_states: usize,
+        /// Source-level rules proved dead and stripped.
+        dead_rules: usize,
+        /// Source-level rules in total.
+        total_rules: usize,
+    },
+    /// Neither compiled backend applies; the interpreter
+    /// ([`crate::interp::Executor`]) remains the execution vehicle.
+    Interpreted {
+        /// Why enumeration was infeasible.
+        reason: String,
+    },
+}
+
+/// Decides the execution backend for a program: the clock hierarchy when
+/// every structured thread's projected packed-bit count (declared
+/// variables + [`crate::precompile::lowering_flags`]) fits
+/// [`pp_rules::MAX_VARS`]; otherwise reachable-state enumeration
+/// ([`crate::enumerate::plan`]); otherwise the interpreter.
+#[must_use]
+pub fn choose_backend(program: &Program) -> BackendChoice {
+    let declared = program.vars.len();
+    let fits = program
+        .structured_threads()
+        .all(|(_, body)| declared + crate::precompile::lowering_flags(body) <= pp_rules::MAX_VARS);
+    if fits {
+        return BackendChoice::Hierarchy;
+    }
+    match crate::enumerate::plan(program) {
+        Ok(plan) => BackendChoice::Enumerated {
+            live_states: plan.live.len(),
+            dead_rules: plan.dead_rules,
+            total_rules: plan.total_rules,
+        },
+        Err(e) => BackendChoice::Interpreted {
+            reason: e.to_string(),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

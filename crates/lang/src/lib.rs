@@ -24,7 +24,12 @@
 //! * [`compile`] — Section 5.4's deployment: the tree's leaves become
 //!   time-path-filtered rules (`Π_τ ∧ Σ`) over the clock hierarchy,
 //!   yielding one self-contained population protocol with **no global
-//!   coordination whatsoever** (validated end-to-end in experiment E13).
+//!   coordination whatsoever** (validated end-to-end in experiment E13);
+//! * [`enumerate`] — the analyzer-guided backend for programs beyond the
+//!   precompile flag budget: enumerates the reachable-support states,
+//!   interns them into dense ids, and lowers rulesets to count-backend
+//!   tables ([`pp_engine::ruletable::RuleTableProtocol`]), executed under
+//!   the same good-iteration semantics by [`enumerate::EnumExecutor`].
 //!
 //! # Examples
 //!
@@ -58,11 +63,13 @@
 
 pub mod ast;
 pub mod compile;
+pub mod enumerate;
 pub mod interp;
 pub mod parse;
 pub mod precompile;
 
 pub use ast::{AssignValue, Instr, Program, Thread};
-pub use compile::{CompiledAgent, CompiledProtocol};
+pub use compile::{BackendChoice, CompiledAgent, CompiledProtocol};
+pub use enumerate::{EnumExecutor, EnumPlan};
 pub use interp::{ExecOptions, Executor};
 pub use precompile::{precompile, CompiledTree, TreeNode};

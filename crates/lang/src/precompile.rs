@@ -399,6 +399,31 @@ fn pad_node(node: TreeNode, remaining_depth: usize, width: usize) -> TreeNode {
     }
 }
 
+/// Counts the lowering flags this precompilation scheme introduces for a
+/// thread body: one `K#` trigger flag per assignment and one `Z#`
+/// condition flag per `if exists` (plus the flags of both branches),
+/// recursing through loops; `execute` sites need none. Added to the
+/// declared-variable count this is the packed-bit budget the thread needs
+/// under [`precompile`] — the quantity the analyzer's PP207 check and the
+/// compiler's backend choice ([`crate::compile::choose_backend`]) compare
+/// against [`pp_rules::MAX_VARS`].
+#[must_use]
+pub fn lowering_flags(instrs: &[Instr]) -> usize {
+    instrs
+        .iter()
+        .map(|instr| match instr {
+            Instr::Assign { .. } => 1,
+            Instr::IfExists {
+                then_branch,
+                else_branch,
+                ..
+            } => 1 + lowering_flags(then_branch) + lowering_flags(else_branch),
+            Instr::RepeatLog { body, .. } => lowering_flags(body),
+            Instr::Execute { .. } => 0,
+        })
+        .sum()
+}
+
 /// Computes the width (max children across internal nodes, and the root).
 fn tree_width(nodes: &[TreeNode]) -> usize {
     let mut width = nodes.len();

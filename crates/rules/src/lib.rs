@@ -19,7 +19,10 @@
 //! * [`protocol`] — the [`FlagProtocol`] adapter to the simulation engine,
 //!   supporting both the uniform-random-rule and first-match scheduling
 //!   conventions,
-//! * [`parse`] — a text parser for the paper notation (ASCII and Unicode).
+//! * [`parse`] — a text parser for the paper notation (ASCII and Unicode),
+//! * [`reach`] — the `{0, ≥1}`-support reachability closure over packed
+//!   states, shared by the analyzer's lint checks and the enumeration
+//!   compiler.
 //!
 //! # Examples
 //!
@@ -53,6 +56,7 @@
 pub mod guard;
 pub mod parse;
 pub mod protocol;
+pub mod reach;
 pub mod rule;
 pub mod var;
 

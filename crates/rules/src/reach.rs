@@ -1,0 +1,331 @@
+//! `{0, ≥1}`-support reachability: a sound abstraction of which packed
+//! agent states can ever occur, given the declared initial supports.
+//!
+//! The abstraction tracks only the *support* of a configuration — the set
+//! of states held by at least one agent — and closes it under all
+//! transitions, ignoring counts:
+//!
+//! * a rule can rewrite an initiator in state `a` whenever some state in
+//!   the support satisfies the responder guard (and symmetrically);
+//! * a population-wide assignment `X := Σ` maps every supported state
+//!   through the assignment (the old states are conservatively *kept*,
+//!   since threads interleave and agents may be mid-interaction);
+//! * a coin assignment adds both outcomes.
+//!
+//! Ignoring counts and keeping superseded states only ever *adds* states,
+//! so the closure over-approximates every real execution: if a state (or
+//! a rule's firing) is unreachable here, it is unreachable in every run
+//! from the declared initial supports. The converse does not hold — the
+//! abstraction may consider states reachable that no real run produces.
+//!
+//! The fixpoint is computed with a worklist: work is proportional to the
+//! number of *live* states discovered (times rules and assignments), not to
+//! the full `2^k` space, so the closure is cheap exactly when a protocol's
+//! reachable set is small — which is what makes it usable both for lint
+//! checks and as a compilation substrate (reachable-state enumeration, see
+//! `pp-lang`'s `enumerate` backend). Only the dense membership bitmap is
+//! `2^k`-sized, so the cap is the full variable budget [`MAX_VARS`] (a
+//! 1 MiB bitmap at `k = 20`).
+
+use crate::guard::Guard;
+use crate::rule::{Rule, Ruleset};
+use crate::var::{Var, VarSet, MAX_VARS};
+
+/// Maximum variable count for the support closure. Equal to the packing
+/// budget [`MAX_VARS`], so every representable protocol gets a closure; the
+/// `skipped` escape hatch remains for defensive callers.
+pub const REACH_VAR_CAP: usize = MAX_VARS;
+
+/// An abstract population-wide assignment transition.
+#[derive(Debug, Clone)]
+pub enum AbstractAssign {
+    /// `var := formula` evaluated on each agent's own state.
+    Formula(Var, Guard),
+    /// `var := {on, off}` — both outcomes possible.
+    Coin(Var),
+}
+
+/// The model handed to the support closure: everything that can rewrite
+/// agent states, plus the initial supports.
+#[derive(Debug, Clone, Default)]
+pub struct SupportModel<'a> {
+    /// All rulesets that can ever run (raw threads, `execute` blocks).
+    pub rulesets: Vec<&'a Ruleset>,
+    /// All population-wide assignments that can ever run.
+    pub assigns: Vec<AbstractAssign>,
+    /// The declared initial supports (packed states present at time 0).
+    pub initial: Vec<u32>,
+}
+
+/// The result of the support closure.
+#[derive(Debug, Clone)]
+pub struct SupportClosure {
+    /// `reachable[s]` is true when packed state `s` may occur.
+    pub reachable: Vec<bool>,
+    /// The reachable packed states in ascending order. This is the
+    /// canonical enumeration order: dense ids handed out by consumers
+    /// (e.g. the enumeration compiler) index into this list, so id
+    /// assignment is deterministic regardless of discovery order.
+    pub live: Vec<u32>,
+    /// True when the state space exceeded [`REACH_VAR_CAP`] and the
+    /// closure was not computed (all queries answer "reachable").
+    pub skipped: bool,
+}
+
+impl SupportClosure {
+    /// Whether packed state `s` may occur (always true when skipped).
+    #[must_use]
+    pub fn may_occur(&self, s: u32) -> bool {
+        self.skipped || self.reachable.get(s as usize).copied().unwrap_or(false)
+    }
+
+    /// Whether some reachable state satisfies the guard.
+    #[must_use]
+    pub fn any_satisfies(&self, guard: &Guard) -> bool {
+        if self.skipped {
+            return true;
+        }
+        self.live.iter().any(|&s| guard.eval(s))
+    }
+
+    /// Number of reachable states (0 when skipped).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// Worklist arena: dense membership bitmap plus the discovery-ordered list
+/// of live states (which doubles as the queue).
+struct Frontier {
+    reachable: Vec<bool>,
+    live: Vec<u32>,
+}
+
+impl Frontier {
+    fn add(&mut self, s: u32) {
+        let i = s as usize;
+        if !self.reachable[i] {
+            self.reachable[i] = true;
+            self.live.push(s);
+        }
+    }
+}
+
+/// Computes the support closure for `model` over `vars`.
+///
+/// Complexity: `O(live · (rules + assigns))` guard evaluations plus at most
+/// two prefix rescans per rule (when a rule's partner side is first
+/// witnessed *after* states matching the other side were already
+/// processed), instead of the naive `O(passes · 2^k · rules)` scan.
+#[must_use]
+pub fn support_closure(vars: &VarSet, model: &SupportModel<'_>) -> SupportClosure {
+    if vars.len() > REACH_VAR_CAP {
+        return SupportClosure {
+            reachable: Vec::new(),
+            live: Vec::new(),
+            skipped: true,
+        };
+    }
+    let n = vars.num_states();
+    let mut fr = Frontier {
+        reachable: vec![false; n],
+        live: Vec::new(),
+    };
+    for &s in &model.initial {
+        fr.add((s as usize % n) as u32);
+    }
+    let rules: Vec<&Rule> = model
+        .rulesets
+        .iter()
+        .flat_map(|rs| rs.rules().iter())
+        .collect();
+    // Per rule: whether some live state has been seen satisfying the
+    // initiator (a) / responder (b) guard. A rule's updates apply only once
+    // both sides are witnessed.
+    let mut a_sat = vec![false; rules.len()];
+    let mut b_sat = vec![false; rules.len()];
+    let mut head = 0usize;
+    while head < fr.live.len() {
+        let s = fr.live[head];
+        head += 1;
+        for assign in &model.assigns {
+            match assign {
+                AbstractAssign::Formula(v, g) => fr.add(v.assign(s, g.eval(s))),
+                AbstractAssign::Coin(v) => {
+                    fr.add(v.assign(s, true));
+                    fr.add(v.assign(s, false));
+                }
+            }
+        }
+        for (i, rule) in rules.iter().enumerate() {
+            let ga = rule.guard_a.eval(s);
+            let gb = rule.guard_b.eval(s);
+            if ga && !a_sat[i] {
+                // First initiator witness. Every state seen so far that
+                // matches the responder guard (including `s` itself) can
+                // now rewrite through the responder update.
+                a_sat[i] = true;
+                if b_sat[i] || gb {
+                    let seen = fr.live.len();
+                    for j in 0..seen {
+                        let t = fr.live[j];
+                        if rule.guard_b.eval(t) {
+                            fr.add(rule.update_b.apply(t));
+                        }
+                    }
+                }
+            }
+            if gb && !b_sat[i] {
+                // First responder witness: symmetric rescan.
+                b_sat[i] = true;
+                if a_sat[i] {
+                    let seen = fr.live.len();
+                    for j in 0..seen {
+                        let t = fr.live[j];
+                        if rule.guard_a.eval(t) {
+                            fr.add(rule.update_a.apply(t));
+                        }
+                    }
+                }
+            }
+            if a_sat[i] && b_sat[i] {
+                if ga {
+                    fr.add(rule.update_a.apply(s));
+                }
+                if gb {
+                    fr.add(rule.update_b.apply(s));
+                }
+            }
+        }
+    }
+    fr.live.sort_unstable();
+    SupportClosure {
+        reachable: fr.reachable,
+        live: fr.live,
+        skipped: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ruleset;
+
+    fn closure_of(text: &str, initial_names: &[&[&str]]) -> (VarSet, Ruleset, SupportClosure) {
+        let mut vars = VarSet::new();
+        let ruleset = parse_ruleset(text, &mut vars).unwrap();
+        let initial: Vec<u32> = initial_names
+            .iter()
+            .map(|names| {
+                let on: Vec<Var> = names.iter().map(|n| vars.get(n).unwrap()).collect();
+                vars.state_with(&on)
+            })
+            .collect();
+        let model = SupportModel {
+            rulesets: vec![&ruleset],
+            assigns: Vec::new(),
+            initial,
+        };
+        let closure = support_closure(&vars, &model);
+        (vars, ruleset, closure)
+    }
+
+    #[test]
+    fn epidemic_reaches_all_infected() {
+        let (vars, _, closure) = closure_of("(I) + (!I) -> (I) + (I)", &[&["I"], &[]]);
+        let i = vars.get("I").unwrap();
+        assert!(closure.may_occur(i.mask()));
+        assert!(closure.may_occur(0));
+        assert_eq!(closure.count(), 2);
+    }
+
+    #[test]
+    fn rule_needing_missing_partner_adds_nothing() {
+        // (B) responder is required but B never occurs, so !A stays out.
+        let text = "(A) + (B) -> (!A) + (B)";
+        let (vars, _, closure) = closure_of(text, &[&["A"]]);
+        let a = vars.get("A").unwrap();
+        assert_eq!(closure.count(), 1, "only the initial A state");
+        assert!(closure.may_occur(a.mask()));
+    }
+
+    #[test]
+    fn late_partner_witness_unlocks_earlier_states() {
+        // The initial state {A} matches the initiator guard, but the
+        // responder witness {A, B} only appears later via the assignment.
+        // The rescan must then go back and rewrite {A} through update_a.
+        let mut vars = VarSet::new();
+        let ruleset = parse_ruleset("(A) + (B) -> (C) + (B)", &mut vars).unwrap();
+        let a = vars.get("A").unwrap();
+        let b = vars.get("B").unwrap();
+        let c = vars.get("C").unwrap();
+        let model = SupportModel {
+            rulesets: vec![&ruleset],
+            assigns: vec![AbstractAssign::Formula(b, Guard::var(a))],
+            initial: vec![a.mask()],
+        };
+        let closure = support_closure(&vars, &model);
+        assert!(closure.may_occur(a.mask() | b.mask()), "assign target");
+        assert!(
+            closure.may_occur(a.mask() | c.mask()),
+            "{{A}} rewritten after the responder witness appeared: {:?}",
+            closure.live
+        );
+        assert!(
+            closure.may_occur(a.mask() | b.mask() | c.mask()),
+            "the witness itself also rewrites"
+        );
+    }
+
+    #[test]
+    fn live_list_is_sorted_and_matches_bitmap() {
+        let text = "(A) + (.) -> (!A & B) + (.)\n(B) + (A) -> (C & !B) + (A)";
+        let (_, _, closure) = closure_of(text, &[&["A"], &[]]);
+        let mut sorted = closure.live.clone();
+        sorted.sort_unstable();
+        assert_eq!(closure.live, sorted, "live list is ascending");
+        let from_bitmap: Vec<u32> = closure
+            .reachable
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r)
+            .map(|(s, _)| s as u32)
+            .collect();
+        assert_eq!(closure.live, from_bitmap);
+    }
+
+    #[test]
+    fn coin_assignment_adds_both_outcomes() {
+        let mut vars = VarSet::new();
+        let f = vars.add("F");
+        let model = SupportModel {
+            rulesets: Vec::new(),
+            assigns: vec![AbstractAssign::Coin(f)],
+            initial: vec![0],
+        };
+        let closure = support_closure(&vars, &model);
+        assert!(closure.may_occur(0));
+        assert!(closure.may_occur(f.mask()));
+    }
+
+    #[test]
+    fn full_variable_budget_is_no_longer_skipped() {
+        // The cap equals MAX_VARS now: a 20-variable space (previously far
+        // over the old 16-variable cap) computes a real closure.
+        assert_eq!(REACH_VAR_CAP, MAX_VARS);
+        let mut vars = VarSet::new();
+        for i in 0..MAX_VARS {
+            vars.add(&format!("V{i}"));
+        }
+        let model = SupportModel {
+            rulesets: Vec::new(),
+            assigns: Vec::new(),
+            initial: vec![0],
+        };
+        let closure = support_closure(&vars, &model);
+        assert!(!closure.skipped);
+        assert_eq!(closure.count(), 1);
+        assert!(!closure.may_occur(12345));
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! ppsim list
 //! ppsim lint          protocol.pp --builtin leader --json
+//! ppsim compile       protocol.pp --builtin all --json
 //! ppsim run-file      protocol.pp --n 500 --iters 30
 //! ppsim leader        --n 10000 --seed 7
 //! ppsim leader-exact  --n 1000
@@ -240,6 +241,153 @@ fn run_lint(args: &[String]) -> u8 {
     for name in builtins {
         match builtin_program(name) {
             Some(program) => failed |= emit(&format!("builtin:{name}"), &lint_builtin(&program)),
+            None => {
+                eprintln!("unknown builtin {name:?} (one of: {})", BUILTINS.join(" "));
+                failed = true;
+            }
+        }
+    }
+    u8::from(failed)
+}
+
+/// `ppsim compile`: report which execution backend compiles each target.
+///
+/// Same grammar as `lint` (positional `.pp` files, repeatable
+/// `--builtin NAME|all`, `--json`). For each target it prints the backend
+/// decision of `pp_lang::compile::choose_backend` — hierarchy (fits the
+/// precompile flag budget), enumerated (reachable-state compilation with
+/// live-state count, compression ratio, and dead-rule stripping), or
+/// interpreted (with the reason enumeration was infeasible). Exit code 1
+/// on unreadable/unparsable targets only — every backend is a valid
+/// answer.
+fn run_compile(args: &[String]) -> u8 {
+    use population_protocols::core::lang::compile::{choose_backend, BackendChoice};
+    use population_protocols::core::lang::precompile::lowering_flags;
+    use population_protocols::core::rules::MAX_VARS;
+
+    let mut files: Vec<&str> = Vec::new();
+    let mut builtins: Vec<&str> = Vec::new();
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--builtin" => {
+                let Some(name) = args.get(i + 1) else {
+                    eprintln!("error: --builtin is missing a name (one of: {BUILTINS:?} or all)");
+                    return 1;
+                };
+                if name == "all" {
+                    builtins.extend(BUILTINS);
+                } else {
+                    builtins.push(name);
+                }
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown compile flag {flag} (expected --builtin NAME or --json)");
+                return 1;
+            }
+            path => files.push(path),
+        }
+        i += 1;
+    }
+    if files.is_empty() && builtins.is_empty() {
+        eprintln!("usage: ppsim compile [protocol.pp ...] [--builtin NAME|all] [--json]");
+        return 1;
+    }
+
+    let emit = |target: &str, program: &Program| {
+        let declared = program.vars.len();
+        let over_budget: Vec<(String, usize)> = program
+            .structured_threads()
+            .map(|(name, body)| (name.to_string(), declared + lowering_flags(body)))
+            .filter(|&(_, projected)| projected > MAX_VARS)
+            .collect();
+        match choose_backend(program) {
+            BackendChoice::Hierarchy => {
+                if json {
+                    let line = Json::obj([
+                        ("target", Json::from(target)),
+                        ("backend", Json::from("hierarchy")),
+                        ("declared_bits", Json::from(declared)),
+                    ]);
+                    println!("{}", line.render());
+                } else {
+                    println!(
+                        "{target}: backend hierarchy ({declared} declared variables; every \
+                         thread fits the {MAX_VARS}-bit precompile budget)"
+                    );
+                }
+            }
+            BackendChoice::Enumerated {
+                live_states,
+                dead_rules,
+                total_rules,
+            } => {
+                let upper = 1u64 << declared;
+                let compression = upper as f64 / live_states.max(1) as f64;
+                if json {
+                    let line = Json::obj([
+                        ("target", Json::from(target)),
+                        ("backend", Json::from("enumerated")),
+                        ("declared_bits", Json::from(declared)),
+                        ("live_states", Json::from(live_states)),
+                        ("packed_states", Json::from(upper)),
+                        ("compression", Json::from(compression)),
+                        ("dead_rules", Json::from(dead_rules)),
+                        ("total_rules", Json::from(total_rules)),
+                    ]);
+                    println!("{}", line.render());
+                } else {
+                    println!(
+                        "{target}: backend enumerated ({live_states} live states of {upper} \
+                         possible with {declared} variables, {compression:.0}x compression; \
+                         {dead_rules} of {total_rules} rules dead and stripped)"
+                    );
+                    for (name, projected) in &over_budget {
+                        println!(
+                            "  thread {name}: {projected} projected bits exceed the \
+                             {MAX_VARS}-bit precompile budget; enumeration bypasses it"
+                        );
+                    }
+                }
+            }
+            BackendChoice::Interpreted { reason } => {
+                if json {
+                    let line = Json::obj([
+                        ("target", Json::from(target)),
+                        ("backend", Json::from("interpreted")),
+                        ("declared_bits", Json::from(declared)),
+                        ("reason", Json::from(reason)),
+                    ]);
+                    println!("{}", line.render());
+                } else {
+                    println!("{target}: backend interpreted ({reason})");
+                }
+            }
+        }
+    };
+
+    let mut failed = false;
+    for path in files {
+        match std::fs::read_to_string(path) {
+            Ok(source) => match parse_program(&source) {
+                Ok(program) => emit(path, &program),
+                Err(e) => {
+                    eprintln!("{path}:{e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    for name in builtins {
+        match builtin_program(name) {
+            Some(program) => emit(&format!("builtin:{name}"), &program),
             None => {
                 eprintln!("unknown builtin {name:?} (one of: {})", BUILTINS.join(" "));
                 failed = true;
@@ -788,6 +936,8 @@ fn usage() -> ExitCode {
          commands:\n\
          \tlist                         list available protocols\n\
          \tlint [protocol.pp ...] [--builtin NAME|all] [--json]  static analysis\n\
+         \tcompile [protocol.pp ...] [--builtin NAME|all] [--json]  backend decision\n\
+         \t             (hierarchy / enumerated live-state stats / interpreted)\n\
          \trun-file <protocol.pp> [--n --seed --iters --in-NAME C]  run a .pp program\n\
          \tleader       [--n --seed]    w.h.p. leader election (Thm 3.1)\n\
          \tleader-exact [--n --seed]    always-correct leader election (Thm 6.1)\n\
@@ -834,7 +984,7 @@ fn run_command(
     match command {
         "list" => {
             println!(
-                "leader leader-exact majority plurality parity oscillator faults run-file resume lint"
+                "leader leader-exact majority plurality parity oscillator faults run-file resume lint compile"
             );
             0
         }
@@ -1549,6 +1699,10 @@ fn main() -> ExitCode {
     // `--builtin`, boolean `--json`), so it bypasses `parse_flags`.
     if command == "lint" {
         return ExitCode::from(run_lint(&args[1..]));
+    }
+    // `compile` shares the lint grammar.
+    if command == "compile" {
+        return ExitCode::from(run_compile(&args[1..]));
     }
     // `profile` and `bench-diff` also carry their own grammars.
     if command == "profile" {

@@ -259,6 +259,40 @@ fn assert_interrupt_resume_byte_identical(
     }
 }
 
+/// Runs the enumeration-compiled executor (dense live-state ids +
+/// `RuleTableProtocol` tables batched on `CountPopulation`) twice with the
+/// same seed and asserts the full artifact — per-state counts, rounds, and
+/// iterations — replays byte-identically once rendered.
+fn assert_enumerated_replay_byte_identical(seed: u64) {
+    use population_protocols::core::lang::enumerate::EnumExecutor;
+    use population_protocols::core::protocols::plurality::plurality;
+
+    let program = plurality(3, 2);
+    let c: Vec<_> = (1..=3)
+        .map(|i| program.vars.get(&format!("C{i}")).unwrap())
+        .collect();
+    let groups = [(vec![c[0]], 30u64), (vec![c[1]], 40), (vec![c[2]], 30)];
+    let run = || {
+        let mut exec =
+            EnumExecutor::new(&program, &groups, seed).expect("enumeration compiles plurality");
+        exec.run_iteration();
+        exec.run_iteration();
+        let rows = [Json::obj([
+            ("rounds", Json::from(exec.rounds())),
+            ("iterations", Json::from(exec.iterations())),
+            (
+                "counts",
+                Json::arr(exec.counts().iter().copied().map(Json::from)),
+            ),
+        ])];
+        to_jsonl(&rows)
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty(), "enumerated: trace is non-trivial");
+    assert_eq!(a, b, "enumerated: compiled run must replay exactly");
+}
+
 #[test]
 fn same_seed_same_backend_is_byte_identical() {
     // Sparse-ish scenario: n = 1000 keeps the count backends on the
@@ -275,4 +309,7 @@ fn same_seed_same_backend_is_byte_identical() {
     // and the metrics registry all ride through the snapshot.
     assert_interrupt_resume_byte_identical("leap", &[400, 300, 300], 2718, 12, 7);
     assert_interrupt_resume_byte_identical("dense", &[1_600, 1_200, 1_200], 3141, 12, 5);
+    // The enumeration backend (analyzer-guided live-state compilation) must
+    // replay exactly too: same seed, same compiled tables, same artifact.
+    assert_enumerated_replay_byte_identical(1618);
 }

@@ -262,6 +262,74 @@ fn builtins_are_warnings_only() {
 }
 
 #[test]
+fn builtin_corpus_is_pp207_free_and_pins_pp191() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ppsim"))
+        .args(["lint", "--builtin", "all", "--json"])
+        .output()
+        .expect("spawn ppsim lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let records = parse_jsonl(&stdout).expect("lint --json output parses as JSONL");
+
+    // The enumeration backend lifts the packed-variable budget: nothing in
+    // the builtin corpus may report PP207 any more.
+    let pp207: Vec<_> = records
+        .iter()
+        .filter(|r| r.get("code").and_then(Json::as_str) == Some("PP207"))
+        .map(|r| r.get("target").and_then(Json::as_str).unwrap_or("?"))
+        .collect();
+    assert!(pp207.is_empty(), "PP207 still fires for {pp207:?}");
+
+    // Every over-budget builtin instead carries the PP191 info diagnostic,
+    // with the live-state count pinned for plurality (496 of 2^9).
+    let pp191_target = |target: &str| {
+        records
+            .iter()
+            .find(|r| {
+                r.get("code").and_then(Json::as_str) == Some("PP191")
+                    && r.get("target").and_then(Json::as_str) == Some(target)
+            })
+            .unwrap_or_else(|| panic!("no PP191 record for {target}"))
+    };
+    let plur = pp191_target("builtin:plurality");
+    assert_eq!(severity(plur), "info");
+    let msg = plur.get("message").and_then(Json::as_str).expect("message");
+    assert!(msg.contains("496 live states"), "{msg}");
+    for target in [
+        "builtin:plurality-exact-three",
+        "builtin:semilinear-comparison",
+    ] {
+        assert_eq!(severity(pp191_target(target)), "info");
+    }
+}
+
+#[test]
+fn shipped_protocol_files_are_pp207_free() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("protocols");
+    for entry in std::fs::read_dir(&dir).expect("protocols dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("pp") {
+            continue;
+        }
+        let out = Command::new(env!("CARGO_BIN_EXE_ppsim"))
+            .arg("lint")
+            .arg(&path)
+            .arg("--json")
+            .output()
+            .expect("spawn ppsim lint");
+        let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+        let records = parse_jsonl(&stdout).expect("lint --json output parses as JSONL");
+        assert!(
+            records
+                .iter()
+                .all(|r| r.get("code").and_then(Json::as_str) != Some("PP207")),
+            "{} reports PP207:\n{stdout}",
+            path.display()
+        );
+    }
+}
+
+#[test]
 fn unknown_builtin_fails() {
     let out = Command::new(env!("CARGO_BIN_EXE_ppsim"))
         .args(["lint", "--builtin", "nonsense"])
